@@ -1,0 +1,111 @@
+//! Criterion benches of the engine building blocks: RDMA channel transfer,
+//! the epoch protocol, and the end-to-end virtual cluster at small scale.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use slash_core::{AggSpec, QueryPlan, RecordSchema, RunConfig, SlashCluster, StreamDef,
+    WindowAssigner};
+use slash_desim::Sim;
+use slash_net::{create_channel, ChannelConfig, MsgFlags};
+use slash_rdma::{Fabric, FabricConfig};
+use slash_state::backend::{build_cluster, SsbConfig};
+use slash_state::{pack_key, CounterCrdt};
+
+fn bench_channel_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rdma_channel");
+    let payload = vec![7u8; 4096];
+    g.throughput(Throughput::Bytes(4096 * 64));
+    g.bench_function("send_recv_64_buffers", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            let fabric = Fabric::new(FabricConfig::default());
+            let a = fabric.add_node();
+            let bb = fabric.add_node();
+            let (mut tx, mut rx) = create_channel(&fabric, a, bb, ChannelConfig::default());
+            let mut sent = 0;
+            let mut got = 0;
+            while got < 64 {
+                while sent < 64 && tx.try_send(&mut sim, MsgFlags::DATA, &payload).unwrap() {
+                    sent += 1;
+                }
+                sim.run();
+                while rx.try_recv(&mut sim).unwrap().is_some() {
+                    got += 1;
+                }
+                sim.run();
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_epoch_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("epoch_protocol");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("update_ship_merge_1k_keys_3_nodes", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            let fabric = Fabric::new(FabricConfig::default());
+            let nodes = fabric.add_nodes(3);
+            let cfg = SsbConfig::new(3);
+            let mut ssb = build_cluster(&fabric, &nodes, CounterCrdt::descriptor(), cfg);
+            for node in ssb.iter_mut() {
+                for k in 0..1000u64 {
+                    node.rmw(pack_key(1, k), |v| CounterCrdt::add(v, 1));
+                }
+                node.note_progress(100);
+                node.close_epoch(&mut sim).unwrap();
+            }
+            for _ in 0..1000 {
+                let mut progress = 0;
+                for node in ssb.iter_mut() {
+                    let (s, m) = node.pump(&mut sim).unwrap();
+                    progress += s + m;
+                }
+                let pending = sim.pending_events() > 0;
+                sim.run();
+                if progress == 0 && !pending {
+                    break;
+                }
+            }
+            ssb
+        });
+    });
+    g.finish();
+}
+
+fn bench_e2e_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(10);
+    let gen = |n: u64| -> Rc<Vec<u8>> {
+        let mut buf = Vec::with_capacity((n * 16) as usize);
+        for i in 0..n {
+            buf.extend_from_slice(&(1 + i).to_le_bytes());
+            buf.extend_from_slice(&(i % 64).to_le_bytes());
+        }
+        Rc::new(buf)
+    };
+    g.throughput(Throughput::Elements(4 * 10_000));
+    g.bench_function("slash_2nodes_2workers_40k_records", |b| {
+        b.iter(|| {
+            let plan = QueryPlan::Aggregate {
+                input: StreamDef::new(RecordSchema::plain(16)),
+                window: WindowAssigner::Tumbling { size: 1000 },
+                agg: AggSpec::Count,
+            };
+            let parts: Vec<Rc<Vec<u8>>> = (0..4).map(|_| gen(10_000)).collect();
+            SlashCluster::run(plan, parts, RunConfig::new(2, 2))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_channel_transfer,
+    bench_epoch_protocol,
+    bench_e2e_cluster
+);
+criterion_main!(benches);

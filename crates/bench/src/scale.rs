@@ -1,0 +1,62 @@
+//! Experiment scale knobs.
+
+/// How big the experiments run.
+///
+/// The paper's setup is 10 worker threads per node and 1 GB of input per
+/// thread; the default here is scaled down so the full reproduction runs
+/// in minutes on one host core. Throughput is measured in *virtual* time,
+/// so the scale mainly controls statistical smoothness, not the trends.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Worker threads per node (paper: 10).
+    pub workers: usize,
+    /// Records per worker thread (paper: 1 GB / record-size).
+    pub records: u64,
+}
+
+impl Scale {
+    /// Read the scale from `SLASH_WORKERS` / `SLASH_RECORDS`, with
+    /// laptop-friendly defaults.
+    pub fn from_env() -> Self {
+        let get = |name: &str, default: u64| -> u64 {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        Scale {
+            workers: get("SLASH_WORKERS", 4) as usize,
+            records: get("SLASH_RECORDS", 20_000),
+        }
+    }
+
+    /// A small scale for tests.
+    pub fn tiny() -> Self {
+        Scale {
+            workers: 2,
+            records: 4_000,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            workers: 4,
+            records: 20_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let s = Scale::default();
+        assert_eq!(s.workers, 4);
+        assert_eq!(s.records, 20_000);
+        assert_eq!(Scale::tiny().workers, 2);
+    }
+}

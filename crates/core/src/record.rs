@@ -1,0 +1,96 @@
+//! Record schemas: fixed-size binary records, as in all of the paper's
+//! workloads (YSB 78 B, NEXMark 32–269 B, CM 64 B, RO 16 B).
+
+/// Layout of one stream's records. All paper workloads use fixed-size
+/// records with an 8-byte primary key and an 8-byte event-time timestamp
+/// at known offsets; remaining bytes are workload-specific attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordSchema {
+    /// Record size in bytes.
+    pub size: usize,
+    /// Byte offset of the little-endian u64 event-time timestamp.
+    pub ts_off: usize,
+    /// Byte offset of the little-endian u64 primary key.
+    pub key_off: usize,
+}
+
+impl RecordSchema {
+    /// A schema with timestamp at 0 and key at 8 (the common layout).
+    pub const fn plain(size: usize) -> Self {
+        RecordSchema {
+            size,
+            ts_off: 0,
+            key_off: 8,
+        }
+    }
+
+    /// Event-time timestamp of a record.
+    #[inline]
+    pub fn ts(&self, rec: &[u8]) -> u64 {
+        u64::from_le_bytes(rec[self.ts_off..self.ts_off + 8].try_into().unwrap())
+    }
+
+    /// Primary key of a record.
+    #[inline]
+    pub fn key(&self, rec: &[u8]) -> u64 {
+        u64::from_le_bytes(rec[self.key_off..self.key_off + 8].try_into().unwrap())
+    }
+
+    /// A little-endian u64 field at an arbitrary offset (aggregation
+    /// inputs: prices, CPU shares, ...).
+    #[inline]
+    pub fn field_u64(&self, rec: &[u8], off: usize) -> u64 {
+        u64::from_le_bytes(rec[off..off + 8].try_into().unwrap())
+    }
+
+    /// An f64 field at an arbitrary offset.
+    #[inline]
+    pub fn field_f64(&self, rec: &[u8], off: usize) -> f64 {
+        f64::from_le_bytes(rec[off..off + 8].try_into().unwrap())
+    }
+
+    /// Number of whole records in a byte buffer.
+    pub fn count(&self, buf: &[u8]) -> usize {
+        debug_assert_eq!(buf.len() % self.size, 0, "torn record buffer");
+        buf.len() / self.size
+    }
+
+    /// Iterate records of a buffer.
+    pub fn for_each<'a>(&self, buf: &'a [u8], mut f: impl FnMut(&'a [u8])) {
+        for chunk in buf.chunks_exact(self.size) {
+            f(chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_access() {
+        let schema = RecordSchema::plain(24);
+        let mut rec = vec![0u8; 24];
+        rec[0..8].copy_from_slice(&111u64.to_le_bytes());
+        rec[8..16].copy_from_slice(&222u64.to_le_bytes());
+        rec[16..24].copy_from_slice(&3.5f64.to_le_bytes());
+        assert_eq!(schema.ts(&rec), 111);
+        assert_eq!(schema.key(&rec), 222);
+        assert_eq!(schema.field_f64(&rec, 16), 3.5);
+        assert_eq!(schema.field_u64(&rec, 0), 111);
+    }
+
+    #[test]
+    fn buffer_iteration() {
+        let schema = RecordSchema::plain(16);
+        let mut buf = Vec::new();
+        for i in 0..5u64 {
+            buf.extend_from_slice(&i.to_le_bytes());
+            buf.extend_from_slice(&(i * 10).to_le_bytes());
+        }
+        assert_eq!(schema.count(&buf), 5);
+        let mut keys = Vec::new();
+        schema.for_each(&buf, |r| keys.push(schema.key(r)));
+        assert_eq!(keys, vec![0, 10, 20, 30, 40]);
+    }
+}

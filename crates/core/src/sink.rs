@@ -1,0 +1,101 @@
+//! Query output collection.
+
+/// One triggered window result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SinkResult {
+    /// An aggregation output.
+    Agg {
+        /// Window (bucket) id.
+        window_id: u64,
+        /// Group key.
+        key: u64,
+        /// Rendered aggregate.
+        value: f64,
+    },
+    /// A join output: the number of pairwise combinations for this
+    /// `(window, key)` (materializing every pair would dominate memory
+    /// without adding information; pair *counts* are what correctness
+    /// checks compare).
+    Join {
+        /// Window (bucket) id.
+        window_id: u64,
+        /// Join key.
+        key: u64,
+        /// Matched left × right combinations.
+        pairs: u64,
+    },
+}
+
+/// Collects or counts triggered results per node.
+#[derive(Debug, Default)]
+pub struct Sink {
+    /// Whether to retain full results (tests) or only count (benchmarks).
+    pub collect: bool,
+    /// Retained results (when `collect`).
+    pub results: Vec<SinkResult>,
+    /// Total results emitted.
+    pub emitted: u64,
+    /// Total join pairs across all results.
+    pub total_pairs: u64,
+}
+
+impl Sink {
+    /// A collecting sink (integration tests).
+    pub fn collecting() -> Self {
+        Sink {
+            collect: true,
+            ..Default::default()
+        }
+    }
+
+    /// A counting sink (benchmarks).
+    pub fn counting() -> Self {
+        Sink::default()
+    }
+
+    /// Emit one result.
+    pub fn push(&mut self, r: SinkResult) {
+        self.emitted += 1;
+        if let SinkResult::Join { pairs, .. } = r {
+            self.total_pairs += pairs;
+        }
+        if self.collect {
+            self.results.push(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_does_not_retain() {
+        let mut s = Sink::counting();
+        s.push(SinkResult::Agg {
+            window_id: 1,
+            key: 2,
+            value: 3.0,
+        });
+        assert_eq!(s.emitted, 1);
+        assert!(s.results.is_empty());
+    }
+
+    #[test]
+    fn collecting_sink_retains_and_sums_pairs() {
+        let mut s = Sink::collecting();
+        s.push(SinkResult::Join {
+            window_id: 1,
+            key: 2,
+            pairs: 6,
+        });
+        s.push(SinkResult::Join {
+            window_id: 1,
+            key: 3,
+            pairs: 4,
+        });
+        assert_eq!(s.emitted, 2);
+        assert_eq!(s.total_pairs, 10);
+        assert_eq!(s.results.len(), 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! The event queue: a binary heap of timestamped, sequence-ordered entries.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::clock::SimTime;
+use crate::process::ProcId;
+use crate::sim::Sim;
+
+/// Monotone sequence number used to break ties between events scheduled for
+/// the same virtual time. First scheduled fires first (FIFO among equals),
+/// which is what makes the simulation deterministic.
+pub(crate) type EventSeq = u64;
+
+/// What happens when an event fires.
+pub(crate) enum EventKind {
+    /// Wake a parked or yielded process.
+    Wake(ProcId),
+    /// Run an arbitrary closure against the simulator. Used by the fabric to
+    /// deliver messages, post completions, and so on.
+    Closure(Box<dyn FnOnce(&mut Sim)>),
+}
+
+pub(crate) struct Scheduled {
+    pub at: SimTime,
+    pub seq: EventSeq,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic min-queue of scheduled events.
+#[derive(Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: EventSeq,
+}
+
+impl EventQueue {
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Scheduled> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wake(at: u64, q: &mut EventQueue) {
+        q.push(SimTime(at), EventKind::Wake(ProcId(0)));
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::default();
+        wake(30, &mut q);
+        wake(10, &mut q);
+        wake(20, &mut q);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|s| s.at.0)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::default();
+        for i in 0..16u64 {
+            q.push(SimTime(42), EventKind::Wake(ProcId(i as u32)));
+        }
+        let seqs: Vec<EventSeq> = std::iter::from_fn(|| q.pop().map(|s| s.seq)).collect();
+        let sorted = {
+            let mut s = seqs.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(seqs, sorted, "same-time events must fire in schedule order");
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::default();
+        wake(7, &mut q);
+        wake(3, &mut q);
+        assert_eq!(q.peek_time(), Some(SimTime(3)));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,116 @@
+//! Bandwidth-paced transfer resources.
+//!
+//! A [`Link`] models one direction of one NIC port: transfers are serialized
+//! in FIFO order at a fixed bandwidth. The RDMA fabric composes two links
+//! (sender TX, receiver RX) plus a propagation latency into a cut-through
+//! transfer model, which is what makes *incast* (many producers hammering
+//! one consumer, the structural bottleneck of hash re-partitioning) show up
+//! naturally in the simulation.
+
+use crate::clock::{transfer_time, SimTime};
+
+/// One direction of a network port with a fixed serialization bandwidth.
+#[derive(Debug, Clone)]
+pub struct Link {
+    bytes_per_sec: u64,
+    busy_until: SimTime,
+    /// Total bytes serialized through this link.
+    bytes_total: u64,
+    /// Total time this link spent busy (for utilization reports).
+    busy_time: SimTime,
+}
+
+impl Link {
+    /// Create a link with the given serialization bandwidth in bytes/second.
+    pub fn new(bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "link bandwidth must be positive");
+        Link {
+            bytes_per_sec,
+            busy_until: SimTime::ZERO,
+            bytes_total: 0,
+            busy_time: SimTime::ZERO,
+        }
+    }
+
+    /// Bandwidth in bytes per second.
+    pub fn bandwidth(&self) -> u64 {
+        self.bytes_per_sec
+    }
+
+    /// Reserve the link for a `bytes`-long transfer that may start no
+    /// earlier than `earliest`. Returns `(start, end)` of the serialization
+    /// window and advances the link's busy horizon to `end`.
+    pub fn reserve(&mut self, earliest: SimTime, bytes: u64) -> (SimTime, SimTime) {
+        let start = earliest.max(self.busy_until);
+        let dur = transfer_time(bytes, self.bytes_per_sec);
+        let end = start + dur;
+        self.busy_until = end;
+        self.bytes_total += bytes;
+        self.busy_time += dur;
+        (start, end)
+    }
+
+    /// The time at which the link next becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total bytes serialized so far.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_total
+    }
+
+    /// Cumulative busy time (serialization only).
+    pub fn busy_time(&self) -> SimTime {
+        self.busy_time
+    }
+
+    /// Link utilization over `[0, now]`, in `0.0..=1.0`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        (self.busy_time.as_nanos() as f64 / now.as_nanos() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_to_back_transfers_serialize() {
+        // 1 GB/s -> 1 byte per ns.
+        let mut l = Link::new(1_000_000_000);
+        let (s1, e1) = l.reserve(SimTime::ZERO, 1000);
+        assert_eq!((s1.0, e1.0), (0, 1000));
+        // Second transfer requested at t=0 must queue behind the first.
+        let (s2, e2) = l.reserve(SimTime::ZERO, 500);
+        assert_eq!((s2.0, e2.0), (1000, 1500));
+        assert_eq!(l.bytes_total(), 1500);
+    }
+
+    #[test]
+    fn idle_gap_is_not_charged() {
+        let mut l = Link::new(1_000_000_000);
+        l.reserve(SimTime::ZERO, 100);
+        // Next transfer arrives long after the link went idle.
+        let (s, e) = l.reserve(SimTime::from_nanos(10_000), 100);
+        assert_eq!((s.0, e.0), (10_000, 10_100));
+        assert_eq!(l.busy_time(), SimTime::from_nanos(200));
+        // Utilization accounts only for busy time.
+        let u = l.utilization(SimTime::from_nanos(10_100));
+        assert!((u - 200.0 / 10_100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturated_link_reaches_full_utilization() {
+        let mut l = Link::new(2_000_000_000);
+        for _ in 0..100 {
+            l.reserve(SimTime::ZERO, 4096);
+        }
+        let end = l.busy_until();
+        assert!((l.utilization(end) - 1.0).abs() < 1e-9);
+        assert_eq!(l.bytes_total(), 409_600);
+    }
+}

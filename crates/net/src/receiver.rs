@@ -1,0 +1,166 @@
+//! The consumer endpoint of an RDMA channel.
+
+use slash_desim::{Sim, SimTime};
+use slash_rdma::{LocalSlice, Mr, Qp, RdmaError, RemoteKey, RemoteSlice, WorkRequest};
+
+use crate::channel::ChannelConfig;
+use crate::layout::{footer_offset, generation, Footer, MsgFlags, FOOTER_SIZE};
+use crate::stats::ChannelStats;
+
+/// Consumer endpoint.
+///
+/// Polls the footer byte of the next expected slot in its *local* ring
+/// memory (remote producers push with WRITEs, so polling costs no network
+/// traffic — the paper's argument for a push model, §6.3), processes the
+/// payload in place, and returns credit by writing its cumulative consumed
+/// count into the producer's credit counter.
+pub struct ChannelReceiver {
+    qp: Qp,
+    /// Local ring the producer writes into.
+    ring: Mr,
+    /// Producer-side credit counter region.
+    remote_credit: RemoteKey,
+    /// 8-byte staging region for credit writes.
+    credit_staging: Mr,
+    cfg: ChannelConfig,
+    next_seq: u64,
+    /// Consumed buffers not yet covered by a credit message.
+    unreturned: usize,
+    eos_seen: bool,
+    /// Statistics (throughput/latency drill-down).
+    pub stats: ChannelStats,
+}
+
+impl ChannelReceiver {
+    pub(crate) fn new(
+        qp: Qp,
+        ring: Mr,
+        remote_credit: RemoteKey,
+        credit_staging: Mr,
+        cfg: ChannelConfig,
+    ) -> Self {
+        ChannelReceiver {
+            qp,
+            ring,
+            remote_credit,
+            credit_staging,
+            cfg,
+            next_seq: 0,
+            unreturned: 0,
+            eos_seen: false,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The channel configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    /// Whether the producer has signalled end-of-stream and everything
+    /// before it was consumed.
+    pub fn eos(&self) -> bool {
+        self.eos_seen
+    }
+
+    /// Sequence number of the next buffer expected.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Whether a buffer is ready without consuming it.
+    pub fn ready(&self) -> bool {
+        let slot = (self.next_seq % self.cfg.credits as u64) as usize;
+        let foot_off = footer_offset(slot, self.cfg.buffer_size);
+        self.ring.poll_byte(foot_off + FOOTER_SIZE - 1)
+            == generation(self.next_seq, self.cfg.credits)
+    }
+
+    /// Poll for the next buffer; if one is ready, run `f` over
+    /// `(flags, payload)` in place and return its result. Consuming the
+    /// buffer returns credit to the producer (possibly batched).
+    pub fn poll_with<R>(
+        &mut self,
+        sim: &mut Sim,
+        f: impl FnOnce(MsgFlags, &[u8]) -> R,
+    ) -> Result<Option<R>, RdmaError> {
+        if !self.ready() {
+            self.stats.empty_polls += 1;
+            return Ok(None);
+        }
+        let slot = (self.next_seq % self.cfg.credits as u64) as usize;
+        let m = self.cfg.buffer_size;
+        let foot_off = footer_offset(slot, m);
+        let (footer, sent_us) = self
+            .ring
+            .with(foot_off, FOOTER_SIZE, |b| {
+                let mut us = [0u8; 8];
+                us[..5].copy_from_slice(&b[10..15]);
+                (Footer::decode(b), u64::from_le_bytes(us))
+            })
+            .expect("footer inside ring");
+        debug_assert_eq!(footer.seq32, self.next_seq as u32, "FIFO violated");
+        let len = footer.len as usize;
+        let payload_off = foot_off - len;
+        let out = self
+            .ring
+            .with(payload_off, len, |payload| f(footer.flags, payload))
+            .expect("payload inside ring");
+
+        // Latency sample: send stamp (µs) → now.
+        let now_us = sim.now().as_nanos() / 1_000;
+        if now_us >= sent_us {
+            self.stats.latency_sum += SimTime::from_micros(now_us - sent_us);
+            self.stats.latency_samples += 1;
+        }
+
+        if footer.flags.contains(MsgFlags::EOS) {
+            self.eos_seen = true;
+        }
+        self.next_seq += 1;
+        self.unreturned += 1;
+        self.stats.buffers += 1;
+        self.stats.payload_bytes += len as u64;
+        if self.unreturned >= self.cfg.credit_batch || self.eos_seen {
+            self.return_credit(sim)?;
+        }
+        Ok(Some(out))
+    }
+
+    /// Convenience: copy the next buffer out, if ready.
+    pub fn try_recv(&mut self, sim: &mut Sim) -> Result<Option<(MsgFlags, Vec<u8>)>, RdmaError> {
+        self.poll_with(sim, |flags, payload| (flags, payload.to_vec()))
+    }
+
+    /// Write the cumulative consumed count into the producer's credit
+    /// region (an 8-byte one-sided WRITE — the "credit transfer" of §6.2).
+    fn return_credit(&mut self, sim: &mut Sim) -> Result<(), RdmaError> {
+        self.credit_staging.write_u64(0, self.next_seq);
+        self.qp.post_send(
+            sim,
+            WorkRequest::Write {
+                wr_id: u64::MAX, // control message; never inspected
+                local: LocalSlice::range(&self.credit_staging, 0, 8),
+                remote: RemoteSlice {
+                    key: self.remote_credit,
+                    offset: 0,
+                },
+                signaled: false,
+            },
+        )?;
+        self.unreturned = 0;
+        self.stats.credit_msgs += 1;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for ChannelReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelReceiver")
+            .field("node", &self.qp.local_node())
+            .field("peer", &self.qp.peer_node())
+            .field("next_seq", &self.next_seq)
+            .field("eos", &self.eos_seen)
+            .finish()
+    }
+}

@@ -1,0 +1,185 @@
+//! The producer endpoint of an RDMA channel.
+
+use slash_desim::Sim;
+use slash_rdma::{LocalSlice, Mr, Qp, RdmaError, RemoteKey, RemoteSlice, WorkRequest};
+
+use crate::channel::ChannelConfig;
+use crate::layout::{
+    footer_offset, generation, payload_capacity, Footer, MsgFlags, FOOTER_SIZE,
+};
+use crate::stats::ChannelStats;
+
+/// Producer endpoint.
+///
+/// The sender owns a local *staging ring* that mirrors the consumer's ring:
+/// slot `seq % c` is filled in place (zero-copy for the engine, which
+/// serializes records directly into registered memory) and shipped with a
+/// single one-sided WRITE. The sender may pipeline up to `c` buffers before
+/// it must observe returned credit (paper §6.2, "transfer phase").
+pub struct ChannelSender {
+    qp: Qp,
+    staging: Mr,
+    /// Consumer's ring region.
+    remote_ring: RemoteKey,
+    /// Local 8-byte region the consumer writes its cumulative consumed
+    /// count into.
+    credit_mr: Mr,
+    cfg: ChannelConfig,
+    next_seq: u64,
+    eos_sent: bool,
+    /// Statistics (throughput/latency drill-down).
+    pub stats: ChannelStats,
+}
+
+impl ChannelSender {
+    pub(crate) fn new(
+        qp: Qp,
+        staging: Mr,
+        remote_ring: RemoteKey,
+        credit_mr: Mr,
+        cfg: ChannelConfig,
+    ) -> Self {
+        ChannelSender {
+            qp,
+            staging,
+            remote_ring,
+            credit_mr,
+            cfg,
+            next_seq: 0,
+            eos_sent: false,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The channel configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    /// Remote key of this sender's credit counter region (the consumer
+    /// writes its cumulative consumed count there).
+    pub(crate) fn credit_remote_key(&self) -> RemoteKey {
+        self.credit_mr.remote_key()
+    }
+
+    /// Maximum payload per buffer.
+    pub fn payload_capacity(&self) -> usize {
+        payload_capacity(self.cfg.buffer_size)
+    }
+
+    /// Cumulative count of buffers the consumer has acknowledged.
+    fn consumed(&self) -> u64 {
+        self.credit_mr.read_u64(0)
+    }
+
+    /// Credits currently available (polls the local credit counter — this
+    /// is the `pause`-loop polling the paper charges to core-bound time).
+    pub fn credits(&mut self) -> usize {
+        let in_flight = self.next_seq - self.consumed();
+        self.cfg.credits - in_flight as usize
+    }
+
+    /// Sequence number of the next buffer to be sent.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Whether end-of-stream was already sent.
+    pub fn eos_sent(&self) -> bool {
+        self.eos_sent
+    }
+
+    /// Try to send one buffer. `len` is the payload size and `fill` writes
+    /// exactly that many bytes into the slot (in place, zero-copy).
+    ///
+    /// Returns `Ok(false)` — without calling `fill` — when no credit is
+    /// available; the caller should retry after making progress elsewhere
+    /// (this is where Slash parks the RDMA coroutine).
+    pub fn try_send_with<F>(
+        &mut self,
+        sim: &mut Sim,
+        flags: MsgFlags,
+        len: usize,
+        fill: F,
+    ) -> Result<bool, RdmaError>
+    where
+        F: FnOnce(&mut [u8]),
+    {
+        assert!(!self.eos_sent, "send after EOS is a protocol bug");
+        assert!(
+            len <= self.payload_capacity(),
+            "payload {len} exceeds buffer capacity {}",
+            self.payload_capacity()
+        );
+        if self.credits() == 0 {
+            self.stats.credit_stalls += 1;
+            return Ok(false);
+        }
+        let seq = self.next_seq;
+        let slot = (seq % self.cfg.credits as u64) as usize;
+        let m = self.cfg.buffer_size;
+        let foot_off = footer_offset(slot, m);
+        let payload_off = foot_off - len;
+
+        self.staging.with_mut(payload_off, len, fill)?;
+        let mut footer = Footer {
+            len: len as u32,
+            seq32: seq as u32,
+            flags,
+            gen: generation(seq, self.cfg.credits),
+        }
+        .encode();
+        // Stamp the send time (µs, 40 bits) into the reserved footer bytes
+        // so the consumer can measure buffer residence latency.
+        let micros = sim.now().as_nanos() / 1_000;
+        footer[10..15].copy_from_slice(&micros.to_le_bytes()[..5]);
+        self.staging.write(foot_off, &footer)?;
+
+        self.qp.post_send(
+            sim,
+            WorkRequest::Write {
+                wr_id: seq,
+                local: LocalSlice::range(&self.staging, payload_off, len + FOOTER_SIZE),
+                remote: RemoteSlice {
+                    key: self.remote_ring,
+                    offset: payload_off,
+                },
+                signaled: false,
+            },
+        )?;
+        self.next_seq += 1;
+        self.stats.buffers += 1;
+        self.stats.payload_bytes += len as u64;
+        Ok(true)
+    }
+
+    /// Convenience: send a byte slice.
+    pub fn try_send(
+        &mut self,
+        sim: &mut Sim,
+        flags: MsgFlags,
+        data: &[u8],
+    ) -> Result<bool, RdmaError> {
+        self.try_send_with(sim, flags, data.len(), |slot| slot.copy_from_slice(data))
+    }
+
+    /// Try to send the end-of-stream marker. Returns false when no credit
+    /// is available yet.
+    pub fn try_send_eos(&mut self, sim: &mut Sim) -> Result<bool, RdmaError> {
+        let sent = self.try_send_with(sim, MsgFlags::EOS, 0, |_| {})?;
+        if sent {
+            self.eos_sent = true;
+        }
+        Ok(sent)
+    }
+}
+
+impl std::fmt::Debug for ChannelSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelSender")
+            .field("node", &self.qp.local_node())
+            .field("peer", &self.qp.peer_node())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}

@@ -1,0 +1,50 @@
+//! Per-channel transfer statistics, used by the drill-down experiments
+//! (paper §8.3) to report throughput, latency, and stall behaviour.
+
+use slash_desim::SimTime;
+
+/// Counters kept by both endpoints of a channel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelStats {
+    /// Data buffers sent (producer) / consumed (receiver).
+    pub buffers: u64,
+    /// Payload bytes moved (excludes footers and credit messages).
+    pub payload_bytes: u64,
+    /// Times the producer wanted a slot but had zero credits.
+    pub credit_stalls: u64,
+    /// Times the consumer polled and found nothing ready.
+    pub empty_polls: u64,
+    /// Credit-return messages sent by the consumer.
+    pub credit_msgs: u64,
+    /// Sum of per-buffer residence latency (send → consume), for averages.
+    pub latency_sum: SimTime,
+    /// Number of latency samples.
+    pub latency_samples: u64,
+}
+
+impl ChannelStats {
+    /// Mean buffer latency, if any samples were taken.
+    pub fn mean_latency(&self) -> Option<SimTime> {
+        if self.latency_samples == 0 {
+            None
+        } else {
+            Some(SimTime::from_nanos(
+                self.latency_sum.as_nanos() / self.latency_samples,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_latency() {
+        let mut s = ChannelStats::default();
+        assert_eq!(s.mean_latency(), None);
+        s.latency_sum = SimTime::from_nanos(300);
+        s.latency_samples = 3;
+        assert_eq!(s.mean_latency(), Some(SimTime::from_nanos(100)));
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! # slash-perfmodel — micro-architecture proxies and reporting
+//!
+//! Derives the paper's drill-down artifacts (Fig. 9/10 execution
+//! breakdowns, Table 1 resource-utilization rows) from the software
+//! counters the engines accumulate, and provides the table/CSV emitters
+//! the `repro` harness prints.
+//!
+//! The mapping from engine actions to top-down categories is documented on
+//! [`slash_core::metrics::CostCategory`]; this crate only *presents* those
+//! counters. No hardware PMU is read anywhere — see DESIGN.md for why this
+//! substitution preserves the paper's (relative) conclusions.
+
+pub mod analytic;
+pub mod report;
+pub mod uarch;
+
+pub use analytic::{predict_micro_direct, predict_partitioned_receiver, predict_partitioned_sender, predict_slash_agg, AggWorkloadShape, NodePrediction};
+pub use report::{format_table, write_csv, Table};
+pub use uarch::{breakdown_row, table1_row, BreakdownRow, Table1Row};

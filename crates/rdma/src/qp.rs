@@ -1,0 +1,696 @@
+//! Reliable-connection queue pairs.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use slash_desim::Sim;
+
+use crate::cq::{Completion, CompletionKind, CqHandle};
+use crate::error::{RdmaError, Result};
+use crate::fabric::{Fabric, NodeId};
+use crate::verbs::{RecvWr, WorkRequest};
+
+/// Maximum SENDs buffered on the responder while no receive is posted.
+/// Models the RNR-retry budget of a reliable connection; protocol code that
+/// exceeds it has a flow-control bug and fails loudly.
+const MAX_PENDING_SENDS: usize = 1024;
+
+/// Per-endpoint state shared between the local QP handle and delivery
+/// events targeting it.
+pub(crate) struct QpShared {
+    send_cq: CqHandle,
+    recv_cq: CqHandle,
+    posted_recvs: VecDeque<RecvWr>,
+    /// Inbound SENDs awaiting a posted receive: (sender's completion ticket,
+    /// payload).
+    pending_sends: VecDeque<(Option<PendingAck>, Vec<u8>)>,
+}
+
+/// A sender-side completion owed once the responder consumes the message.
+pub(crate) struct PendingAck {
+    cq: CqHandle,
+    completion: Completion,
+}
+
+impl QpShared {
+    pub(crate) fn new(send_cq: CqHandle, recv_cq: CqHandle) -> Self {
+        QpShared {
+            send_cq,
+            recv_cq,
+            posted_recvs: VecDeque::new(),
+            pending_sends: VecDeque::new(),
+        }
+    }
+}
+
+/// One endpoint of a reliable connection.
+///
+/// All verbs are posted through [`Qp::post_send`] / [`Qp::post_recv`];
+/// completions surface on the completion queues supplied at connect time.
+/// Work requests on one QP complete in post order (RC ordering).
+#[derive(Clone)]
+pub struct Qp {
+    fabric: Fabric,
+    local_node: NodeId,
+    peer_node: NodeId,
+    local: Rc<RefCell<QpShared>>,
+    peer: Rc<RefCell<QpShared>>,
+}
+
+impl Qp {
+    pub(crate) fn new(
+        fabric: Fabric,
+        local_node: NodeId,
+        peer_node: NodeId,
+        local: Rc<RefCell<QpShared>>,
+        peer: Rc<RefCell<QpShared>>,
+    ) -> Self {
+        Qp {
+            fabric,
+            local_node,
+            peer_node,
+            local,
+            peer,
+        }
+    }
+
+    /// The node this endpoint lives on.
+    pub fn local_node(&self) -> NodeId {
+        self.local_node
+    }
+
+    /// The node at the other end.
+    pub fn peer_node(&self) -> NodeId {
+        self.peer_node
+    }
+
+    /// Post a receive buffer. If SENDs are already waiting (the sender ran
+    /// ahead of us), the oldest is consumed immediately.
+    pub fn post_recv(&self, sim: &mut Sim, wr: RecvWr) -> Result<()> {
+        wr.local.mr.check(wr.local.offset, wr.local.len)?;
+        let mut local = self.local.borrow_mut();
+        if let Some((ack, payload)) = local.pending_sends.pop_front() {
+            if payload.len() > wr.local.len {
+                // Put it back; the protocol must post a bigger buffer.
+                local.pending_sends.push_front((ack, payload));
+                return Err(RdmaError::RecvBufferTooSmall {
+                    needed: local.pending_sends.front().unwrap().1.len(),
+                    got: wr.local.len,
+                });
+            }
+            wr.local
+                .mr
+                .write(wr.local.offset, &payload)
+                .expect("bounds checked above");
+            let recv_cq = local.recv_cq.clone();
+            drop(local);
+            recv_cq.push(
+                sim,
+                Completion {
+                    wr_id: wr.wr_id,
+                    kind: CompletionKind::Recv,
+                    byte_len: payload.len(),
+                    imm: None,
+                },
+            );
+            if let Some(ack) = ack {
+                ack.cq.push(sim, ack.completion);
+            }
+        } else {
+            local.posted_recvs.push_back(wr);
+        }
+        Ok(())
+    }
+
+    /// Post a send-queue work request. Validation happens eagerly; the
+    /// operation's effects materialize at its (bandwidth-paced) delivery
+    /// time.
+    pub fn post_send(&self, sim: &mut Sim, wr: WorkRequest) -> Result<()> {
+        match wr {
+            WorkRequest::Write {
+                wr_id,
+                local,
+                remote,
+                signaled,
+            } => {
+                local.mr.check(local.offset, local.len)?;
+                let remote_mr = self.fabric.resolve(remote.key)?;
+                remote_mr.check(remote.offset, local.len)?;
+                let payload =
+                    local.mr.with(local.offset, local.len, |s| s.to_vec())?;
+                let deliver_at = self
+                    .fabric
+                    .plan(sim.now(), self.local_node, self.peer_node, local.len as u64);
+                let ack_at = deliver_at + self.fabric.ack_latency();
+                let send_cq = self.local.borrow().send_cq.clone();
+                let nbytes = payload.len();
+                sim.schedule_at(deliver_at, move |_sim| {
+                    remote_mr
+                        .write(remote.offset, &payload)
+                        .expect("validated at post time");
+                });
+                if signaled {
+                    sim.schedule_at(ack_at, move |sim| {
+                        send_cq.push(
+                            sim,
+                            Completion {
+                                wr_id,
+                                kind: CompletionKind::Write,
+                                byte_len: nbytes,
+                                imm: None,
+                            },
+                        );
+                    });
+                }
+                Ok(())
+            }
+            WorkRequest::WriteImm {
+                wr_id,
+                local,
+                remote,
+                imm,
+                signaled,
+            } => {
+                local.mr.check(local.offset, local.len)?;
+                let remote_mr = self.fabric.resolve(remote.key)?;
+                remote_mr.check(remote.offset, local.len)?;
+                let payload =
+                    local.mr.with(local.offset, local.len, |s| s.to_vec())?;
+                let deliver_at = self
+                    .fabric
+                    .plan(sim.now(), self.local_node, self.peer_node, local.len as u64);
+                let ack_at = deliver_at + self.fabric.ack_latency();
+                let send_cq = self.local.borrow().send_cq.clone();
+                let peer = Rc::clone(&self.peer);
+                let nbytes = payload.len();
+                sim.schedule_at(deliver_at, move |sim| {
+                    remote_mr
+                        .write(remote.offset, &payload)
+                        .expect("validated at post time");
+                    // WRITE_WITH_IMM consumes a posted receive to notify.
+                    let mut p = peer.borrow_mut();
+                    let recv = p
+                        .posted_recvs
+                        .pop_front()
+                        .expect("WRITE_WITH_IMM requires a posted receive");
+                    let recv_cq = p.recv_cq.clone();
+                    drop(p);
+                    recv_cq.push(
+                        sim,
+                        Completion {
+                            wr_id: recv.wr_id,
+                            kind: CompletionKind::RecvImm,
+                            byte_len: nbytes,
+                            imm: Some(imm),
+                        },
+                    );
+                });
+                if signaled {
+                    sim.schedule_at(ack_at, move |sim| {
+                        send_cq.push(
+                            sim,
+                            Completion {
+                                wr_id,
+                                kind: CompletionKind::Write,
+                                byte_len: nbytes,
+                                imm: None,
+                            },
+                        );
+                    });
+                }
+                Ok(())
+            }
+            WorkRequest::Send {
+                wr_id,
+                local,
+                signaled,
+            } => {
+                local.mr.check(local.offset, local.len)?;
+                let payload =
+                    local.mr.with(local.offset, local.len, |s| s.to_vec())?;
+                let deliver_at = self
+                    .fabric
+                    .plan(sim.now(), self.local_node, self.peer_node, local.len as u64);
+                let ack_at = deliver_at + self.fabric.ack_latency();
+                let send_cq = self.local.borrow().send_cq.clone();
+                let peer = Rc::clone(&self.peer);
+                sim.schedule_at(deliver_at, move |sim| {
+                    deliver_send(sim, &peer, payload, signaled.then_some(PendingAck {
+                        cq: send_cq,
+                        completion: Completion {
+                            wr_id,
+                            kind: CompletionKind::Send,
+                            byte_len: 0, // filled below
+                            imm: None,
+                        },
+                    }), ack_at);
+                });
+                Ok(())
+            }
+            WorkRequest::Read {
+                wr_id,
+                local,
+                remote,
+            } => {
+                local.mr.check(local.offset, local.len)?;
+                let remote_mr = self.fabric.resolve(remote.key)?;
+                remote_mr.check(remote.offset, local.len)?;
+                // Phase 1: the request header travels to the responder.
+                let req_at =
+                    self.fabric
+                        .plan(sim.now(), self.local_node, self.peer_node, 0);
+                let fabric = self.fabric.clone();
+                let send_cq = self.local.borrow().send_cq.clone();
+                let (src_node, dst_node) = (self.peer_node, self.local_node);
+                let len = local.len;
+                sim.schedule_at(req_at, move |sim| {
+                    // Phase 2: the responder's NIC DMAs the data back. The
+                    // data is snapshotted when the responder serves the
+                    // request (RC READs see a consistent point-in-time).
+                    let data = remote_mr
+                        .with(remote.offset, len, |s| s.to_vec())
+                        .expect("validated at post time");
+                    let deliver_at = fabric.plan(sim.now(), src_node, dst_node, len as u64);
+                    sim.schedule_at(deliver_at, move |sim| {
+                        local
+                            .mr
+                            .write(local.offset, &data)
+                            .expect("validated at post time");
+                        send_cq.push(
+                            sim,
+                            Completion {
+                                wr_id,
+                                kind: CompletionKind::Read,
+                                byte_len: len,
+                                imm: None,
+                            },
+                        );
+                    });
+                });
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Deliver an inbound SEND at the responder: match a posted receive or park
+/// the payload until one is posted.
+fn deliver_send(
+    sim: &mut Sim,
+    peer: &Rc<RefCell<QpShared>>,
+    payload: Vec<u8>,
+    ack: Option<PendingAck>,
+    ack_at: slash_desim::SimTime,
+) {
+    let mut p = peer.borrow_mut();
+    if let Some(recv) = p.posted_recvs.pop_front() {
+        assert!(
+            payload.len() <= recv.local.len,
+            "SEND larger than posted receive buffer ({} > {})",
+            payload.len(),
+            recv.local.len
+        );
+        recv.local
+            .mr
+            .write(recv.local.offset, &payload)
+            .expect("recv buffer validated at post_recv");
+        let recv_cq = p.recv_cq.clone();
+        drop(p);
+        recv_cq.push(
+            sim,
+            Completion {
+                wr_id: recv.wr_id,
+                kind: CompletionKind::Recv,
+                byte_len: payload.len(),
+                imm: None,
+            },
+        );
+        if let Some(mut ack) = ack {
+            ack.completion.byte_len = payload.len();
+            sim.schedule_at(ack_at.max(sim.now()), move |sim| {
+                ack.cq.push(sim, ack.completion);
+            });
+        }
+    } else {
+        assert!(
+            p.pending_sends.len() < MAX_PENDING_SENDS,
+            "receiver not ready: {MAX_PENDING_SENDS} SENDs already buffered (RNR)"
+        );
+        let ack = ack.map(|mut a| {
+            a.completion.byte_len = payload.len();
+            a
+        });
+        p.pending_sends.push_back((ack, payload));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FabricConfig;
+    use crate::verbs::{LocalSlice, RemoteSlice};
+    use slash_desim::SimTime;
+
+    struct Pair {
+        sim: Sim,
+        fabric: Fabric,
+        qp_a: Qp,
+        qp_b: Qp,
+        a_send: CqHandle,
+        b_recv: CqHandle,
+        a: NodeId,
+        b: NodeId,
+    }
+
+    fn setup() -> Pair {
+        let sim = Sim::new();
+        let fabric = Fabric::new(FabricConfig::default());
+        let a = fabric.add_node();
+        let b = fabric.add_node();
+        let (a_send, a_recv) = (CqHandle::new(), CqHandle::new());
+        let (b_send, b_recv) = (CqHandle::new(), CqHandle::new());
+        let (qp_a, qp_b) = fabric.connect(
+            a,
+            a_send.clone(),
+            a_recv,
+            b,
+            b_send,
+            b_recv.clone(),
+        );
+        Pair {
+            sim,
+            fabric,
+            qp_a,
+            qp_b,
+            a_send,
+            b_recv,
+            a,
+            b,
+        }
+    }
+
+    #[test]
+    fn one_sided_write_lands_and_completes() {
+        let mut p = setup();
+        let src = p.fabric.register(p.a, 64);
+        let dst = p.fabric.register(p.b, 64);
+        src.write(0, b"hello rdma").unwrap();
+        p.qp_a
+            .post_send(
+                &mut p.sim,
+                WorkRequest::Write {
+                    wr_id: 7,
+                    local: LocalSlice::range(&src, 0, 10),
+                    remote: RemoteSlice {
+                        key: dst.remote_key(),
+                        offset: 16,
+                    },
+                    signaled: true,
+                },
+            )
+            .unwrap();
+        // Nothing is visible before the simulation runs.
+        dst.with(16, 10, |s| assert_eq!(s, [0u8; 10])).unwrap();
+        p.sim.run();
+        dst.with(16, 10, |s| assert_eq!(s, b"hello rdma")).unwrap();
+        let c = p.a_send.poll().expect("signaled write completes");
+        assert_eq!(c.wr_id, 7);
+        assert_eq!(c.kind, CompletionKind::Write);
+        assert_eq!(c.byte_len, 10);
+    }
+
+    #[test]
+    fn unsignaled_write_generates_no_completion() {
+        let mut p = setup();
+        let src = p.fabric.register(p.a, 8);
+        let dst = p.fabric.register(p.b, 8);
+        p.qp_a
+            .post_send(
+                &mut p.sim,
+                WorkRequest::Write {
+                    wr_id: 1,
+                    local: LocalSlice::whole(&src),
+                    remote: RemoteSlice {
+                        key: dst.remote_key(),
+                        offset: 0,
+                    },
+                    signaled: false,
+                },
+            )
+            .unwrap();
+        p.sim.run();
+        assert!(p.a_send.is_empty());
+    }
+
+    #[test]
+    fn writes_on_one_qp_deliver_in_order() {
+        let mut p = setup();
+        let src = p.fabric.register(p.a, 8);
+        let dst = p.fabric.register(p.b, 8);
+        // Post two writes to the same remote location; the second must win.
+        src.write_u64(0, 111);
+        p.qp_a
+            .post_send(
+                &mut p.sim,
+                WorkRequest::Write {
+                    wr_id: 1,
+                    local: LocalSlice::whole(&src),
+                    remote: RemoteSlice {
+                        key: dst.remote_key(),
+                        offset: 0,
+                    },
+                    signaled: false,
+                },
+            )
+            .unwrap();
+        src.write_u64(0, 222);
+        p.qp_a
+            .post_send(
+                &mut p.sim,
+                WorkRequest::Write {
+                    wr_id: 2,
+                    local: LocalSlice::whole(&src),
+                    remote: RemoteSlice {
+                        key: dst.remote_key(),
+                        offset: 0,
+                    },
+                    signaled: false,
+                },
+            )
+            .unwrap();
+        p.sim.run();
+        assert_eq!(dst.read_u64(0), 222);
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let mut p = setup();
+        let src = p.fabric.register(p.a, 32);
+        let dst = p.fabric.register(p.b, 32);
+        src.write(0, b"two-sided").unwrap();
+        p.qp_b
+            .post_recv(
+                &mut p.sim,
+                RecvWr {
+                    wr_id: 55,
+                    local: LocalSlice::whole(&dst),
+                },
+            )
+            .unwrap();
+        p.qp_a
+            .post_send(
+                &mut p.sim,
+                WorkRequest::Send {
+                    wr_id: 9,
+                    local: LocalSlice::range(&src, 0, 9),
+                    signaled: true,
+                },
+            )
+            .unwrap();
+        p.sim.run();
+        let c = p.b_recv.poll().expect("receive completes");
+        assert_eq!(c.wr_id, 55);
+        assert_eq!(c.kind, CompletionKind::Recv);
+        assert_eq!(c.byte_len, 9);
+        dst.with(0, 9, |s| assert_eq!(s, b"two-sided")).unwrap();
+        assert_eq!(p.a_send.poll().unwrap().kind, CompletionKind::Send);
+    }
+
+    #[test]
+    fn send_before_recv_is_buffered() {
+        let mut p = setup();
+        let src = p.fabric.register(p.a, 8);
+        let dst = p.fabric.register(p.b, 8);
+        src.write_u64(0, 0xABCD);
+        p.qp_a
+            .post_send(
+                &mut p.sim,
+                WorkRequest::Send {
+                    wr_id: 1,
+                    local: LocalSlice::whole(&src),
+                    signaled: false,
+                },
+            )
+            .unwrap();
+        p.sim.run();
+        assert!(p.b_recv.is_empty(), "no recv posted yet");
+        p.qp_b
+            .post_recv(
+                &mut p.sim,
+                RecvWr {
+                    wr_id: 2,
+                    local: LocalSlice::whole(&dst),
+                },
+            )
+            .unwrap();
+        p.sim.run();
+        assert_eq!(p.b_recv.poll().unwrap().wr_id, 2);
+        assert_eq!(dst.read_u64(0), 0xABCD);
+    }
+
+    #[test]
+    fn write_imm_notifies_via_posted_recv() {
+        let mut p = setup();
+        let src = p.fabric.register(p.a, 16);
+        let dst = p.fabric.register(p.b, 16);
+        let note = p.fabric.register(p.b, 0);
+        p.qp_b
+            .post_recv(
+                &mut p.sim,
+                RecvWr {
+                    wr_id: 3,
+                    local: LocalSlice::whole(&note),
+                },
+            )
+            .unwrap();
+        src.write_u64(0, 42);
+        p.qp_a
+            .post_send(
+                &mut p.sim,
+                WorkRequest::WriteImm {
+                    wr_id: 4,
+                    local: LocalSlice::whole(&src),
+                    remote: RemoteSlice {
+                        key: dst.remote_key(),
+                        offset: 0,
+                    },
+                    imm: 0xFEED,
+                    signaled: false,
+                },
+            )
+            .unwrap();
+        p.sim.run();
+        let c = p.b_recv.poll().unwrap();
+        assert_eq!(c.kind, CompletionKind::RecvImm);
+        assert_eq!(c.imm, Some(0xFEED));
+        assert_eq!(dst.read_u64(0), 42);
+    }
+
+    #[test]
+    fn read_pulls_remote_data() {
+        let mut p = setup();
+        let local = p.fabric.register(p.a, 16);
+        let remote = p.fabric.register(p.b, 16);
+        remote.write_u64(8, 777);
+        p.qp_a
+            .post_send(
+                &mut p.sim,
+                WorkRequest::Read {
+                    wr_id: 11,
+                    local: LocalSlice::range(&local, 0, 8),
+                    remote: RemoteSlice {
+                        key: remote.remote_key(),
+                        offset: 8,
+                    },
+                },
+            )
+            .unwrap();
+        p.sim.run();
+        assert_eq!(local.read_u64(0), 777);
+        let c = p.a_send.poll().unwrap();
+        assert_eq!(c.kind, CompletionKind::Read);
+        assert_eq!(c.wr_id, 11);
+    }
+
+    #[test]
+    fn read_has_higher_latency_than_write() {
+        // The paper's rationale for choosing WRITEs (§6.3): a READ is a full
+        // round trip.
+        let mut p = setup();
+        let src = p.fabric.register(p.a, 1024);
+        let dst = p.fabric.register(p.b, 1024);
+
+        p.qp_a
+            .post_send(
+                &mut p.sim,
+                WorkRequest::Write {
+                    wr_id: 1,
+                    local: LocalSlice::whole(&src),
+                    remote: RemoteSlice {
+                        key: dst.remote_key(),
+                        offset: 0,
+                    },
+                    signaled: true,
+                },
+            )
+            .unwrap();
+        let write_done = {
+            let mut t = SimTime::ZERO;
+            while p.a_send.is_empty() {
+                if p.sim.pending_events() == 0 {
+                    break;
+                }
+                t = p.sim.run_until(p.sim.now() + SimTime::from_nanos(50));
+            }
+            p.a_send.poll().unwrap();
+            t
+        };
+
+        // Fresh pair for the READ so link state is comparable.
+        let mut p2 = setup();
+        let local = p2.fabric.register(p2.a, 1024);
+        let remote = p2.fabric.register(p2.b, 1024);
+        p2.qp_a
+            .post_send(
+                &mut p2.sim,
+                WorkRequest::Read {
+                    wr_id: 2,
+                    local: LocalSlice::whole(&local),
+                    remote: RemoteSlice {
+                        key: remote.remote_key(),
+                        offset: 0,
+                    },
+                },
+            )
+            .unwrap();
+        let read_done = p2.sim.run();
+        assert!(
+            read_done > write_done,
+            "READ ({read_done}) must be slower than WRITE ({write_done})"
+        );
+    }
+
+    #[test]
+    fn invalid_remote_access_fails_at_post_time() {
+        let mut p = setup();
+        let src = p.fabric.register(p.a, 64);
+        let dst = p.fabric.register(p.b, 16);
+        let err = p
+            .qp_a
+            .post_send(
+                &mut p.sim,
+                WorkRequest::Write {
+                    wr_id: 1,
+                    local: LocalSlice::whole(&src),
+                    remote: RemoteSlice {
+                        key: dst.remote_key(),
+                        offset: 0,
+                    },
+                    signaled: false,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, RdmaError::OutOfBounds { .. }));
+    }
+}

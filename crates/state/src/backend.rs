@@ -1,0 +1,520 @@
+//! The per-node SSB facade: routing, epochs, triggering (§7).
+
+use slash_desim::Sim;
+use slash_net::{create_channel, ChannelConfig};
+use slash_rdma::{Fabric, NodeId, RdmaError};
+
+use crate::coherence::{DeltaReceiver, DeltaSender};
+use crate::descriptor::StateDescriptor;
+use crate::hash::{partition_of, unpack_key, StateKey};
+use crate::partition::Partition;
+use crate::vclock::VectorClock;
+
+/// SSB-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SsbConfig {
+    /// Executors (== partitions: one primary per node, §7.2.2 setup).
+    pub nodes: usize,
+    /// Close an epoch after this many bytes of state updates (the paper
+    /// configures "the epoch of SSB to end every 64 MB of data").
+    pub epoch_bytes: u64,
+    /// RDMA channel configuration for delta shipping.
+    pub channel: ChannelConfig,
+}
+
+impl SsbConfig {
+    /// Paper-default configuration for `nodes` executors.
+    pub fn new(nodes: usize) -> Self {
+        SsbConfig {
+            nodes,
+            epoch_bytes: 64 * 1024 * 1024,
+            channel: ChannelConfig::default(),
+        }
+    }
+}
+
+/// A `(window, key)` state value surfaced by a window trigger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggeredValue {
+    /// Window identifier (high half of the state key).
+    pub window_id: u64,
+    /// Group key (low half of the state key).
+    pub key: u64,
+    /// The merged state.
+    pub data: TriggeredData,
+}
+
+/// Payload of a triggered value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TriggeredData {
+    /// Fixed-size CRDT state (aggregations).
+    Fixed(Vec<u8>),
+    /// Holistic element list, newest first (joins).
+    Elements(Vec<Vec<u8>>),
+}
+
+/// One executor's view of the distributed state backend.
+///
+/// Holds the primary partition it leads, a fragment of every remote
+/// partition, the delta channels, and the vector clock. Not `Send`: each
+/// node lives inside the deterministic simulation.
+pub struct SsbNode {
+    node: usize,
+    cfg: SsbConfig,
+    fragments: Vec<Partition>,
+    /// Outbound delta shipping, indexed by partition; `None` at `node`.
+    senders: Vec<Option<DeltaSender>>,
+    receivers: Vec<DeltaReceiver>,
+    vclock: VectorClock,
+    bytes_since_epoch: u64,
+    local_watermark: u64,
+}
+
+impl SsbNode {
+    /// The executor index this node represents.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The backend's vector clock.
+    pub fn vclock(&self) -> &VectorClock {
+        &self.vclock
+    }
+
+    /// This executor's current low watermark.
+    pub fn local_watermark(&self) -> u64 {
+        self.local_watermark
+    }
+
+    /// Which partition a key routes to.
+    pub fn partition_of(&self, key: StateKey) -> usize {
+        partition_of(key, self.cfg.nodes)
+    }
+
+    /// Read-modify-write: the eager per-record update of partial state —
+    /// Slash's common-case operation (§7.1.2). Routes to the key's
+    /// partition fragment; no re-partitioning, no queueing.
+    pub fn rmw(&mut self, key: StateKey, update: impl FnOnce(&mut [u8])) {
+        let p = self.partition_of(key);
+        self.fragments[p].rmw(key, update);
+        self.bytes_since_epoch += self.fragments[p].descriptor().fixed_size() as u64 + 32;
+    }
+
+    /// Append an element to holistic state.
+    pub fn append(&mut self, key: StateKey, elem: &[u8]) {
+        let p = self.partition_of(key);
+        self.fragments[p].append(key, elem);
+        self.bytes_since_epoch += elem.len() as u64 + 32;
+    }
+
+    /// Read fixed state from the local fragment (diagnostics; consistent
+    /// reads come from the leader after merging).
+    pub fn local_get(&self, key: StateKey) -> Option<&[u8]> {
+        self.fragments[self.partition_of(key)].get(key)
+    }
+
+    /// Advance the executor's low watermark (max event time processed).
+    pub fn note_progress(&mut self, watermark: u64) {
+        if watermark > self.local_watermark {
+            self.local_watermark = watermark;
+        }
+    }
+
+    /// Close an epoch if enough update volume accumulated. Returns true if
+    /// an epoch was closed.
+    pub fn maybe_close_epoch(&mut self, sim: &mut Sim) -> Result<Option<u64>, RdmaError> {
+        if self.bytes_since_epoch >= self.cfg.epoch_bytes {
+            return self.close_epoch(sim).map(Some);
+        }
+        Ok(None)
+    }
+
+    /// Close the open epoch now (§7.2.2 synchronization phase): ship every
+    /// dirty fragment's delta toward its leader and advance our own
+    /// vector-clock slot. Also called ahead of schedule on window triggers
+    /// ("a Slash instance signals the ahead-of-time termination of an
+    /// epoch upon window triggering").
+    pub fn close_epoch(&mut self, sim: &mut Sim) -> Result<u64, RdmaError> {
+        let wm = self.local_watermark;
+        let mut delta_bytes = 0;
+        for p in 0..self.cfg.nodes {
+            if p == self.node {
+                continue;
+            }
+            delta_bytes += self.fragments[p].dirty_bytes();
+            let sender = self.senders[p]
+                .as_mut()
+                .expect("sender exists for every remote partition");
+            sender.enqueue_epoch(&mut self.fragments[p], wm);
+            sender.pump(sim)?;
+        }
+        self.vclock.update(self.node, wm);
+        self.bytes_since_epoch = 0;
+        Ok(delta_bytes)
+    }
+
+    /// Make progress on delta shipping and merging. Returns
+    /// `(chunks_sent, entries_merged)`; the engine calls this from its
+    /// RDMA coroutines.
+    pub fn pump(&mut self, sim: &mut Sim) -> Result<(u64, u64), RdmaError> {
+        let mut sent = 0;
+        for s in self.senders.iter_mut().flatten() {
+            sent += s.pump(sim)? as u64;
+        }
+        let mut merged = 0;
+        let primary_idx = self.node;
+        for i in 0..self.receivers.len() {
+            merged += self.receivers[i].pump(
+                sim,
+                &mut self.fragments[primary_idx],
+                &mut self.vclock,
+            )?;
+        }
+        Ok((sent, merged))
+    }
+
+    /// Whether all shipped deltas left this node (no sender backlog).
+    pub fn flushed(&self) -> bool {
+        self.senders
+            .iter()
+            .flatten()
+            .all(|s| s.backlog() == 0)
+    }
+
+    /// Whether any fragment holds updates in the open epoch.
+    pub fn dirty(&self) -> bool {
+        self.fragments
+            .iter()
+            .enumerate()
+            .any(|(p, f)| p != self.node && f.is_dirty())
+    }
+
+    /// Drain every `(window, key)` of this node's primary partition whose
+    /// window satisfies `ready` — the leader-side window trigger. Values
+    /// are removed from the state (windows fire once), and their log
+    /// entries are garbage collected.
+    pub fn drain_triggered(
+        &mut self,
+        ready: impl Fn(u64) -> bool,
+        mut emit: impl FnMut(TriggeredValue),
+    ) -> usize {
+        let primary = &mut self.fragments[self.node];
+        let mut keys = Vec::new();
+        primary.for_each_key(|key, _| {
+            let (wid, _) = unpack_key(key);
+            if ready(wid) {
+                keys.push(key);
+            }
+        });
+        for &key in &keys {
+            let (window_id, k) = unpack_key(key);
+            let data = if primary.descriptor().is_appended() {
+                let mut elems = Vec::new();
+                primary.for_each_element(key, |e| elems.push(e.to_vec()));
+                TriggeredData::Elements(elems)
+            } else {
+                TriggeredData::Fixed(primary.get(key).expect("key listed").to_vec())
+            };
+            primary.remove(key);
+            emit(TriggeredValue {
+                window_id,
+                key: k,
+                data,
+            });
+        }
+        keys.len()
+    }
+
+    /// Serialize this node's primary partition at the current epoch
+    /// boundary (fault-tolerance extension; see [`crate::snapshot`]).
+    pub fn snapshot_primary(&self, max_chunk: usize) -> Vec<Vec<u8>> {
+        crate::snapshot::snapshot_chunks(
+            &self.fragments[self.node],
+            self.local_watermark,
+            max_chunk,
+        )
+    }
+
+    /// Replace this node's primary partition with a restored snapshot
+    /// (crash recovery). The snapshot's watermark becomes the local one.
+    pub fn restore_primary(&mut self, chunks: &[Vec<u8>]) {
+        let desc = *self.fragments[self.node].descriptor();
+        let (part, wm) = crate::snapshot::restore(self.node, desc, chunks);
+        self.fragments[self.node] = part;
+        self.note_progress(wm);
+        self.vclock.update(self.node, wm);
+    }
+
+    /// Aggregate operation counters across fragments.
+    pub fn stats(&self) -> crate::partition::PartitionStats {
+        let mut total = crate::partition::PartitionStats::default();
+        for f in &self.fragments {
+            total.rmw_hits += f.stats.rmw_hits;
+            total.rmw_inserts += f.stats.rmw_inserts;
+            total.appends += f.stats.appends;
+            total.merged_entries += f.stats.merged_entries;
+            total.epochs += f.stats.epochs;
+        }
+        total
+    }
+
+    /// Live keys in this node's primary partition.
+    pub fn primary_key_count(&self) -> usize {
+        self.fragments[self.node].key_count()
+    }
+
+    /// Total resident state bytes on this node (all fragments).
+    pub fn resident_bytes(&self) -> usize {
+        self.fragments.iter().map(|f| f.resident_bytes()).sum()
+    }
+}
+
+/// Build the SSB for a cluster: one [`SsbNode`] per executor and the
+/// `n × (n-1)` delta channels between them (the paper's `n²` channel setup
+/// minus the self-loops, which need no wire).
+pub fn build_cluster(
+    fabric: &Fabric,
+    nodes: &[NodeId],
+    desc: StateDescriptor,
+    cfg: SsbConfig,
+) -> Vec<SsbNode> {
+    let n = nodes.len();
+    assert_eq!(n, cfg.nodes, "config must match the node list");
+    let mut ssb: Vec<SsbNode> = (0..n)
+        .map(|i| SsbNode {
+            node: i,
+            cfg,
+            fragments: (0..n).map(|p| Partition::new(p, desc)).collect(),
+            senders: (0..n).map(|_| None).collect(),
+            receivers: Vec::new(),
+            vclock: VectorClock::new(n),
+            bytes_since_epoch: 0,
+            local_watermark: 0,
+        })
+        .collect();
+
+    for helper in 0..n {
+        for leader in 0..n {
+            if helper == leader {
+                continue;
+            }
+            let (tx, rx) = create_channel(fabric, nodes[helper], nodes[leader], cfg.channel);
+            ssb[helper].senders[leader] = Some(DeltaSender::new(tx));
+            ssb[leader].receivers.push(DeltaReceiver::new(rx, helper));
+        }
+    }
+    ssb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crdts::CounterCrdt;
+    use crate::hash::pack_key;
+    use slash_rdma::FabricConfig;
+
+    fn cluster(n: usize) -> (Sim, Vec<SsbNode>) {
+        let sim = Sim::new();
+        let fabric = Fabric::new(FabricConfig::default());
+        let nodes = fabric.add_nodes(n);
+        let cfg = SsbConfig {
+            nodes: n,
+            epoch_bytes: u64::MAX, // manual epochs in tests
+            channel: ChannelConfig {
+                credits: 8,
+                buffer_size: 4096,
+                credit_batch: 1,
+            },
+        };
+        let ssb = build_cluster(&fabric, &nodes, CounterCrdt::descriptor(), cfg);
+        (sim, ssb)
+    }
+
+    /// Pump all nodes until quiescent.
+    fn settle(sim: &mut Sim, ssb: &mut [SsbNode]) {
+        for _ in 0..10_000 {
+            let mut progress = 0;
+            for node in ssb.iter_mut() {
+                let (s, m) = node.pump(sim).unwrap();
+                progress += s + m;
+            }
+            sim.run();
+            if progress == 0 && ssb.iter().all(|n| n.flushed()) {
+                // One extra settle round for late deliveries.
+                let mut extra = 0;
+                for node in ssb.iter_mut() {
+                    let (s, m) = node.pump(sim).unwrap();
+                    extra += s + m;
+                }
+                if extra == 0 {
+                    return;
+                }
+            }
+        }
+        panic!("cluster did not settle");
+    }
+
+    #[test]
+    fn concurrent_updates_converge_to_sequential_result() {
+        let (mut sim, mut ssb) = cluster(3);
+        // Every node updates every key (keys are NOT pre-partitioned —
+        // the whole point of omitting re-partitioning).
+        for node in ssb.iter_mut() {
+            for g in 0..20u64 {
+                node.rmw(pack_key(1, g), |v| CounterCrdt::add(v, 1 + g));
+            }
+            node.note_progress(100);
+        }
+        for node in ssb.iter_mut() {
+            node.close_epoch(&mut sim).unwrap();
+        }
+        settle(&mut sim, &mut ssb);
+
+        // Every key must live on exactly one leader with the full count.
+        for g in 0..20u64 {
+            let key = pack_key(1, g);
+            let leader = partition_of(key, 3);
+            let v = ssb[leader].fragments[leader]
+                .get(key)
+                .map(CounterCrdt::get);
+            assert_eq!(v, Some(3 * (1 + g)), "key {g} on leader {leader}");
+            // And on no other node's primary.
+            for other in 0..3 {
+                if other != leader {
+                    assert_eq!(ssb[other].fragments[other].get(key), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vector_clock_advances_only_after_merge() {
+        let (mut sim, mut ssb) = cluster(2);
+        ssb[0].rmw(pack_key(1, 1), |v| CounterCrdt::add(v, 1));
+        ssb[0].note_progress(500);
+        assert_eq!(ssb[1].vclock().get(0), 0);
+        ssb[0].close_epoch(&mut sim).unwrap();
+        settle(&mut sim, &mut ssb);
+        assert_eq!(ssb[1].vclock().get(0), 500);
+        assert_eq!(ssb[0].vclock().get(0), 500, "own slot advances locally");
+        assert_eq!(ssb[0].vclock().get(1), 0, "node 1 sent nothing yet");
+    }
+
+    #[test]
+    fn drain_triggered_fires_ready_windows_once() {
+        let (mut sim, mut ssb) = cluster(2);
+        // Two windows; only window 1 becomes ready.
+        for node in ssb.iter_mut() {
+            node.rmw(pack_key(1, 7), |v| CounterCrdt::add(v, 5));
+            node.rmw(pack_key(2, 7), |v| CounterCrdt::add(v, 9));
+            node.note_progress(1000);
+        }
+        for node in ssb.iter_mut() {
+            node.close_epoch(&mut sim).unwrap();
+        }
+        settle(&mut sim, &mut ssb);
+
+        let mut fired = Vec::new();
+        for node in ssb.iter_mut() {
+            node.drain_triggered(
+                |wid| wid == 1,
+                |tv| fired.push((tv.window_id, tv.key, tv.data.clone())),
+            );
+        }
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].0, 1);
+        assert_eq!(fired[0].1, 7);
+        match &fired[0].2 {
+            TriggeredData::Fixed(v) => assert_eq!(CounterCrdt::get(v), 10),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Firing again yields nothing (exactly-once trigger).
+        let mut again = 0;
+        for node in ssb.iter_mut() {
+            again += node.drain_triggered(|wid| wid == 1, |_| {});
+        }
+        assert_eq!(again, 0);
+        // Window 2 still intact.
+        let key2 = pack_key(2, 7);
+        let leader2 = partition_of(key2, 2);
+        assert_eq!(
+            ssb[leader2].fragments[leader2].get(key2).map(CounterCrdt::get),
+            Some(18)
+        );
+    }
+
+    #[test]
+    fn leader_crash_recovery_from_snapshot() {
+        let (mut sim, mut ssb) = cluster(2);
+        // Phase 1: both nodes update; epoch; settle.
+        for node in ssb.iter_mut() {
+            for g in 0..10u64 {
+                node.rmw(pack_key(1, g), |v| CounterCrdt::add(v, 3));
+            }
+            node.note_progress(50);
+            node.close_epoch(&mut sim).unwrap();
+        }
+        settle(&mut sim, &mut ssb);
+
+        // Take a snapshot of node 0's primary, wipe it, restore.
+        let chunks = ssb[0].snapshot_primary(512);
+        let before: Vec<_> = {
+            let mut keys = Vec::new();
+            ssb[0].fragments[0].for_each_key(|k, _| keys.push(k));
+            keys.sort();
+            keys
+        };
+        ssb[0].restore_primary(&chunks);
+        let after: Vec<_> = {
+            let mut keys = Vec::new();
+            ssb[0].fragments[0].for_each_key(|k, _| keys.push(k));
+            keys.sort();
+            keys
+        };
+        assert_eq!(before, after, "restored key set identical");
+
+        // Phase 2: more updates merge into the restored leader correctly.
+        for node in ssb.iter_mut() {
+            for g in 0..10u64 {
+                node.rmw(pack_key(1, g), |v| CounterCrdt::add(v, 1));
+            }
+            node.note_progress(100);
+            node.close_epoch(&mut sim).unwrap();
+        }
+        settle(&mut sim, &mut ssb);
+        for g in 0..10u64 {
+            let key = pack_key(1, g);
+            let leader = partition_of(key, 2);
+            assert_eq!(
+                ssb[leader].local_get(key).map(CounterCrdt::get),
+                Some(2 * 3 + 2),
+                "key {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_threshold_closes_epochs_automatically() {
+        let mut sim = Sim::new();
+        let fabric = Fabric::new(FabricConfig::default());
+        let nodes = fabric.add_nodes(2);
+        let cfg = SsbConfig {
+            nodes: 2,
+            epoch_bytes: 512,
+            channel: ChannelConfig {
+                credits: 8,
+                buffer_size: 4096,
+                credit_batch: 1,
+            },
+        };
+        let mut ssb = build_cluster(&fabric, &nodes, CounterCrdt::descriptor(), cfg);
+        let mut closed = 0;
+        for g in 0..100u64 {
+            ssb[0].rmw(pack_key(1, g), |v| CounterCrdt::add(v, 1));
+            if ssb[0].maybe_close_epoch(&mut sim).unwrap().is_some() {
+                closed += 1;
+            }
+        }
+        assert!(closed >= 5, "only {closed} epochs closed");
+    }
+}

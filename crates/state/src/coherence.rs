@@ -1,0 +1,250 @@
+//! Helper→leader delta shipping over RDMA channels (§7.2.2).
+//!
+//! A [`DeltaSender`] lives on a helper and owns the RDMA channel to one
+//! leader; it queues encoded chunks and pushes them as channel credits
+//! allow (the engine's scheduler pumps it between compute tasks, which is
+//! how Slash "interleaves reception and merging of delta changes with
+//! query processing"). A [`DeltaReceiver`] lives on the leader and merges
+//! inbound chunks into the primary partition, advancing the vector clock
+//! when an epoch's final chunk lands.
+
+use slash_desim::Sim;
+use slash_net::{ChannelReceiver, ChannelSender, MsgFlags};
+use slash_rdma::RdmaError;
+
+use crate::delta::{parse_chunk, ChunkBuilder};
+use crate::entry::EntryKind;
+use crate::partition::Partition;
+use crate::vclock::VectorClock;
+
+/// Helper-side shipping endpoint for one (helper, leader) pair.
+pub struct DeltaSender {
+    chan: ChannelSender,
+    outbox: std::collections::VecDeque<Vec<u8>>,
+    /// Chunks shipped (stats).
+    pub chunks_sent: u64,
+}
+
+impl DeltaSender {
+    /// Wrap a channel whose consumer is the partition's leader.
+    pub fn new(chan: ChannelSender) -> Self {
+        DeltaSender {
+            chan,
+            outbox: std::collections::VecDeque::new(),
+            chunks_sent: 0,
+        }
+    }
+
+    /// Close the fragment's open epoch and queue its delta for shipping.
+    /// `watermark` is this helper's low watermark at the token.
+    pub fn enqueue_epoch(&mut self, fragment: &mut Partition, watermark: u64) {
+        let mut builder = ChunkBuilder::new(
+            fragment.id as u32,
+            fragment.epoch(),
+            watermark,
+            self.chan.payload_capacity(),
+        );
+        fragment.close_epoch(|h, v| builder.push(h.key, h.kind, v));
+        self.outbox.extend(builder.finish());
+    }
+
+    /// Push queued chunks while channel credits allow. Returns the number
+    /// of chunks sent this call.
+    pub fn pump(&mut self, sim: &mut Sim) -> Result<usize, RdmaError> {
+        let mut sent = 0;
+        while let Some(chunk) = self.outbox.front() {
+            if !self.chan.try_send(sim, MsgFlags::STATE_DELTA, chunk)? {
+                break;
+            }
+            self.outbox.pop_front();
+            sent += 1;
+            self.chunks_sent += 1;
+        }
+        Ok(sent)
+    }
+
+    /// Chunks still waiting for credit.
+    pub fn backlog(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Channel statistics.
+    pub fn channel_stats(&self) -> slash_net::ChannelStats {
+        self.chan.stats
+    }
+}
+
+/// Leader-side merge endpoint for one inbound helper.
+pub struct DeltaReceiver {
+    chan: ChannelReceiver,
+    /// Which executor the deltas come from (vector-clock slot).
+    helper: usize,
+    /// Entries merged (stats).
+    pub entries_merged: u64,
+}
+
+impl DeltaReceiver {
+    /// Wrap a channel whose producer is helper executor `helper`.
+    pub fn new(chan: ChannelReceiver, helper: usize) -> Self {
+        DeltaReceiver {
+            chan,
+            helper,
+            entries_merged: 0,
+        }
+    }
+
+    /// The helper executor this receiver listens to.
+    pub fn helper(&self) -> usize {
+        self.helper
+    }
+
+    /// Drain and merge every delivered chunk into `primary`, advancing
+    /// `vclock` on epoch-final chunks. Returns entries merged this call.
+    pub fn pump(
+        &mut self,
+        sim: &mut Sim,
+        primary: &mut Partition,
+        vclock: &mut VectorClock,
+    ) -> Result<u64, RdmaError> {
+        let mut merged = 0;
+        loop {
+            let polled = self.chan.poll_with(sim, |flags, payload| {
+                debug_assert!(flags.contains(MsgFlags::STATE_DELTA));
+                payload.to_vec()
+            })?;
+            let Some(payload) = polled else { break };
+            let header = parse_chunk(&payload, |key, kind, value| {
+                match kind {
+                    EntryKind::Fixed => primary.merge_fixed(key, value),
+                    EntryKind::Appended => primary.append(key, value),
+                }
+                merged += 1;
+            });
+            debug_assert_eq!(header.partition as usize, primary.id);
+            if header.fin {
+                vclock.update(self.helper, header.watermark);
+            }
+        }
+        self.entries_merged += merged;
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crdts::CounterCrdt;
+    use slash_desim::Sim;
+    use slash_net::{create_channel, ChannelConfig};
+    use slash_rdma::{Fabric, FabricConfig};
+
+    fn pair(cfg: ChannelConfig) -> (Sim, DeltaSender, DeltaReceiver) {
+        let sim = Sim::new();
+        let fabric = Fabric::new(FabricConfig::default());
+        let helper = fabric.add_node();
+        let leader = fabric.add_node();
+        let (tx, rx) = create_channel(&fabric, helper, leader, cfg);
+        (sim, DeltaSender::new(tx), DeltaReceiver::new(rx, 1))
+    }
+
+    #[test]
+    fn ship_and_merge_counters() {
+        let (mut sim, mut tx, mut rx) = pair(ChannelConfig::default());
+        let desc = CounterCrdt::descriptor();
+        let mut fragment = Partition::new(0, desc);
+        let mut primary = Partition::new(0, desc);
+        let mut vclock = VectorClock::new(2);
+
+        // Leader already has local counts; helper contributes more.
+        primary.rmw(7, |v| CounterCrdt::add(v, 100));
+        fragment.rmw(7, |v| CounterCrdt::add(v, 11));
+        fragment.rmw(8, |v| CounterCrdt::add(v, 22));
+
+        tx.enqueue_epoch(&mut fragment, 5_000);
+        tx.pump(&mut sim).unwrap();
+        sim.run();
+        let merged = rx.pump(&mut sim, &mut primary, &mut vclock).unwrap();
+        assert_eq!(merged, 2);
+        assert_eq!(primary.get(7).map(CounterCrdt::get), Some(111));
+        assert_eq!(primary.get(8).map(CounterCrdt::get), Some(22));
+        assert_eq!(vclock.get(1), 5_000, "watermark piggybacked");
+        assert_eq!(vclock.get(0), 0, "leader's own slot untouched");
+    }
+
+    #[test]
+    fn empty_epoch_still_advances_the_clock() {
+        let (mut sim, mut tx, mut rx) = pair(ChannelConfig::default());
+        let desc = CounterCrdt::descriptor();
+        let mut fragment = Partition::new(0, desc);
+        let mut primary = Partition::new(0, desc);
+        let mut vclock = VectorClock::new(2);
+
+        tx.enqueue_epoch(&mut fragment, 777);
+        tx.pump(&mut sim).unwrap();
+        sim.run();
+        assert_eq!(rx.pump(&mut sim, &mut primary, &mut vclock).unwrap(), 0);
+        assert_eq!(vclock.get(1), 777);
+    }
+
+    #[test]
+    fn backlog_drains_across_credit_stalls() {
+        // A tiny channel forces the sender to stall on credits mid-epoch;
+        // repeated pumps (as the scheduler would do) must drain everything.
+        let cfg = ChannelConfig {
+            credits: 2,
+            buffer_size: 128,
+            credit_batch: 1,
+        };
+        let (mut sim, mut tx, mut rx) = pair(cfg);
+        let desc = CounterCrdt::descriptor();
+        let mut fragment = Partition::new(0, desc);
+        let mut primary = Partition::new(0, desc);
+        let mut vclock = VectorClock::new(2);
+
+        for k in 0..50u128 {
+            fragment.rmw(k, |v| CounterCrdt::add(v, 1));
+        }
+        tx.enqueue_epoch(&mut fragment, 42);
+        assert!(tx.backlog() > 2, "must not fit in one credit window");
+
+        let mut spins = 0;
+        while tx.backlog() > 0 || vclock.get(1) < 42 {
+            spins += 1;
+            assert!(spins < 10_000, "shipping deadlocked");
+            tx.pump(&mut sim).unwrap();
+            sim.run();
+            rx.pump(&mut sim, &mut primary, &mut vclock).unwrap();
+            sim.run();
+        }
+        for k in 0..50u128 {
+            assert_eq!(primary.get(k).map(CounterCrdt::get), Some(1));
+        }
+        assert_eq!(rx.entries_merged, 50);
+    }
+
+    #[test]
+    fn epochs_merge_in_order() {
+        let (mut sim, mut tx, mut rx) = pair(ChannelConfig::default());
+        let desc = CounterCrdt::descriptor();
+        let mut fragment = Partition::new(0, desc);
+        let mut primary = Partition::new(0, desc);
+        let mut vclock = VectorClock::new(2);
+
+        for epoch in 0..5u64 {
+            fragment.rmw(1, |v| CounterCrdt::add(v, epoch + 1));
+            tx.enqueue_epoch(&mut fragment, (epoch + 1) * 10);
+        }
+        let mut spins = 0;
+        while tx.backlog() > 0 {
+            spins += 1;
+            assert!(spins < 1000);
+            tx.pump(&mut sim).unwrap();
+            sim.run();
+            rx.pump(&mut sim, &mut primary, &mut vclock).unwrap();
+        }
+        sim.run();
+        rx.pump(&mut sim, &mut primary, &mut vclock).unwrap();
+        assert_eq!(primary.get(1).map(CounterCrdt::get), Some(1 + 2 + 3 + 4 + 5));
+        assert_eq!(vclock.get(1), 50);
+    }
+}

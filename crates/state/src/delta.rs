@@ -1,0 +1,250 @@
+//! Wire format of state-delta chunks (§7.2.2 step ③).
+//!
+//! A closed epoch's delta is shipped to its leader as a sequence of chunks,
+//! each fitting one RDMA channel buffer. Chunks of one epoch are FIFO on
+//! the channel; the last carries `fin = 1` together with the helper's
+//! watermark, which is the piggybacked vector-clock update.
+//!
+//! ```text
+//! chunk := header | entry*
+//! header (32 B) := partition u32 | n_entries u32 | epoch u64 |
+//!                  watermark u64 | fin u8 | pad[7]
+//! entry := key u128 | len u32 | kind u8 | pad[3] | value[len]
+//! ```
+
+use crate::entry::EntryKind;
+use crate::hash::StateKey;
+
+/// Chunk header size.
+pub const DELTA_HEADER_SIZE: usize = 32;
+/// Per-entry wire overhead.
+pub const ENTRY_OVERHEAD: usize = 24;
+
+/// Decoded chunk header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaHeader {
+    /// Target partition.
+    pub partition: u32,
+    /// Entries in this chunk.
+    pub n_entries: u32,
+    /// Epoch being shipped.
+    pub epoch: u64,
+    /// Sender's low watermark at epoch close.
+    pub watermark: u64,
+    /// Whether this is the epoch's final chunk.
+    pub fin: bool,
+}
+
+impl DeltaHeader {
+    /// Append the encoded header to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.partition.to_le_bytes());
+        out.extend_from_slice(&self.n_entries.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.watermark.to_le_bytes());
+        out.push(self.fin as u8);
+        out.extend_from_slice(&[0u8; 7]);
+    }
+
+    /// Decode from the first [`DELTA_HEADER_SIZE`] bytes.
+    pub fn decode(bytes: &[u8]) -> DeltaHeader {
+        DeltaHeader {
+            partition: u32::from_le_bytes(bytes[0..4].try_into().unwrap()),
+            n_entries: u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            epoch: u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            watermark: u64::from_le_bytes(bytes[16..24].try_into().unwrap()),
+            fin: bytes[24] != 0,
+        }
+    }
+
+    /// Patch the `n_entries` and `fin` fields of a header already written
+    /// at `offset` in `buf` (chunks are built incrementally).
+    pub fn patch(buf: &mut [u8], offset: usize, n_entries: u32, fin: bool) {
+        buf[offset + 4..offset + 8].copy_from_slice(&n_entries.to_le_bytes());
+        buf[offset + 24] = fin as u8;
+    }
+}
+
+/// Append one entry to a chunk under construction.
+pub fn push_entry(out: &mut Vec<u8>, key: StateKey, kind: EntryKind, value: &[u8]) {
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    out.push(match kind {
+        EntryKind::Fixed => 0,
+        EntryKind::Appended => 1,
+    });
+    out.extend_from_slice(&[0u8; 3]);
+    out.extend_from_slice(value);
+}
+
+/// Wire size of an entry with a `len`-byte value.
+#[inline]
+pub fn entry_wire_size(len: usize) -> usize {
+    ENTRY_OVERHEAD + len
+}
+
+/// Parse a chunk: returns the header and calls `f` per entry.
+pub fn parse_chunk(payload: &[u8], mut f: impl FnMut(StateKey, EntryKind, &[u8])) -> DeltaHeader {
+    let header = DeltaHeader::decode(payload);
+    let mut off = DELTA_HEADER_SIZE;
+    for _ in 0..header.n_entries {
+        let key = StateKey::from_le_bytes(payload[off..off + 16].try_into().unwrap());
+        let len = u32::from_le_bytes(payload[off + 16..off + 20].try_into().unwrap()) as usize;
+        let kind = match payload[off + 20] {
+            0 => EntryKind::Fixed,
+            1 => EntryKind::Appended,
+            other => panic!("corrupt delta chunk: kind {other}"),
+        };
+        off += ENTRY_OVERHEAD;
+        f(key, kind, &payload[off..off + len]);
+        off += len;
+    }
+    debug_assert_eq!(off, payload.len(), "trailing bytes in delta chunk");
+    header
+}
+
+/// Incrementally build delta chunks no larger than `max_chunk` bytes.
+pub struct ChunkBuilder {
+    partition: u32,
+    epoch: u64,
+    watermark: u64,
+    max_chunk: usize,
+    current: Vec<u8>,
+    n_entries: u32,
+    chunks: Vec<Vec<u8>>,
+}
+
+impl ChunkBuilder {
+    /// Start building chunks for one closed epoch.
+    pub fn new(partition: u32, epoch: u64, watermark: u64, max_chunk: usize) -> Self {
+        assert!(
+            max_chunk >= DELTA_HEADER_SIZE + ENTRY_OVERHEAD + 8,
+            "chunk size too small for even one entry"
+        );
+        let mut b = ChunkBuilder {
+            partition,
+            epoch,
+            watermark,
+            max_chunk,
+            current: Vec::with_capacity(max_chunk),
+            n_entries: 0,
+            chunks: Vec::new(),
+        };
+        b.begin_chunk();
+        b
+    }
+
+    fn begin_chunk(&mut self) {
+        self.current.clear();
+        DeltaHeader {
+            partition: self.partition,
+            n_entries: 0,
+            epoch: self.epoch,
+            watermark: self.watermark,
+            fin: false,
+        }
+        .encode_into(&mut self.current);
+        self.n_entries = 0;
+    }
+
+    /// Add one entry, sealing the current chunk if it would overflow.
+    pub fn push(&mut self, key: StateKey, kind: EntryKind, value: &[u8]) {
+        let need = entry_wire_size(value.len());
+        assert!(
+            DELTA_HEADER_SIZE + need <= self.max_chunk,
+            "single entry of {need} bytes exceeds chunk capacity {}",
+            self.max_chunk
+        );
+        if self.current.len() + need > self.max_chunk {
+            self.seal(false);
+        }
+        push_entry(&mut self.current, key, kind, value);
+        self.n_entries += 1;
+    }
+
+    fn seal(&mut self, fin: bool) {
+        DeltaHeader::patch(&mut self.current, 0, self.n_entries, fin);
+        self.chunks.push(std::mem::take(&mut self.current));
+        if !fin {
+            self.begin_chunk();
+        }
+    }
+
+    /// Seal the final chunk (sent even when empty: it carries the
+    /// watermark the leader needs for its vector clock).
+    pub fn finish(mut self) -> Vec<Vec<u8>> {
+        self.seal(true);
+        self.chunks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = DeltaHeader {
+            partition: 3,
+            n_entries: 17,
+            epoch: 42,
+            watermark: 123_456_789,
+            fin: true,
+        };
+        let mut buf = Vec::new();
+        h.encode_into(&mut buf);
+        assert_eq!(buf.len(), DELTA_HEADER_SIZE);
+        assert_eq!(DeltaHeader::decode(&buf), h);
+    }
+
+    #[test]
+    fn single_chunk_roundtrip() {
+        let mut b = ChunkBuilder::new(1, 5, 999, 4096);
+        b.push(100, EntryKind::Fixed, &7u64.to_le_bytes());
+        b.push(200, EntryKind::Appended, b"elem");
+        let chunks = b.finish();
+        assert_eq!(chunks.len(), 1);
+        let mut got = Vec::new();
+        let h = parse_chunk(&chunks[0], |k, kind, v| got.push((k, kind, v.to_vec())));
+        assert_eq!(h.partition, 1);
+        assert_eq!(h.epoch, 5);
+        assert_eq!(h.watermark, 999);
+        assert!(h.fin);
+        assert_eq!(h.n_entries, 2);
+        assert_eq!(got[0], (100, EntryKind::Fixed, 7u64.to_le_bytes().to_vec()));
+        assert_eq!(got[1], (200, EntryKind::Appended, b"elem".to_vec()));
+    }
+
+    #[test]
+    fn large_deltas_split_into_chunks_with_single_fin() {
+        let max = 256;
+        let mut b = ChunkBuilder::new(0, 1, 10, max);
+        for k in 0..100u128 {
+            b.push(k, EntryKind::Fixed, &(k as u64).to_le_bytes());
+        }
+        let chunks = b.finish();
+        assert!(chunks.len() > 1);
+        let mut total = 0;
+        let mut fins = 0;
+        for (i, c) in chunks.iter().enumerate() {
+            assert!(c.len() <= max, "chunk {i} too big: {}", c.len());
+            let h = parse_chunk(c, |_, _, _| total += 1);
+            if h.fin {
+                fins += 1;
+                assert_eq!(i, chunks.len() - 1, "fin must be last");
+            }
+        }
+        assert_eq!(total, 100);
+        assert_eq!(fins, 1);
+    }
+
+    #[test]
+    fn empty_epoch_still_produces_a_fin_chunk() {
+        let chunks = ChunkBuilder::new(2, 9, 555, 1024).finish();
+        assert_eq!(chunks.len(), 1);
+        let h = parse_chunk(&chunks[0], |_, _, _| panic!("no entries"));
+        assert!(h.fin);
+        assert_eq!(h.n_entries, 0);
+        assert_eq!(h.watermark, 555);
+    }
+}

@@ -1,0 +1,91 @@
+//! State descriptors: how a piece of operator state behaves as a CRDT.
+
+/// Whether values are fixed-size (in-place read-modify-write, non-holistic
+/// aggregations) or appended element lists (holistic operators like joins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// Fixed-size value updated in place. Merging uses the descriptor's
+    /// CRDT merge function.
+    Fixed {
+        /// Encoded value size in bytes.
+        size: usize,
+    },
+    /// Per-key multiset of elements; updates append, merging concatenates
+    /// (the join-semilattice of sets under union, paper §5.1).
+    Appended,
+}
+
+/// Describes one operator state: its value layout and CRDT laws.
+///
+/// The function pointers keep descriptors `Copy` and dispatch-cheap: they
+/// are consulted once per record on the hot path.
+#[derive(Clone, Copy)]
+pub struct StateDescriptor {
+    /// Value layout.
+    pub kind: ValueKind,
+    /// Write the CRDT zero value (only meaningful for `Fixed`).
+    pub init: fn(&mut [u8]),
+    /// CRDT merge: fold `src` into `dst`. Must be commutative and
+    /// associative with `init` as identity (property-tested per CRDT).
+    pub merge: fn(dst: &mut [u8], src: &[u8]),
+}
+
+impl StateDescriptor {
+    /// Encoded value size for fixed-kind state; panics for appended state
+    /// (whose entries carry their own lengths).
+    pub fn fixed_size(&self) -> usize {
+        match self.kind {
+            ValueKind::Fixed { size } => size,
+            ValueKind::Appended => panic!("appended state has no fixed size"),
+        }
+    }
+
+    /// Whether this state is holistic (appended).
+    pub fn is_appended(&self) -> bool {
+        matches!(self.kind, ValueKind::Appended)
+    }
+}
+
+impl std::fmt::Debug for StateDescriptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateDescriptor")
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+fn noop_init(_: &mut [u8]) {}
+fn noop_merge(_: &mut [u8], _: &[u8]) {}
+
+/// Descriptor for holistic (appended) state: merging is concatenation,
+/// performed structurally by the backend, so the function hooks are no-ops.
+pub fn appended_descriptor() -> StateDescriptor {
+    StateDescriptor {
+        kind: ValueKind::Appended,
+        init: noop_init,
+        merge: noop_merge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_size_accessor() {
+        let d = StateDescriptor {
+            kind: ValueKind::Fixed { size: 8 },
+            init: noop_init,
+            merge: noop_merge,
+        };
+        assert_eq!(d.fixed_size(), 8);
+        assert!(!d.is_appended());
+        assert!(appended_descriptor().is_appended());
+    }
+
+    #[test]
+    #[should_panic(expected = "no fixed size")]
+    fn appended_has_no_fixed_size() {
+        appended_descriptor().fixed_size();
+    }
+}

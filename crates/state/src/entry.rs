@@ -1,0 +1,130 @@
+//! Log entry layout.
+//!
+//! Entries are stored densely in the log-structured storage:
+//!
+//! ```text
+//! +-----------+-----------+---------+--------+---------+------------------+
+//! | key 16 B  | prev 8 B  | len 4 B | kind 1 | pad 3 B | value (len, 8-al)|
+//! +-----------+-----------+---------+--------+---------+------------------+
+//! ```
+//!
+//! `prev` chains the appended entries of one key (holistic state); fixed
+//! entries set it to [`NO_PREV`]. The layout is position-independent so a
+//! raw byte-range of entries can be shipped to a leader and replayed there
+//! (the coherence protocol's delta transfer).
+
+use crate::hash::StateKey;
+
+/// Header size in bytes.
+pub const HEADER_SIZE: usize = 32;
+
+/// Sentinel for "no previous entry in this key's chain".
+pub const NO_PREV: u64 = u64::MAX;
+
+/// Entry kind tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// In-place updatable fixed-size value.
+    Fixed,
+    /// One appended element of a holistic value.
+    Appended,
+}
+
+impl EntryKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            EntryKind::Fixed => 0,
+            EntryKind::Appended => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> EntryKind {
+        match v {
+            0 => EntryKind::Fixed,
+            1 => EntryKind::Appended,
+            other => panic!("corrupt log: unknown entry kind {other}"),
+        }
+    }
+}
+
+/// Decoded entry header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryHeader {
+    /// State key.
+    pub key: StateKey,
+    /// Previous entry of this key's chain, or [`NO_PREV`].
+    pub prev: u64,
+    /// Value length in bytes.
+    pub len: u32,
+    /// Entry kind.
+    pub kind: EntryKind,
+}
+
+impl EntryHeader {
+    /// Encode into the first [`HEADER_SIZE`] bytes of `out`.
+    pub fn encode(&self, out: &mut [u8]) {
+        out[0..16].copy_from_slice(&self.key.to_le_bytes());
+        out[16..24].copy_from_slice(&self.prev.to_le_bytes());
+        out[24..28].copy_from_slice(&self.len.to_le_bytes());
+        out[28] = self.kind.to_u8();
+        out[29..32].fill(0);
+    }
+
+    /// Decode from the first [`HEADER_SIZE`] bytes of `bytes`.
+    pub fn decode(bytes: &[u8]) -> EntryHeader {
+        EntryHeader {
+            key: StateKey::from_le_bytes(bytes[0..16].try_into().unwrap()),
+            prev: u64::from_le_bytes(bytes[16..24].try_into().unwrap()),
+            len: u32::from_le_bytes(bytes[24..28].try_into().unwrap()),
+            kind: EntryKind::from_u8(bytes[28]),
+        }
+    }
+}
+
+/// Total stored size (header + value padded to 8 bytes).
+#[inline]
+pub fn stored_size(value_len: usize) -> usize {
+    HEADER_SIZE + value_len.div_ceil(8) * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = EntryHeader {
+            key: 0xfeed_face_dead_beef_u128 << 32,
+            prev: 12345,
+            len: 77,
+            kind: EntryKind::Appended,
+        };
+        let mut buf = [0u8; HEADER_SIZE];
+        h.encode(&mut buf);
+        assert_eq!(EntryHeader::decode(&buf), h);
+    }
+
+    #[test]
+    fn stored_size_is_padded() {
+        assert_eq!(stored_size(0), 32);
+        assert_eq!(stored_size(1), 40);
+        assert_eq!(stored_size(8), 40);
+        assert_eq!(stored_size(9), 48);
+        assert_eq!(stored_size(16), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt log")]
+    fn unknown_kind_is_rejected() {
+        let mut buf = [0u8; HEADER_SIZE];
+        EntryHeader {
+            key: 0,
+            prev: 0,
+            len: 0,
+            kind: EntryKind::Fixed,
+        }
+        .encode(&mut buf);
+        buf[28] = 9;
+        EntryHeader::decode(&buf);
+    }
+}

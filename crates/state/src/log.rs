@@ -1,0 +1,377 @@
+//! Log-structured storage (LSS) — the value store of the SSB (§7.2.1).
+//!
+//! A hybrid log in FASTER's sense: entries are appended at the tail and the
+//! *mutable region* (everything at or above the epoch-begin address) allows
+//! in-place updates; entries below it are read-only (they have been, or are
+//! being, shipped to a leader). Storage is a chain of fixed-size segments
+//! with a monotone logical address space; each segment owns `seg_size`
+//! of address space even when padding seals it early, which keeps
+//! address→segment arithmetic trivial.
+//!
+//! Segments are reclaimed when every entry in them is dead (shipped and
+//! invalidated on helpers; triggered and garbage-collected on leaders),
+//! which realizes the paper's "adaptively resizing circular buffer":
+//! capacity grows on demand and shrinks back when epochs or windows retire.
+
+use std::collections::VecDeque;
+
+use crate::entry::{stored_size, EntryHeader, EntryKind, HEADER_SIZE};
+#[cfg(test)]
+use crate::entry::NO_PREV;
+use crate::hash::StateKey;
+
+/// Default segment size: 256 KiB — large enough that NEXMark's ~300-byte
+/// records never straddle, small enough to reclaim promptly.
+pub const DEFAULT_SEGMENT_SIZE: usize = 256 * 1024;
+
+struct Segment {
+    data: Box<[u8]>,
+    /// Bytes of valid entries; parsing stops here.
+    used: usize,
+    /// Entries not yet marked dead.
+    live: u32,
+    /// Sealed segments accept no more appends.
+    sealed: bool,
+}
+
+impl Segment {
+    fn new(size: usize) -> Self {
+        Segment {
+            data: vec![0u8; size].into_boxed_slice(),
+            used: 0,
+            live: 0,
+            sealed: false,
+        }
+    }
+}
+
+/// Segmented log-structured storage.
+pub struct Lss {
+    segments: VecDeque<Segment>,
+    seg_size: usize,
+    /// Logical address of `segments[0]`'s first byte.
+    first_start: u64,
+    /// Logical tail: where the next entry will be written.
+    tail: u64,
+    /// Total live entries (diagnostics).
+    live_entries: u64,
+    /// Cumulative appended bytes (stats).
+    appended_bytes: u64,
+}
+
+impl Lss {
+    /// Create an empty log with the default segment size.
+    pub fn new() -> Self {
+        Self::with_segment_size(DEFAULT_SEGMENT_SIZE)
+    }
+
+    /// Create an empty log with a custom segment size (tests use small
+    /// segments to exercise sealing and reclamation).
+    pub fn with_segment_size(seg_size: usize) -> Self {
+        assert!(seg_size >= HEADER_SIZE + 8, "segment too small");
+        Lss {
+            segments: VecDeque::new(),
+            seg_size,
+            first_start: 0,
+            tail: 0,
+            live_entries: 0,
+            appended_bytes: 0,
+        }
+    }
+
+    /// Logical tail address (== address of the next append).
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// Logical address below which no entries exist anymore.
+    pub fn head(&self) -> u64 {
+        self.first_start
+    }
+
+    /// Number of live (not-yet-dead) entries.
+    pub fn live_entries(&self) -> u64 {
+        self.live_entries
+    }
+
+    /// Bytes of segment memory currently held.
+    pub fn resident_bytes(&self) -> usize {
+        self.segments.len() * self.seg_size
+    }
+
+    /// Cumulative bytes appended over the log's lifetime.
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes
+    }
+
+    fn seg_of(&self, addr: u64) -> (usize, usize) {
+        debug_assert!(addr >= self.first_start, "address below head");
+        let rel = (addr - self.first_start) as usize;
+        (rel / self.seg_size, rel % self.seg_size)
+    }
+
+    /// Append an entry; returns its logical address.
+    pub fn append(
+        &mut self,
+        key: StateKey,
+        prev: u64,
+        kind: EntryKind,
+        value: &[u8],
+    ) -> u64 {
+        let need = stored_size(value.len());
+        assert!(
+            need <= self.seg_size,
+            "entry of {need} bytes exceeds segment size {}",
+            self.seg_size
+        );
+        // Seal the current segment if the entry does not fit.
+        let tail_off = ((self.tail - self.first_start) as usize) % self.seg_size;
+        let in_last =
+            !self.segments.is_empty() && self.seg_of(self.tail).0 == self.segments.len() - 1;
+        if !in_last || self.seg_size - tail_off < need {
+            if let Some(last) = self.segments.back_mut() {
+                last.sealed = true;
+            }
+            // Jump the tail to the next segment boundary.
+            let next_boundary = self.first_start + (self.segments.len() * self.seg_size) as u64;
+            self.tail = next_boundary;
+            self.segments.push_back(Segment::new(self.seg_size));
+        }
+        let addr = self.tail;
+        let (si, off) = self.seg_of(addr);
+        let seg = &mut self.segments[si];
+        EntryHeader {
+            key,
+            prev,
+            len: value.len() as u32,
+            kind,
+        }
+        .encode(&mut seg.data[off..off + HEADER_SIZE]);
+        seg.data[off + HEADER_SIZE..off + HEADER_SIZE + value.len()].copy_from_slice(value);
+        seg.used = off + need;
+        seg.live += 1;
+        self.live_entries += 1;
+        self.appended_bytes += need as u64;
+        self.tail += need as u64;
+        addr
+    }
+
+    /// Decode the header of the entry at `addr`.
+    pub fn header(&self, addr: u64) -> EntryHeader {
+        let (si, off) = self.seg_of(addr);
+        EntryHeader::decode(&self.segments[si].data[off..off + HEADER_SIZE])
+    }
+
+    /// The key stored at `addr` (index verification path).
+    pub fn key_at(&self, addr: u64) -> StateKey {
+        self.header(addr).key
+    }
+
+    /// Immutable view of the value at `addr`.
+    pub fn value(&self, addr: u64) -> &[u8] {
+        let (si, off) = self.seg_of(addr);
+        let h = EntryHeader::decode(&self.segments[si].data[off..off + HEADER_SIZE]);
+        &self.segments[si].data[off + HEADER_SIZE..off + HEADER_SIZE + h.len as usize]
+    }
+
+    /// Mutable view of the value at `addr` (in-place RMW; callers must only
+    /// do this inside the mutable region — the partition enforces it).
+    pub fn value_mut(&mut self, addr: u64) -> &mut [u8] {
+        let (si, off) = self.seg_of(addr);
+        let h = EntryHeader::decode(&self.segments[si].data[off..off + HEADER_SIZE]);
+        &mut self.segments[si].data[off + HEADER_SIZE..off + HEADER_SIZE + h.len as usize]
+    }
+
+    /// Visit every entry with address in `[from, to)` in log order.
+    pub fn for_each_in(&self, from: u64, to: u64, mut f: impl FnMut(u64, &EntryHeader, &[u8])) {
+        let mut addr = from.max(self.first_start);
+        let to = to.min(self.tail);
+        while addr < to {
+            let (si, off) = self.seg_of(addr);
+            let seg = &self.segments[si];
+            if off >= seg.used {
+                // Padding at segment end: skip to the next boundary.
+                addr = self.first_start + ((si as u64 + 1) * self.seg_size as u64);
+                continue;
+            }
+            let h = EntryHeader::decode(&seg.data[off..off + HEADER_SIZE]);
+            let val = &seg.data[off + HEADER_SIZE..off + HEADER_SIZE + h.len as usize];
+            f(addr, &h, val);
+            addr += stored_size(h.len as usize) as u64;
+        }
+    }
+
+    /// Mark the entry at `addr` dead. Dead entries free their segment once
+    /// every entry in it is dead.
+    pub fn note_dead(&mut self, addr: u64) {
+        let (si, _) = self.seg_of(addr);
+        let seg = &mut self.segments[si];
+        assert!(seg.live > 0, "double free at {addr}");
+        seg.live -= 1;
+        self.live_entries -= 1;
+    }
+
+    /// Mark *all* entries currently in the log dead (helper fragments after
+    /// a full delta ship).
+    pub fn kill_all(&mut self) {
+        for seg in &mut self.segments {
+            self.live_entries -= seg.live as u64;
+            seg.live = 0;
+        }
+    }
+
+    /// Free fully-dead sealed segments from the head; returns how many
+    /// segments were reclaimed.
+    pub fn reclaim(&mut self) -> usize {
+        let mut n = 0;
+        while let Some(front) = self.segments.front() {
+            if front.live == 0 && front.sealed {
+                self.segments.pop_front();
+                self.first_start += self.seg_size as u64;
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        n
+    }
+}
+
+impl Default for Lss {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Lss {
+        Lss::with_segment_size(128) // 4 minimal entries per segment
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let mut l = Lss::new();
+        let a0 = l.append(7, NO_PREV, EntryKind::Fixed, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let a1 = l.append(9, a0, EntryKind::Appended, b"hello");
+        assert_eq!(l.value(a0), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(l.value(a1), b"hello");
+        let h1 = l.header(a1);
+        assert_eq!(h1.key, 9);
+        assert_eq!(h1.prev, a0);
+        assert_eq!(h1.kind, EntryKind::Appended);
+        assert_eq!(l.key_at(a0), 7);
+        assert_eq!(l.live_entries(), 2);
+    }
+
+    #[test]
+    fn in_place_update() {
+        let mut l = Lss::new();
+        let a = l.append(1, NO_PREV, EntryKind::Fixed, &0u64.to_le_bytes());
+        l.value_mut(a).copy_from_slice(&42u64.to_le_bytes());
+        assert_eq!(l.value(a), &42u64.to_le_bytes());
+    }
+
+    #[test]
+    fn segments_seal_and_addresses_skip_padding() {
+        let mut l = small();
+        // 40-byte entries: 3 fit in a 128-byte segment (120), 8 bytes pad.
+        let addrs: Vec<u64> = (0..7)
+            .map(|i| l.append(i, NO_PREV, EntryKind::Fixed, &[0u8; 8]))
+            .collect();
+        assert_eq!(addrs[0], 0);
+        assert_eq!(addrs[1], 40);
+        assert_eq!(addrs[2], 80);
+        assert_eq!(addrs[3], 128, "skips the 8-byte pad");
+        assert_eq!(addrs[6], 256, "first entry of the third segment");
+        for (i, &a) in addrs.iter().enumerate() {
+            assert_eq!(l.key_at(a), i as u128);
+        }
+    }
+
+    #[test]
+    fn for_each_in_visits_ranges_in_order() {
+        let mut l = small();
+        let addrs: Vec<u64> = (0..10u64)
+            .map(|i| l.append(i as u128, NO_PREV, EntryKind::Fixed, &i.to_le_bytes()))
+            .collect();
+        let mut seen = Vec::new();
+        l.for_each_in(0, l.tail(), |addr, h, v| {
+            seen.push((addr, h.key, u64::from_le_bytes(v.try_into().unwrap())));
+        });
+        assert_eq!(seen.len(), 10);
+        for (i, (addr, key, val)) in seen.iter().enumerate() {
+            assert_eq!(*addr, addrs[i]);
+            assert_eq!(*key, i as u128);
+            assert_eq!(*val, i as u64);
+        }
+        // Partial range starting at a valid entry boundary.
+        let mut partial = Vec::new();
+        l.for_each_in(addrs[4], l.tail(), |_, h, _| partial.push(h.key));
+        assert_eq!(partial, (4u128..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reclaim_frees_dead_sealed_segments() {
+        let mut l = small();
+        let addrs: Vec<u64> = (0..9)
+            .map(|i| l.append(i, NO_PREV, EntryKind::Fixed, &[0u8; 8]))
+            .collect();
+        assert_eq!(l.resident_bytes(), 3 * 128);
+        // Kill the first segment's entries only.
+        for &a in &addrs[0..3] {
+            l.note_dead(a);
+        }
+        assert_eq!(l.reclaim(), 1);
+        assert_eq!(l.head(), 128);
+        assert_eq!(l.resident_bytes(), 2 * 128);
+        // Remaining entries still readable.
+        assert_eq!(l.key_at(addrs[3]), 3);
+        // Killing out of order does not reclaim until the head is dead.
+        for &a in &addrs[6..9] {
+            l.note_dead(a);
+        }
+        assert_eq!(l.reclaim(), 0);
+        for &a in &addrs[3..6] {
+            l.note_dead(a);
+        }
+        // Tail segment is unsealed, so only the sealed middle one frees.
+        assert_eq!(l.reclaim(), 1);
+        assert_eq!(l.live_entries(), 0);
+    }
+
+    #[test]
+    fn kill_all_then_reclaim_keeps_only_tail_segment() {
+        let mut l = small();
+        for i in 0..9u64 {
+            l.append(i as u128, NO_PREV, EntryKind::Fixed, &[0u8; 8]);
+        }
+        let tail = l.tail();
+        l.kill_all();
+        l.reclaim();
+        assert_eq!(l.resident_bytes(), 128, "only the open tail segment");
+        assert_eq!(l.tail(), tail, "tail address is never rewound");
+        // Appends continue seamlessly.
+        let a = l.append(99, NO_PREV, EntryKind::Fixed, &[0u8; 8]);
+        assert_eq!(l.key_at(a), 99);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut l = Lss::new();
+        l.append(1, NO_PREV, EntryKind::Fixed, &[0u8; 8]);
+        l.append(2, NO_PREV, EntryKind::Fixed, &[0u8; 16]);
+        assert_eq!(l.appended_bytes(), 40 + 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_is_a_bug() {
+        let mut l = Lss::new();
+        let a = l.append(1, NO_PREV, EntryKind::Fixed, &[0u8; 8]);
+        l.note_dead(a);
+        l.note_dead(a);
+    }
+}

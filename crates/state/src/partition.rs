@@ -1,0 +1,399 @@
+//! A partition fragment: hash index + log + epoch boundary.
+//!
+//! Every node holds one `Partition` object per SSB partition: the one it
+//! leads (its *primary* partition, where deltas from helpers are merged and
+//! windows trigger) and a *fragment* of every remote partition (where its
+//! own eager updates accumulate between epochs).
+
+use crate::descriptor::{StateDescriptor, ValueKind};
+use crate::entry::{EntryHeader, EntryKind, NO_PREV};
+use crate::hash::{hash_key, StateKey};
+use crate::index::HashIndex;
+use crate::log::Lss;
+
+/// Operation counters (feed the micro-architecture proxies of §8.3).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PartitionStats {
+    /// In-place read-modify-writes served.
+    pub rmw_hits: u64,
+    /// RMWs that created a fresh key (zero-value insert).
+    pub rmw_inserts: u64,
+    /// Elements appended to holistic state.
+    pub appends: u64,
+    /// Entries merged in from helper deltas.
+    pub merged_entries: u64,
+    /// Epochs closed on this fragment.
+    pub epochs: u64,
+}
+
+/// One partition's local storage on one node.
+pub struct Partition {
+    /// Partition id within the SSB.
+    pub id: usize,
+    index: HashIndex,
+    log: Lss,
+    /// Entries below this address are read-only/invalidated (shipped).
+    epoch_begin: u64,
+    /// Epoch counter, versioning the fragment's content (§7.2.2 step ①).
+    epoch: u64,
+    desc: StateDescriptor,
+    /// Operation counters.
+    pub stats: PartitionStats,
+}
+
+impl Partition {
+    /// Create an empty partition fragment.
+    pub fn new(id: usize, desc: StateDescriptor) -> Self {
+        Partition {
+            id,
+            index: HashIndex::new(),
+            log: Lss::new(),
+            epoch_begin: 0,
+            epoch: 0,
+            desc,
+            stats: PartitionStats::default(),
+        }
+    }
+
+    /// Test/bench constructor with a custom segment size.
+    pub fn with_segment_size(id: usize, desc: StateDescriptor, seg: usize) -> Self {
+        Partition {
+            id,
+            index: HashIndex::new(),
+            log: Lss::with_segment_size(seg),
+            epoch_begin: 0,
+            epoch: 0,
+            desc,
+            stats: PartitionStats::default(),
+        }
+    }
+
+    /// The state descriptor.
+    pub fn descriptor(&self) -> &StateDescriptor {
+        &self.desc
+    }
+
+    /// Current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of distinct live keys.
+    pub fn key_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Resident log bytes (capacity planning / adaptive sizing stats).
+    pub fn resident_bytes(&self) -> usize {
+        self.log.resident_bytes()
+    }
+
+    fn find(&self, key: StateKey) -> Option<u64> {
+        let log = &self.log;
+        self.index.find(hash_key(key), |addr| log.key_at(addr) == key)
+    }
+
+    /// Read-modify-write of fixed-size state: the hot path of every
+    /// non-holistic windowed aggregation. `update` sees the current value
+    /// (CRDT zero for fresh keys) and mutates it in place.
+    pub fn rmw(&mut self, key: StateKey, update: impl FnOnce(&mut [u8])) {
+        debug_assert!(
+            matches!(self.desc.kind, ValueKind::Fixed { .. }),
+            "rmw on appended state"
+        );
+        if let Some(addr) = self.find(key) {
+            debug_assert!(
+                addr >= self.epoch_begin,
+                "index points into the invalidated region"
+            );
+            update(self.log.value_mut(addr));
+            self.stats.rmw_hits += 1;
+        } else {
+            let size = self.desc.fixed_size();
+            let mut buf = vec![0u8; size];
+            (self.desc.init)(&mut buf);
+            update(&mut buf);
+            self.insert_fresh(key, EntryKind::Fixed, &buf);
+            self.stats.rmw_inserts += 1;
+        }
+    }
+
+    /// Append one element to holistic state (hash-join build, §5.2).
+    pub fn append(&mut self, key: StateKey, elem: &[u8]) {
+        debug_assert!(self.desc.is_appended(), "append on fixed state");
+        let prev = self.find(key).unwrap_or(NO_PREV);
+        let addr = self.log.append(key, prev, EntryKind::Appended, elem);
+        let log = &self.log;
+        self.index.upsert(
+            hash_key(key),
+            addr,
+            |a| log.key_at(a) == key,
+            |a| hash_key(log.key_at(a)),
+        );
+        self.stats.appends += 1;
+    }
+
+    fn insert_fresh(&mut self, key: StateKey, kind: EntryKind, value: &[u8]) {
+        let addr = self.log.append(key, NO_PREV, kind, value);
+        let log = &self.log;
+        self.index.upsert(
+            hash_key(key),
+            addr,
+            |a| log.key_at(a) == key,
+            |a| hash_key(log.key_at(a)),
+        );
+    }
+
+    /// Merge a value into fixed-size state with the descriptor's CRDT
+    /// merge (leader-side delta replay).
+    pub fn merge_fixed(&mut self, key: StateKey, src: &[u8]) {
+        let merge = self.desc.merge;
+        self.rmw(key, |dst| merge(dst, src));
+        self.stats.merged_entries += 1;
+    }
+
+    /// Read fixed-size state.
+    pub fn get(&self, key: StateKey) -> Option<&[u8]> {
+        self.find(key).map(|addr| self.log.value(addr))
+    }
+
+    /// Visit every element of a holistic key's chain (newest first).
+    pub fn for_each_element(&self, key: StateKey, mut f: impl FnMut(&[u8])) {
+        let mut addr = match self.find(key) {
+            Some(a) => a,
+            None => return,
+        };
+        loop {
+            let h = self.log.header(addr);
+            f(self.log.value(addr));
+            if h.prev == NO_PREV || h.prev < self.epoch_begin {
+                break;
+            }
+            addr = h.prev;
+        }
+    }
+
+    /// Number of elements in a holistic key's chain.
+    pub fn element_count(&self, key: StateKey) -> usize {
+        let mut n = 0;
+        self.for_each_element(key, |_| n += 1);
+        n
+    }
+
+    /// Visit every live key with the address of its newest entry.
+    pub fn for_each_key(&self, mut f: impl FnMut(StateKey, u64)) {
+        let log = &self.log;
+        self.index.for_each(|addr| f(log.key_at(addr), addr));
+    }
+
+    /// Close the current epoch (§7.2.2 steps ①–④ minus the wire transfer):
+    /// visit every entry written since the previous boundary — the delta —
+    /// then invalidate the shipped region so future RMWs restart from the
+    /// CRDT zero value, and reclaim its memory. Returns the epoch number
+    /// that was closed.
+    pub fn close_epoch(&mut self, mut visit: impl FnMut(&EntryHeader, &[u8])) -> u64 {
+        let closed = self.epoch;
+        self.log
+            .for_each_in(self.epoch_begin, self.log.tail(), |_, h, v| visit(h, v));
+        // Invalidate: every index entry points into [epoch_begin, tail)
+        // (older regions were invalidated by previous epochs), so the whole
+        // index goes; all log entries die and sealed segments are freed.
+        self.index.clear();
+        self.log.kill_all();
+        self.log.reclaim();
+        self.epoch_begin = self.log.tail();
+        self.epoch += 1;
+        self.stats.epochs += 1;
+        closed
+    }
+
+    /// Whether this fragment has accumulated updates in the open epoch.
+    pub fn is_dirty(&self) -> bool {
+        self.log.tail() > self.epoch_begin
+    }
+
+    /// Size in bytes of the open epoch's delta.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.log.tail() - self.epoch_begin
+    }
+
+    /// Remove a key and mark its entries dead (window GC after trigger).
+    pub fn remove(&mut self, key: StateKey) -> bool {
+        let log = &self.log;
+        let removed = self
+            .index
+            .remove(hash_key(key), |a| log.key_at(a) == key);
+        match removed {
+            Some(mut addr) => {
+                loop {
+                    let h = self.log.header(addr);
+                    self.log.note_dead(addr);
+                    if h.prev == NO_PREV || h.prev < self.epoch_begin {
+                        break;
+                    }
+                    addr = h.prev;
+                }
+                self.log.reclaim();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for Partition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Partition")
+            .field("id", &self.id)
+            .field("epoch", &self.epoch)
+            .field("keys", &self.index.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crdts::CounterCrdt;
+    use crate::descriptor::appended_descriptor;
+
+    fn counter_part() -> Partition {
+        Partition::with_segment_size(0, CounterCrdt::descriptor(), 256)
+    }
+
+    #[test]
+    fn rmw_creates_then_updates_in_place() {
+        let mut p = counter_part();
+        p.rmw(5, |v| CounterCrdt::add(v, 3));
+        p.rmw(5, |v| CounterCrdt::add(v, 4));
+        assert_eq!(p.get(5).map(CounterCrdt::get), Some(7));
+        assert_eq!(p.stats.rmw_inserts, 1);
+        assert_eq!(p.stats.rmw_hits, 1);
+        assert_eq!(p.key_count(), 1);
+    }
+
+    #[test]
+    fn many_keys_roundtrip() {
+        let mut p = counter_part();
+        for k in 0..5000u128 {
+            p.rmw(k, |v| CounterCrdt::add(v, k as u64));
+        }
+        for k in (0..5000u128).rev() {
+            assert_eq!(p.get(k).map(CounterCrdt::get), Some(k as u64), "key {k}");
+        }
+        assert_eq!(p.get(5001), None);
+    }
+
+    #[test]
+    fn close_epoch_ships_delta_and_resets_state() {
+        let mut p = counter_part();
+        p.rmw(1, |v| CounterCrdt::add(v, 10));
+        p.rmw(2, |v| CounterCrdt::add(v, 20));
+        assert!(p.is_dirty());
+
+        let mut shipped = Vec::new();
+        let closed = p.close_epoch(|h, v| shipped.push((h.key, CounterCrdt::get(v))));
+        assert_eq!(closed, 0);
+        assert_eq!(p.epoch(), 1);
+        shipped.sort();
+        assert_eq!(shipped, vec![(1, 10), (2, 20)]);
+
+        // Post-epoch: RMWs restart from the CRDT zero value (paper §7.2.2:
+        // "discarding transferred content is safe, as RMW operations
+        // restart from a zero value").
+        assert!(!p.is_dirty());
+        assert_eq!(p.get(1), None);
+        p.rmw(1, |v| CounterCrdt::add(v, 5));
+        assert_eq!(p.get(1).map(CounterCrdt::get), Some(5));
+
+        let mut shipped2 = Vec::new();
+        p.close_epoch(|h, v| shipped2.push((h.key, CounterCrdt::get(v))));
+        assert_eq!(shipped2, vec![(1, 5)], "only the new delta ships");
+    }
+
+    #[test]
+    fn close_epoch_reclaims_memory() {
+        let mut p = counter_part();
+        for k in 0..1000u128 {
+            p.rmw(k, |v| CounterCrdt::add(v, 1));
+        }
+        let resident_before = p.resident_bytes();
+        p.close_epoch(|_, _| {});
+        assert!(
+            p.resident_bytes() < resident_before / 2,
+            "epoch close must free shipped segments: {} -> {}",
+            resident_before,
+            p.resident_bytes()
+        );
+    }
+
+    #[test]
+    fn append_chains_and_iterates_newest_first() {
+        let mut p = Partition::with_segment_size(0, appended_descriptor(), 512);
+        p.append(9, b"one");
+        p.append(9, b"two");
+        p.append(9, b"three");
+        p.append(8, b"other");
+        let mut got = Vec::new();
+        p.for_each_element(9, |e| got.push(e.to_vec()));
+        assert_eq!(got, vec![b"three".to_vec(), b"two".to_vec(), b"one".to_vec()]);
+        assert_eq!(p.element_count(9), 3);
+        assert_eq!(p.element_count(8), 1);
+        assert_eq!(p.element_count(7), 0);
+    }
+
+    #[test]
+    fn appended_delta_ships_every_element() {
+        let mut p = Partition::with_segment_size(0, appended_descriptor(), 512);
+        p.append(1, b"a");
+        p.append(1, b"b");
+        p.append(2, b"c");
+        let mut shipped = Vec::new();
+        p.close_epoch(|h, v| shipped.push((h.key, v.to_vec())));
+        assert_eq!(shipped.len(), 3);
+        assert!(shipped.contains(&(1, b"a".to_vec())));
+        assert!(shipped.contains(&(1, b"b".to_vec())));
+        assert!(shipped.contains(&(2, b"c".to_vec())));
+        // Chains restart cleanly after invalidation.
+        p.append(1, b"d");
+        assert_eq!(p.element_count(1), 1);
+    }
+
+    #[test]
+    fn merge_fixed_applies_crdt_merge() {
+        let mut p = counter_part();
+        p.rmw(1, |v| CounterCrdt::add(v, 10));
+        p.merge_fixed(1, &32u64.to_le_bytes());
+        assert_eq!(p.get(1).map(CounterCrdt::get), Some(42));
+        p.merge_fixed(2, &7u64.to_le_bytes());
+        assert_eq!(p.get(2).map(CounterCrdt::get), Some(7));
+    }
+
+    #[test]
+    fn remove_frees_key_and_chain() {
+        let mut p = Partition::with_segment_size(0, appended_descriptor(), 256);
+        for i in 0..20u64 {
+            p.append(1, &i.to_le_bytes());
+        }
+        p.append(2, b"keep");
+        assert!(p.remove(1));
+        assert!(!p.remove(1));
+        assert_eq!(p.element_count(1), 0);
+        assert_eq!(p.element_count(2), 1);
+        assert_eq!(p.key_count(), 1);
+    }
+
+    #[test]
+    fn for_each_key_visits_live_keys() {
+        let mut p = counter_part();
+        for k in 0..10u128 {
+            p.rmw(k, |v| CounterCrdt::add(v, 1));
+        }
+        p.remove(3);
+        let mut keys = Vec::new();
+        p.for_each_key(|k, _| keys.push(k));
+        keys.sort();
+        let expect: Vec<u128> = (0..10).filter(|&k| k != 3).collect();
+        assert_eq!(keys, expect);
+    }
+}

@@ -1,0 +1,98 @@
+//! Vector clocks for distributed progress tracking (paper §5.1).
+//!
+//! Every executor tracks, per peer, the greatest event-time watermark it
+//! has learned from that peer. Watermark updates piggyback on the epoch
+//! protocol's delta chunks, so an entry only advances once the state
+//! updates preceding that watermark have been merged — which is exactly
+//! the condition that makes triggering on `min()` safe (property P1).
+
+/// A vector of per-executor watermarks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock {
+    entries: Vec<u64>,
+}
+
+impl VectorClock {
+    /// A clock over `n` executors, all at watermark 0.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        VectorClock {
+            entries: vec![0; n],
+        }
+    }
+
+    /// Number of executors tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false (a clock tracks at least one executor).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The watermark of executor `node`.
+    pub fn get(&self, node: usize) -> u64 {
+        self.entries[node]
+    }
+
+    /// Advance executor `node` to `watermark`. Watermarks are monotone;
+    /// stale updates (reordered epochs cannot happen on a FIFO channel,
+    /// but defensive) are ignored.
+    pub fn update(&mut self, node: usize, watermark: u64) {
+        let e = &mut self.entries[node];
+        if watermark > *e {
+            *e = watermark;
+        }
+    }
+
+    /// The global low watermark: every executor has progressed at least
+    /// this far, and all state updates below it are merged.
+    pub fn min(&self) -> u64 {
+        *self.entries.iter().min().expect("non-empty")
+    }
+
+    /// Whether an event-time window ending at `end` (exclusive) may
+    /// trigger: no executor can still contribute records or state updates
+    /// with timestamps below `end`.
+    pub fn window_ready(&self, end: u64) -> bool {
+        self.min() >= end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_over_entries() {
+        let mut vc = VectorClock::new(3);
+        assert_eq!(vc.min(), 0);
+        vc.update(0, 100);
+        vc.update(1, 50);
+        assert_eq!(vc.min(), 0, "node 2 still at 0");
+        vc.update(2, 70);
+        assert_eq!(vc.min(), 50);
+        assert_eq!(vc.get(0), 100);
+    }
+
+    #[test]
+    fn updates_are_monotone() {
+        let mut vc = VectorClock::new(1);
+        vc.update(0, 10);
+        vc.update(0, 5);
+        assert_eq!(vc.get(0), 10);
+    }
+
+    #[test]
+    fn window_ready_semantics() {
+        let mut vc = VectorClock::new(2);
+        vc.update(0, 1000);
+        assert!(!vc.window_ready(1000));
+        vc.update(1, 999);
+        assert!(!vc.window_ready(1000), "999 < end");
+        vc.update(1, 1000);
+        assert!(vc.window_ready(1000));
+        assert!(vc.window_ready(500));
+    }
+}

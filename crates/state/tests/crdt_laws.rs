@@ -1,0 +1,134 @@
+//! Property tests of the CRDT algebraic laws (paper §5.1).
+//!
+//! The epoch protocol's convergence proof rests on each state's merge
+//! being a commutative, associative operation with the init value as
+//! identity. These tests check the laws for every shipped CRDT over
+//! arbitrary update sequences.
+
+use proptest::prelude::*;
+use slash_state::descriptor::StateDescriptor;
+use slash_state::{CounterCrdt, MaxCrdt, MeanCrdt, MinCrdt, SumF64Crdt};
+
+fn zeroed(d: &StateDescriptor) -> Vec<u8> {
+    let mut v = vec![0u8; d.fixed_size()];
+    (d.init)(&mut v);
+    v
+}
+
+/// Check merge laws for a descriptor given three arbitrary states.
+fn check_laws(d: &StateDescriptor, a: &[u8], b: &[u8], c: &[u8], approx: bool) {
+    let eq = |x: &[u8], y: &[u8]| {
+        if approx {
+            // f64 payloads: compare numerically to tolerate association
+            // rounding.
+            let fx = f64::from_le_bytes(x[..8].try_into().unwrap());
+            let fy = f64::from_le_bytes(y[..8].try_into().unwrap());
+            (fx - fy).abs() <= 1e-9 * fx.abs().max(fy.abs()).max(1.0) && x[8..] == y[8..]
+        } else {
+            x == y
+        }
+    };
+
+    // Commutativity: a ⊔ b == b ⊔ a.
+    let mut ab = a.to_vec();
+    (d.merge)(&mut ab, b);
+    let mut ba = b.to_vec();
+    (d.merge)(&mut ba, a);
+    assert!(eq(&ab, &ba), "merge not commutative: {ab:?} vs {ba:?}");
+
+    // Associativity: (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c).
+    let mut ab_c = ab.clone();
+    (d.merge)(&mut ab_c, c);
+    let mut bc = b.to_vec();
+    (d.merge)(&mut bc, c);
+    let mut a_bc = a.to_vec();
+    (d.merge)(&mut a_bc, &bc);
+    assert!(eq(&ab_c, &a_bc), "merge not associative");
+
+    // Identity: a ⊔ 0 == a.
+    let mut a0 = a.to_vec();
+    (d.merge)(&mut a0, &zeroed(d));
+    assert!(eq(&a0, a), "init is not the merge identity");
+}
+
+proptest! {
+    #[test]
+    fn counter_laws(xs in proptest::collection::vec(0u64..1 << 40, 3)) {
+        let d = CounterCrdt::descriptor();
+        let mk = |x: u64| {
+            let mut v = zeroed(&d);
+            CounterCrdt::add(&mut v, x);
+            v
+        };
+        check_laws(&d, &mk(xs[0]), &mk(xs[1]), &mk(xs[2]), false);
+    }
+
+    #[test]
+    fn sum_f64_laws(xs in proptest::collection::vec(-1e12f64..1e12, 3)) {
+        let d = SumF64Crdt::descriptor();
+        let mk = |x: f64| {
+            let mut v = zeroed(&d);
+            SumF64Crdt::add(&mut v, x);
+            v
+        };
+        check_laws(&d, &mk(xs[0]), &mk(xs[1]), &mk(xs[2]), true);
+    }
+
+    #[test]
+    fn max_laws(xs in proptest::collection::vec(any::<u64>(), 3)) {
+        let d = MaxCrdt::descriptor();
+        let mk = |x: u64| {
+            let mut v = zeroed(&d);
+            MaxCrdt::update(&mut v, x);
+            v
+        };
+        check_laws(&d, &mk(xs[0]), &mk(xs[1]), &mk(xs[2]), false);
+    }
+
+    #[test]
+    fn min_laws(xs in proptest::collection::vec(any::<u64>(), 3)) {
+        let d = MinCrdt::descriptor();
+        let mk = |x: u64| {
+            let mut v = zeroed(&d);
+            MinCrdt::update(&mut v, x);
+            v
+        };
+        check_laws(&d, &mk(xs[0]), &mk(xs[1]), &mk(xs[2]), false);
+    }
+
+    #[test]
+    fn mean_laws(
+        xs in proptest::collection::vec(proptest::collection::vec(-1e6f64..1e6, 0..8), 3)
+    ) {
+        let d = MeanCrdt::descriptor();
+        let mk = |obs: &Vec<f64>| {
+            let mut v = zeroed(&d);
+            for &x in obs {
+                MeanCrdt::observe(&mut v, x);
+            }
+            v
+        };
+        check_laws(&d, &mk(&xs[0]), &mk(&xs[1]), &mk(&xs[2]), true);
+    }
+
+    /// Merging k partial counters in any grouping equals a sequential fold
+    /// — the late-merge correctness statement (property P2) at the CRDT
+    /// level.
+    #[test]
+    fn partials_merge_to_sequential_total(
+        updates in proptest::collection::vec((0usize..4, 1u64..1000), 1..100),
+    ) {
+        let d = CounterCrdt::descriptor();
+        let mut partials: Vec<Vec<u8>> = (0..4).map(|_| zeroed(&d)).collect();
+        let mut sequential: u64 = 0;
+        for (who, x) in &updates {
+            CounterCrdt::add(&mut partials[*who], *x);
+            sequential += x;
+        }
+        let mut acc = zeroed(&d);
+        for p in &partials {
+            (d.merge)(&mut acc, p);
+        }
+        prop_assert_eq!(CounterCrdt::get(&acc), sequential);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property test of the epoch-based coherence protocol (§7.2.2):
+//! distributed instances of the SSB that follow the protocol converge, at
+//! the end of each epoch, to the state a sequential execution would have
+//! produced — for arbitrary schedules of updates, epoch tokens, and
+//! simulation progress.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use slash_desim::Sim;
+use slash_net::ChannelConfig;
+use slash_rdma::{Fabric, FabricConfig};
+use slash_state::backend::{build_cluster, SsbConfig, SsbNode};
+use slash_state::hash::{pack_key, partition_of};
+use slash_state::CounterCrdt;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Node `who` adds `amount` to key `g`.
+    Update { who: usize, g: u64, amount: u64 },
+    /// Node `who` closes its epoch.
+    Epoch { who: usize },
+    /// Pump all nodes and run the simulation to quiescence.
+    Settle,
+}
+
+fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0..n, 0u64..16, 1u64..100)
+            .prop_map(|(who, g, amount)| Op::Update { who, g, amount }),
+        2 => (0..n).prop_map(|who| Op::Epoch { who }),
+        1 => Just(Op::Settle),
+    ]
+}
+
+fn settle(sim: &mut Sim, ssb: &mut [SsbNode]) {
+    for _ in 0..10_000 {
+        let mut progress = 0;
+        for node in ssb.iter_mut() {
+            let (s, m) = node.pump(sim).unwrap();
+            progress += s + m;
+        }
+        let in_flight = sim.pending_events() > 0;
+        sim.run();
+        if progress == 0 && !in_flight && ssb.iter().all(|x| x.flushed()) {
+            return;
+        }
+    }
+    panic!("did not settle");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn distributed_equals_sequential(
+        n in 2usize..5,
+        ops in proptest::collection::vec(op_strategy(4), 1..150),
+    ) {
+        let mut sim = Sim::new();
+        let fabric = Fabric::new(FabricConfig::default());
+        let nodes = fabric.add_nodes(n);
+        let cfg = SsbConfig {
+            nodes: n,
+            epoch_bytes: u64::MAX,
+            channel: ChannelConfig { credits: 4, buffer_size: 512, credit_batch: 1 },
+        };
+        let mut ssb = build_cluster(&fabric, &nodes, CounterCrdt::descriptor(), cfg);
+        let mut expected: HashMap<u64, u64> = HashMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Update { who, g, amount } => {
+                    let who = who % n;
+                    ssb[who].rmw(pack_key(1, *g), |v| CounterCrdt::add(v, *amount));
+                    *expected.entry(*g).or_default() += amount;
+                }
+                Op::Epoch { who } => {
+                    let who = who % n;
+                    ssb[who].close_epoch(&mut sim).unwrap();
+                }
+                Op::Settle => settle(&mut sim, &mut ssb),
+            }
+        }
+        // Final epoch on every node, then settle: all partials reach their
+        // leaders.
+        for node in ssb.iter_mut() {
+            node.close_epoch(&mut sim).unwrap();
+        }
+        settle(&mut sim, &mut ssb);
+
+        for (g, want) in &expected {
+            let key = pack_key(1, *g);
+            let leader = partition_of(key, n);
+            let got = ssb[leader].local_get(key).map(CounterCrdt::get);
+            prop_assert_eq!(got, Some(*want), "key {} on leader {}", g, leader);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Key distributions: uniform, Zipf, Pareto.
+//!
+//! Implemented in-repo (over the deterministic xoshiro generator from
+//! `slash-desim`) so that workload bytes are reproducible across machines
+//! and independent of `rand` version bumps. Zipf uses rejection-inversion
+//! sampling (Hörmann & Derflinger), the same algorithm `rand_distr` uses.
+
+use slash_desim::DetRng;
+
+/// Uniform integers over `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct Uniform {
+    n: u64,
+}
+
+impl Uniform {
+    /// Uniform over `[0, n)`.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0);
+        Uniform { n }
+    }
+
+    /// Draw a sample.
+    #[inline]
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        rng.next_below(self.n)
+    }
+}
+
+/// Zipf distribution over `{0, …, n-1}` with exponent `s` (the paper's
+/// skew sweep uses z = 0.2 … 2.0 over the key domain).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: f64,
+    q: f64,
+    h_x1: f64,
+    h_n: f64,
+    s_const: f64,
+}
+
+impl Zipf {
+    /// Zipf over `n` items with exponent `s > 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0);
+        assert!(s > 0.0, "use Uniform for s = 0");
+        let n = n as f64;
+        let q = s;
+        let h = |x: f64| -> f64 {
+            if (q - 1.0).abs() < 1e-9 {
+                x.ln()
+            } else {
+                (x.powf(1.0 - q) - 1.0) / (1.0 - q)
+            }
+        };
+        let h_inv = |x: f64| -> f64 {
+            if (q - 1.0).abs() < 1e-9 {
+                x.exp()
+            } else {
+                (1.0 + x * (1.0 - q)).powf(1.0 / (1.0 - q))
+            }
+        };
+        let h_x1 = h(1.5) - 1.0;
+        let h_n = h(n + 0.5);
+        let s_const = 1.0 - h_inv(h(1.5) - 1.5f64.powf(-q));
+        Zipf {
+            n,
+            q,
+            h_x1,
+            h_n,
+            s_const,
+        }
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        if (self.q - 1.0).abs() < 1e-9 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - self.q) - 1.0) / (1.0 - self.q)
+        }
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        if (self.q - 1.0).abs() < 1e-9 {
+            x.exp()
+        } else {
+            (1.0 + x * (1.0 - self.q)).powf(1.0 / (1.0 - self.q))
+        }
+    }
+
+    /// Draw a sample in `[0, n)`; rank 0 is the hottest key.
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        loop {
+            let u = self.h_x1 + rng.next_f64() * (self.h_n - self.h_x1);
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n);
+            if k - x <= self.s_const || u >= self.h(k + 0.5) - k.powf(-self.q) {
+                return k as u64 - 1;
+            }
+        }
+    }
+}
+
+/// Pareto-distributed keys over `[0, n)`: rank = ⌊scale·(U^(-1/α) - 1)⌋,
+/// clipped to the domain. Produces the long-tailed heavy hitters the
+/// paper's NB7 bid keys follow.
+#[derive(Debug, Clone)]
+pub struct Pareto {
+    n: u64,
+    alpha: f64,
+    scale: f64,
+}
+
+impl Pareto {
+    /// Pareto over `n` keys with tail index `alpha` (smaller = heavier
+    /// tail) and the given scale.
+    pub fn new(n: u64, alpha: f64, scale: f64) -> Self {
+        assert!(n > 0);
+        assert!(alpha > 0.0 && scale > 0.0);
+        Pareto { n, alpha, scale }
+    }
+
+    /// The paper-flavoured default: a long tail with pronounced heavy
+    /// hitters over `n` keys.
+    pub fn heavy_hitters(n: u64) -> Self {
+        Pareto::new(n, 1.16, 8.0) // 80/20-ish
+    }
+
+    /// Draw a sample in `[0, n)`; low ranks are hottest.
+    #[inline]
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        let u = 1.0 - rng.next_f64(); // (0, 1]
+        let x = self.scale * (u.powf(-1.0 / self.alpha) - 1.0);
+        (x as u64).min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(mut f: impl FnMut(&mut DetRng) -> u64, n: usize, buckets: u64) -> Vec<u64> {
+        let mut rng = DetRng::new(42);
+        let mut h = vec![0u64; buckets as usize];
+        for _ in 0..n {
+            let k = f(&mut rng);
+            assert!(k < buckets, "sample {k} out of range");
+            h[k as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let d = Uniform::new(16);
+        let h = histogram(|r| d.sample(r), 160_000, 16);
+        for &c in &h {
+            assert!((c as f64 - 10_000.0).abs() < 800.0, "{h:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_rank_frequencies_follow_power_law() {
+        let d = Zipf::new(1000, 1.0);
+        let h = histogram(|r| d.sample(r), 500_000, 1000);
+        // Rank 0 ≈ 2× rank 1 ≈ 10× rank 9 for s=1.
+        let r0 = h[0] as f64;
+        let r1 = h[1] as f64;
+        let r9 = h[9] as f64;
+        assert!((r0 / r1 - 2.0).abs() < 0.3, "r0/r1 = {}", r0 / r1);
+        assert!((r0 / r9 - 10.0).abs() < 2.0, "r0/r9 = {}", r0 / r9);
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_with_s() {
+        let share_of_top = |s: f64| {
+            let d = Zipf::new(10_000, s);
+            let h = histogram(|r| d.sample(r), 200_000, 10_000);
+            let top: u64 = h.iter().take(10).sum();
+            top as f64 / 200_000.0
+        };
+        let low = share_of_top(0.2);
+        let high = share_of_top(1.5);
+        assert!(high > 3.0 * low, "top-10 share: {low} vs {high}");
+        assert!(high > 0.5, "s=1.5 should be dominated by hot keys: {high}");
+    }
+
+    #[test]
+    fn zipf_handles_s_equal_one() {
+        let d = Zipf::new(100, 1.0);
+        let mut rng = DetRng::new(7);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn pareto_has_heavy_hitters_and_long_tail() {
+        let d = Pareto::heavy_hitters(1_000_000);
+        let mut rng = DetRng::new(9);
+        let mut top = 0u64;
+        let mut distinct = std::collections::HashSet::new();
+        let n = 200_000;
+        for _ in 0..n {
+            let k = d.sample(&mut rng);
+            assert!(k < 1_000_000);
+            if k < 10 {
+                top += 1;
+            }
+            distinct.insert(k);
+        }
+        let share = top as f64 / n as f64;
+        assert!(share > 0.3, "top-10 keys draw {share} of traffic");
+        assert!(distinct.len() > 1_000, "tail is long: {}", distinct.len());
+    }
+
+    #[test]
+    fn deterministic_across_seeds() {
+        let d = Zipf::new(1000, 0.8);
+        let mut a = DetRng::new(5);
+        let mut b = DetRng::new(5);
+        for _ in 0..1000 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}

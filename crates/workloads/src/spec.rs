@@ -1,0 +1,68 @@
+//! Workload specifications: a query plan plus pre-generated partitions.
+
+use std::rc::Rc;
+
+use slash_core::QueryPlan;
+
+/// Generation parameters shared by all workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Number of partitions to generate (one per executor thread; the
+    /// paper's weak scaling grows this with the cluster).
+    pub partitions: usize,
+    /// Records per partition (the paper uses 1 GB per thread; benchmarks
+    /// here scale this down — virtual-time throughput is load-invariant
+    /// once steady state is reached).
+    pub records_per_partition: u64,
+    /// RNG seed; every partition derives an independent stream from it.
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// A config for `partitions` partitions of `records_per_partition`.
+    pub fn new(partitions: usize, records_per_partition: u64) -> Self {
+        GenConfig {
+            partitions,
+            records_per_partition,
+            seed: 0x5145_u64,
+        }
+    }
+
+    /// Total records across partitions.
+    pub fn total_records(&self) -> u64 {
+        self.partitions as u64 * self.records_per_partition
+    }
+}
+
+/// A ready-to-run workload: the query and its input partitions.
+pub struct Workload {
+    /// Human-readable name (experiment labels).
+    pub name: &'static str,
+    /// The query.
+    pub plan: QueryPlan,
+    /// One pre-generated buffer per executor thread.
+    pub partitions: Vec<Rc<Vec<u8>>>,
+    /// Total records.
+    pub records: u64,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("partitions", &self.partitions.len())
+            .field("records", &self.records)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let g = GenConfig::new(4, 1000);
+        assert_eq!(g.total_records(), 4000);
+    }
+}

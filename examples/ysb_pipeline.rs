@@ -1,0 +1,68 @@
+//! The Yahoo! Streaming Benchmark on a 4-node Slash cluster, with the
+//! RDMA UpPar and Flink-sim baselines run on the identical workload for
+//! comparison — a miniature of the paper's Fig. 6a.
+//!
+//! ```sh
+//! cargo run --release --example ysb_pipeline
+//! ```
+
+use slash::baselines::flinksim::flink_config;
+use slash::baselines::partitioned::run_partitioned;
+use slash::baselines::uppar::uppar_config;
+use slash::core::{RunConfig, SlashCluster};
+use slash::workloads::{ysb, GenConfig};
+
+fn main() {
+    let nodes = 4;
+    let workers = 4;
+    let records_per_worker = 25_000u64;
+
+    // --- Slash: every thread runs filter → project → window-update. ---
+    let w = ysb(&GenConfig::new(nodes * workers, records_per_worker));
+    println!(
+        "YSB: {} records ({} MB), filter(1/3) -> project -> 10min tumbling count per campaign",
+        w.records,
+        w.records * 78 / 1_000_000
+    );
+    let slash = SlashCluster::run(w.plan, w.partitions, RunConfig::new(nodes, workers));
+    println!(
+        "\nSlash      @{nodes} nodes: {:>8.1} M records/s   ({} windows emitted, {} KiB state traffic)",
+        slash.throughput() / 1e6,
+        slash.emitted,
+        slash.net_tx_bytes / 1024
+    );
+
+    // --- RDMA UpPar: half the threads partition, half process. ---
+    let senders = workers / 2;
+    let w = ysb(&GenConfig::new(
+        nodes * senders,
+        records_per_worker * workers as u64 / senders as u64,
+    ));
+    let uppar = run_partitioned(w.plan, w.partitions, uppar_config(nodes, workers));
+    println!(
+        "RDMA UpPar @{nodes} nodes: {:>8.1} M records/s   ({} windows emitted, {} MiB re-partitioned)",
+        uppar.throughput() / 1e6,
+        uppar.emitted,
+        uppar.net_tx_bytes / 1024 / 1024
+    );
+
+    // --- Flink-sim: same topology over IPoIB sockets + managed runtime. ---
+    let w = ysb(&GenConfig::new(
+        nodes * senders,
+        records_per_worker * workers as u64 / senders as u64,
+    ));
+    let flink = run_partitioned(w.plan, w.partitions, flink_config(nodes, workers));
+    println!(
+        "Flink-sim  @{nodes} nodes: {:>8.1} M records/s   ({} windows emitted)",
+        flink.throughput() / 1e6,
+        flink.emitted
+    );
+
+    println!(
+        "\nSlash vs UpPar: {:.1}x    Slash vs Flink: {:.1}x",
+        slash.throughput() / uppar.throughput(),
+        slash.throughput() / flink.throughput()
+    );
+    assert!(slash.throughput() > uppar.throughput());
+    assert!(uppar.throughput() > flink.throughput());
+}

@@ -1,0 +1,259 @@
+//! Property P2 (paper §5.1): a distributed computation over a stream must
+//! produce the same output a sequential computation would — end to end,
+//! for every engine and every workload family.
+//!
+//! The oracle is a plain sequential fold over the same generated
+//! partitions; engines must match it exactly (aggregations) or in pair
+//! counts (joins).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use slash::baselines::partitioned::{run_partitioned, PartitionedConfig, Transport};
+use slash::core::{QueryPlan, RunConfig, SinkResult, SlashCluster};
+use slash::workloads::{cm, nb7, nb8, ysb, GenConfig, Workload};
+
+/// Sequential oracle: fold every record of every partition.
+fn oracle(w: &Workload) -> HashMap<(u64, u64), f64> {
+    let mut out: HashMap<(u64, u64), Vec<u8>> = HashMap::new();
+    let (input, window, agg) = match &w.plan {
+        QueryPlan::Aggregate { input, window, agg } => (input, *window, *agg),
+        _ => panic!("oracle only handles aggregations"),
+    };
+    let schema = input.schema;
+    let desc = agg.descriptor();
+    for part in &w.partitions {
+        schema.for_each(part, |rec| {
+            if !input.keep(rec) {
+                return;
+            }
+            let wid = window.assign(schema.ts(rec));
+            let key = schema.key(rec);
+            let value = out.entry((wid, key)).or_insert_with(|| {
+                let mut v = vec![0u8; desc.fixed_size()];
+                (desc.init)(&mut v);
+                v
+            });
+            agg.update(&schema, rec, value);
+        });
+    }
+    out.into_iter()
+        .map(|(k, v)| (k, agg.render(&v)))
+        .collect()
+}
+
+fn results_map(results: &[SinkResult]) -> HashMap<(u64, u64), f64> {
+    let mut out = HashMap::new();
+    for r in results {
+        if let SinkResult::Agg {
+            window_id,
+            key,
+            value,
+        } = r
+        {
+            let prev = out.insert((*window_id, *key), *value);
+            assert!(prev.is_none(), "duplicate trigger for {window_id}/{key}");
+        }
+    }
+    out
+}
+
+fn assert_equal(expected: &HashMap<(u64, u64), f64>, got: &HashMap<(u64, u64), f64>, sut: &str) {
+    assert_eq!(
+        expected.len(),
+        got.len(),
+        "{sut}: {} expected groups, {} emitted",
+        expected.len(),
+        got.len()
+    );
+    for (k, want) in expected {
+        let have = got.get(k).unwrap_or_else(|| panic!("{sut}: missing {k:?}"));
+        assert!(
+            (want - have).abs() < 1e-9 * want.abs().max(1.0),
+            "{sut}: {k:?} expected {want}, got {have}"
+        );
+    }
+}
+
+fn slash_results(w: Workload, nodes: usize, workers: usize) -> HashMap<(u64, u64), f64> {
+    assert_eq!(w.partitions.len(), nodes * workers);
+    let mut cfg = RunConfig::new(nodes, workers);
+    cfg.collect_results = true;
+    cfg.epoch_bytes = 64 * 1024; // frequent epochs stress the protocol
+    let report = SlashCluster::run(w.plan, w.partitions, cfg);
+    results_map(&report.results)
+}
+
+fn partitioned_results(
+    w: Workload,
+    nodes: usize,
+    workers: usize,
+    transport: Transport,
+    rf: f64,
+) -> HashMap<(u64, u64), f64> {
+    let mut cfg = PartitionedConfig::new(nodes, workers, transport);
+    cfg.runtime_factor = rf;
+    cfg.collect_results = true;
+    let report = run_partitioned(w.plan, w.partitions, cfg);
+    results_map(&report.results)
+}
+
+#[test]
+fn ysb_all_engines_match_the_sequential_oracle() {
+    // Same partitions for everyone: 4 source streams.
+    let w = ysb(&GenConfig::new(4, 5_000));
+    let expected = oracle(&w);
+    assert!(!expected.is_empty());
+
+    let slash = slash_results(ysb(&GenConfig::new(4, 5_000)), 2, 2);
+    assert_equal(&expected, &slash, "slash");
+
+    // UpPar with 2 nodes × 4 workers has 2 senders/node = 4 sources.
+    let uppar = partitioned_results(
+        ysb(&GenConfig::new(4, 5_000)),
+        2,
+        4,
+        Transport::Rdma,
+        1.0,
+    );
+    assert_equal(&expected, &uppar, "uppar");
+
+    let flink = partitioned_results(
+        ysb(&GenConfig::new(4, 5_000)),
+        2,
+        4,
+        Transport::Socket,
+        3.5,
+    );
+    assert_equal(&expected, &flink, "flink");
+}
+
+#[test]
+fn nb7_max_aggregation_matches_oracle_under_pareto_skew() {
+    let w = nb7(&GenConfig::new(4, 4_000));
+    let expected = oracle(&w);
+    let slash = slash_results(nb7(&GenConfig::new(4, 4_000)), 2, 2);
+    assert_equal(&expected, &slash, "slash");
+    let uppar = partitioned_results(
+        nb7(&GenConfig::new(4, 4_000)),
+        2,
+        4,
+        Transport::Rdma,
+        1.0,
+    );
+    assert_equal(&expected, &uppar, "uppar");
+}
+
+#[test]
+fn cm_mean_aggregation_matches_oracle() {
+    let w = cm(&GenConfig::new(6, 3_000));
+    let expected = oracle(&w);
+    let slash = slash_results(cm(&GenConfig::new(6, 3_000)), 3, 2);
+    assert_equal(&expected, &slash, "slash");
+}
+
+/// Join pair counts per (window, key) must agree between engines and with
+/// a sequential oracle.
+#[test]
+fn nb8_join_pairs_match_between_engines_and_oracle() {
+    let gen = || nb8(&GenConfig::new(4, 2_500));
+    let w = gen();
+    let (input, window, side_off) = match &w.plan {
+        QueryPlan::Join {
+            input,
+            window,
+            side_off,
+            ..
+        } => (input.clone(), *window, *side_off),
+        _ => unreachable!(),
+    };
+    let schema = input.schema;
+    let mut left: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut right: HashMap<(u64, u64), u64> = HashMap::new();
+    for part in &w.partitions {
+        schema.for_each(part, |rec| {
+            let k = (window.assign(schema.ts(rec)), schema.key(rec));
+            if schema.field_u64(rec, side_off) == 0 {
+                *left.entry(k).or_default() += 1;
+            } else {
+                *right.entry(k).or_default() += 1;
+            }
+        });
+    }
+    let expected: HashMap<(u64, u64), u64> = left
+        .iter()
+        .filter_map(|(k, l)| right.get(k).map(|r| (*k, l * r)))
+        .filter(|(_, p)| *p > 0)
+        .collect();
+    let expected_total: u64 = expected.values().sum();
+
+    let mut cfg = RunConfig::new(2, 2);
+    cfg.collect_results = true;
+    let slash = SlashCluster::run(w.plan, w.partitions, cfg);
+    assert_eq!(slash.total_pairs, expected_total, "slash pair total");
+
+    let w = gen();
+    let mut cfg = PartitionedConfig::new(2, 4, Transport::Rdma);
+    cfg.collect_results = true;
+    let uppar = run_partitioned(w.plan, w.partitions, cfg);
+    assert_eq!(uppar.total_pairs, expected_total, "uppar pair total");
+
+    // Per-group equality for Slash.
+    for r in &slash.results {
+        if let SinkResult::Join {
+            window_id,
+            key,
+            pairs,
+        } = r
+        {
+            if *pairs == 0 {
+                continue;
+            }
+            assert_eq!(
+                expected.get(&(*window_id, *key)),
+                Some(pairs),
+                "group ({window_id},{key})"
+            );
+        }
+    }
+}
+
+/// NB11's session join must produce identical session-split pair counts
+/// on Slash and UpPar (cross-engine P2 for sessions).
+#[test]
+fn nb11_session_join_matches_between_engines() {
+    use slash::workloads::nb11;
+    let gen = || nb11(&GenConfig::new(4, 2_000));
+
+    let w = gen();
+    let mut cfg = RunConfig::new(2, 2);
+    cfg.collect_results = true;
+    let slash = SlashCluster::run(w.plan, w.partitions, cfg);
+
+    let w = gen();
+    let mut cfg = PartitionedConfig::new(2, 4, Transport::Rdma);
+    cfg.collect_results = true;
+    let uppar = run_partitioned(w.plan, w.partitions, cfg);
+
+    assert!(slash.total_pairs > 0, "sessions must produce matches");
+    assert_eq!(
+        slash.total_pairs, uppar.total_pairs,
+        "session pair totals must agree across engines"
+    );
+
+    // Per-group comparison.
+    let collect = |results: &[SinkResult]| -> HashMap<(u64, u64), u64> {
+        results
+            .iter()
+            .filter_map(|r| match r {
+                SinkResult::Join {
+                    window_id,
+                    key,
+                    pairs,
+                } if *pairs > 0 => Some(((*window_id, *key), *pairs)),
+                _ => None,
+            })
+            .collect()
+    };
+    assert_eq!(collect(&slash.results), collect(&uppar.results));
+}
