@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # slash-baselines — the paper's comparison systems (§8.1.1)
 //!
 //! Three systems-under-test, built to be compared head-to-head with Slash

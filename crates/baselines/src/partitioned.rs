@@ -551,19 +551,19 @@ pub fn run_partitioned(
     let mut rx_chans: Vec<Vec<RxChan>> = (0..n_consumers).map(|_| Vec::new()).collect();
     let mut tx_chans: Vec<Vec<TxChan>> = (0..cfg.nodes).map(|_| Vec::new()).collect();
     for src in 0..cfg.nodes {
-        for consumer in 0..n_consumers {
+        for (consumer, rx_lanes) in rx_chans.iter_mut().enumerate() {
             let dst = consumer / receivers;
             match cfg.transport {
                 Transport::Rdma => {
                     let (tx, rx) =
                         create_channel(&fabric, node_ids[src], node_ids[dst], cfg.channel);
                     tx_chans[src].push(TxChan::Rdma(Rc::new(RefCell::new(tx))));
-                    rx_chans[consumer].push(RxChan::Rdma(rx));
+                    rx_lanes.push(RxChan::Rdma(rx));
                 }
                 Transport::Socket => {
                     let (tx, rx) = socket_pair(&fabric, node_ids[src], node_ids[dst], cfg.socket);
                     tx_chans[src].push(TxChan::Socket(Rc::new(RefCell::new(tx))));
-                    rx_chans[consumer].push(RxChan::Socket(rx));
+                    rx_lanes.push(RxChan::Socket(rx));
                 }
             }
         }

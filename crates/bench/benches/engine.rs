@@ -1,24 +1,25 @@
-//! Criterion benches of the engine building blocks: RDMA channel transfer,
-//! the epoch protocol, and the end-to-end virtual cluster at small scale.
+//! Benches of the engine building blocks: RDMA channel transfer, the epoch
+//! protocol, and the end-to-end virtual cluster at small scale. Runs on the
+//! self-contained `slash_bench::harness` (no external deps, fully offline).
 
 use std::rc::Rc;
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
-use slash_core::{AggSpec, QueryPlan, RecordSchema, RunConfig, SlashCluster, StreamDef,
-    WindowAssigner};
+use slash_bench::harness::{Harness, Throughput};
+use slash_core::{
+    AggSpec, QueryPlan, RecordSchema, RunConfig, SlashCluster, StreamDef, WindowAssigner,
+};
 use slash_desim::Sim;
 use slash_net::{create_channel, ChannelConfig, MsgFlags};
 use slash_rdma::{Fabric, FabricConfig};
 use slash_state::backend::{build_cluster, SsbConfig};
 use slash_state::{pack_key, CounterCrdt};
 
-fn bench_channel_transfer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rdma_channel");
+fn bench_channel_transfer(h: &mut Harness) {
     let payload = vec![7u8; 4096];
-    g.throughput(Throughput::Bytes(4096 * 64));
-    g.bench_function("send_recv_64_buffers", |b| {
-        b.iter(|| {
+    h.bench_throughput(
+        "rdma_channel/send_recv_64_buffers",
+        Throughput::Bytes(4096 * 64),
+        || {
             let mut sim = Sim::new();
             let fabric = Fabric::new(FabricConfig::default());
             let a = fabric.add_node();
@@ -36,16 +37,15 @@ fn bench_channel_transfer(c: &mut Criterion) {
                 }
                 sim.run();
             }
-        });
-    });
-    g.finish();
+        },
+    );
 }
 
-fn bench_epoch_protocol(c: &mut Criterion) {
-    let mut g = c.benchmark_group("epoch_protocol");
-    g.throughput(Throughput::Elements(1000));
-    g.bench_function("update_ship_merge_1k_keys_3_nodes", |b| {
-        b.iter(|| {
+fn bench_epoch_protocol(h: &mut Harness) {
+    h.bench_throughput(
+        "epoch_protocol/update_ship_merge_1k_keys_3_nodes",
+        Throughput::Elements(1000),
+        || {
             let mut sim = Sim::new();
             let fabric = Fabric::new(FabricConfig::default());
             let nodes = fabric.add_nodes(3);
@@ -70,15 +70,11 @@ fn bench_epoch_protocol(c: &mut Criterion) {
                     break;
                 }
             }
-            ssb
-        });
-    });
-    g.finish();
+        },
+    );
 }
 
-fn bench_e2e_cluster(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2e");
-    g.sample_size(10);
+fn bench_e2e_cluster(h: &mut Harness) {
     let gen = |n: u64| -> Rc<Vec<u8>> {
         let mut buf = Vec::with_capacity((n * 16) as usize);
         for i in 0..n {
@@ -87,25 +83,24 @@ fn bench_e2e_cluster(c: &mut Criterion) {
         }
         Rc::new(buf)
     };
-    g.throughput(Throughput::Elements(4 * 10_000));
-    g.bench_function("slash_2nodes_2workers_40k_records", |b| {
-        b.iter(|| {
+    h.bench_throughput(
+        "e2e/slash_2nodes_2workers_40k_records",
+        Throughput::Elements(4 * 10_000),
+        || {
             let plan = QueryPlan::Aggregate {
                 input: StreamDef::new(RecordSchema::plain(16)),
                 window: WindowAssigner::Tumbling { size: 1000 },
                 agg: AggSpec::Count,
             };
             let parts: Vec<Rc<Vec<u8>>> = (0..4).map(|_| gen(10_000)).collect();
-            SlashCluster::run(plan, parts, RunConfig::new(2, 2))
-        });
-    });
-    g.finish();
+            SlashCluster::run(plan, parts, RunConfig::new(2, 2));
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_channel_transfer,
-    bench_epoch_protocol,
-    bench_e2e_cluster
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_channel_transfer(&mut h);
+    bench_epoch_protocol(&mut h);
+    bench_e2e_cluster(&mut h);
+}

@@ -1,10 +1,10 @@
-//! Criterion benches of the experiment kernels themselves — one bench per
-//! paper artifact, at reduced scale. `cargo bench` therefore re-exercises
-//! every figure/table code path and tracks regressions in the simulation's
+//! Benches of the experiment kernels themselves — one bench per paper
+//! artifact, at reduced scale. `cargo bench` therefore re-exercises every
+//! figure/table code path and tracks regressions in the simulation's
 //! host-side performance; the `repro` binary produces the full tables.
+//! Runs on the self-contained `slash_bench::harness` (fully offline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use slash_bench::harness::{black_box, Harness};
 use slash_bench::micro::{run_micro, MicroConfig, RouteMode};
 use slash_bench::{fig6, fig7, fig8, fig9, Scale};
 
@@ -15,60 +15,49 @@ fn bench_scale() -> Scale {
     }
 }
 
-fn bench_fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6");
-    g.sample_size(10);
+fn bench_fig6(h: &mut Harness) {
     for query in ["ysb", "cm", "nb7", "nb8", "nb11"] {
-        g.bench_function(query, |b| {
-            b.iter(|| fig6::run(query, bench_scale(), &[2]));
+        h.bench(&format!("fig6/{query}"), || {
+            black_box(fig6::run(query, bench_scale(), &[2]));
         });
     }
-    g.finish();
 }
 
-fn bench_fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7");
-    g.sample_size(10);
-    g.bench_function("cost_ysb", |b| {
-        b.iter(|| fig7::run("ysb", bench_scale(), &[2]));
+fn bench_fig7(h: &mut Harness) {
+    h.bench("fig7/cost_ysb", || {
+        black_box(fig7::run("ysb", bench_scale(), &[2]));
     });
-    g.finish();
 }
 
-fn bench_fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8");
-    g.sample_size(10);
-    g.bench_function("channel_direct_64k", |b| {
-        b.iter(|| {
-            let mut cfg = MicroConfig::new(RouteMode::Direct, 2);
-            cfg.records_per_thread = 20_000;
-            run_micro(cfg)
-        });
+fn bench_fig8(h: &mut Harness) {
+    h.bench("fig8/channel_direct_64k", || {
+        let mut cfg = MicroConfig::new(RouteMode::Direct, 2);
+        cfg.records_per_thread = 20_000;
+        black_box(run_micro(cfg));
     });
-    g.bench_function("channel_fanout_64k", |b| {
-        b.iter(|| {
-            let mut cfg = MicroConfig::new(RouteMode::HashFanout, 2);
-            cfg.records_per_thread = 20_000;
-            run_micro(cfg)
-        });
+    h.bench("fig8/channel_fanout_64k", || {
+        let mut cfg = MicroConfig::new(RouteMode::HashFanout, 2);
+        cfg.records_per_thread = 20_000;
+        black_box(run_micro(cfg));
     });
-    g.bench_function("skew_point", |b| {
-        b.iter(|| fig8::run_skew_sweep(bench_scale(), &[1.0]));
+    h.bench("fig8/skew_point", || {
+        black_box(fig8::run_skew_sweep(bench_scale(), &[1.0]));
     });
-    g.finish();
 }
 
-fn bench_fig9(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_10_table1");
-    g.sample_size(10);
-    g.bench_function("breakdown_ro", |b| {
-        b.iter(|| fig9::run_fig9(bench_scale()));
+fn bench_fig9(h: &mut Harness) {
+    h.bench("fig9_10_table1/breakdown_ro", || {
+        black_box(fig9::run_fig9(bench_scale()));
     });
-    g.bench_function("table1_ysb", |b| {
-        b.iter(|| fig9::run_table1(bench_scale()));
+    h.bench("fig9_10_table1/table1_ysb", || {
+        black_box(fig9::run_table1(bench_scale()));
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_fig6, bench_fig7, bench_fig8, bench_fig9);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_fig6(&mut h);
+    bench_fig7(&mut h);
+    bench_fig8(&mut h);
+    bench_fig9(&mut h);
+}

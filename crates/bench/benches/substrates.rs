@@ -1,11 +1,11 @@
-//! Criterion micro-benchmarks of the substrate data structures: the LSS,
-//! the FASTER-style hash index, CRDT merges, and window assignment. These
+//! Micro-benchmarks of the substrate data structures: the LSS, the
+//! FASTER-style hash index, CRDT merges, and window assignment. These
 //! measure *host* performance of the real data structures (not simulated
 //! time) — the state backend does real work in the reproduction, so its
-//! efficiency bounds how fast experiments run.
+//! efficiency bounds how fast experiments run. Runs on the self-contained
+//! `slash_bench::harness` (fully offline).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use slash_bench::harness::{black_box, Harness, Throughput};
 use slash_state::crdts::{CounterCrdt, MeanCrdt};
 use slash_state::entry::EntryKind;
 use slash_state::hash::{hash_key, pack_key};
@@ -13,134 +13,112 @@ use slash_state::index::HashIndex;
 use slash_state::log::Lss;
 use slash_state::Partition;
 
-fn bench_lss_append(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lss_append");
+fn bench_lss_append(h: &mut Harness) {
     for value_size in [8usize, 64, 256] {
-        g.throughput(Throughput::Bytes(value_size as u64));
-        g.bench_with_input(
-            BenchmarkId::from_parameter(value_size),
-            &value_size,
-            |b, &sz| {
-                let value = vec![0xABu8; sz];
-                b.iter_batched(
-                    Lss::new,
-                    |mut log| {
-                        for i in 0..1000u64 {
-                            log.append(
-                                i as u128,
-                                slash_state::entry::NO_PREV,
-                                EntryKind::Fixed,
-                                black_box(&value),
-                            );
-                        }
-                        log
-                    },
-                    criterion::BatchSize::SmallInput,
+        let value = vec![0xABu8; value_size];
+        h.bench_batched(&format!("lss_append/{value_size}"), Lss::new, |mut log| {
+            for i in 0..1000u64 {
+                log.append(
+                    i as u128,
+                    slash_state::entry::NO_PREV,
+                    EntryKind::Fixed,
+                    black_box(&value),
                 );
-            },
-        );
+            }
+            log
+        });
     }
-    g.finish();
 }
 
-fn bench_index_probe(c: &mut Criterion) {
-    let mut g = c.benchmark_group("index_probe");
+fn bench_index_probe(h: &mut Harness) {
     for n in [1_000u64, 100_000] {
         // Build a partition with n keys, then measure lookups.
         let mut part = Partition::new(0, CounterCrdt::descriptor());
         for k in 0..n {
             part.rmw(pack_key(1, k), |v| CounterCrdt::add(v, 1));
         }
-        g.throughput(Throughput::Elements(1));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut k = 0u64;
-            b.iter(|| {
+        let mut k = 0u64;
+        h.bench_throughput(
+            &format!("index_probe/{n}"),
+            Throughput::Elements(1),
+            || {
                 k = (k + 7919) % n;
-                black_box(part.get(pack_key(1, k)))
-            });
-        });
+                black_box(part.get(pack_key(1, k)));
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_rmw_hot_path(c: &mut Criterion) {
+fn bench_rmw_hot_path(h: &mut Harness) {
     // Slash's per-record hot path: hash + index probe + in-place RMW.
-    let mut g = c.benchmark_group("state_rmw");
     for keys in [256u64, 65_536] {
-        g.throughput(Throughput::Elements(1));
-        g.bench_with_input(BenchmarkId::from_parameter(keys), &keys, |b, &keys| {
-            let mut part = Partition::new(0, CounterCrdt::descriptor());
-            let mut k = 0u64;
-            b.iter(|| {
+        let mut part = Partition::new(0, CounterCrdt::descriptor());
+        let mut k = 0u64;
+        h.bench_throughput(
+            &format!("state_rmw/{keys}"),
+            Throughput::Elements(1),
+            || {
                 k = (k + 31) % keys;
                 part.rmw(pack_key(1, k), |v| CounterCrdt::add(v, 1));
-            });
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_crdt_merge(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crdt_merge");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("counter", |b| {
+fn bench_crdt_merge(h: &mut Harness) {
+    {
         let d = CounterCrdt::descriptor();
         let mut dst = vec![0u8; 8];
         let src = 42u64.to_le_bytes();
-        b.iter(|| (d.merge)(black_box(&mut dst), black_box(&src)));
-    });
-    g.bench_function("mean", |b| {
+        h.bench_throughput("crdt_merge/counter", Throughput::Elements(1), || {
+            (d.merge)(black_box(&mut dst), black_box(&src));
+        });
+    }
+    {
         let d = MeanCrdt::descriptor();
         let mut dst = vec![0u8; 16];
         let mut src = vec![0u8; 16];
         MeanCrdt::observe(&mut src, 1.5);
-        b.iter(|| (d.merge)(black_box(&mut dst), black_box(&src)));
-    });
-    g.finish();
-}
-
-fn bench_hashing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hash");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("hash_key", |b| {
-        let mut k = 0u128;
-        b.iter(|| {
-            k = k.wrapping_add(0x9E37_79B9);
-            black_box(hash_key(k))
+        h.bench_throughput("crdt_merge/mean", Throughput::Elements(1), || {
+            (d.merge)(black_box(&mut dst), black_box(&src));
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_index_growth(c: &mut Criterion) {
-    c.bench_function("index_insert_100k_with_growth", |b| {
-        b.iter_batched(
-            || HashIndex::with_capacity(64),
-            |mut idx| {
-                // Addresses stand in for log positions; keys are implicit
-                // in the verify closure (always-miss: all distinct).
-                for a in 0..100_000u64 {
-                    idx.upsert(
-                        slash_state::hash::hash_u64(a),
-                        a,
-                        |_| false,
-                        |addr| slash_state::hash::hash_u64(addr),
-                    );
-                }
-                idx
-            },
-            criterion::BatchSize::SmallInput,
-        );
+fn bench_hashing(h: &mut Harness) {
+    let mut k = 0u128;
+    h.bench_throughput("hash/hash_key", Throughput::Elements(1), || {
+        k = k.wrapping_add(0x9E37_79B9);
+        black_box(hash_key(k));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_lss_append,
-    bench_index_probe,
-    bench_rmw_hot_path,
-    bench_crdt_merge,
-    bench_hashing,
-    bench_index_growth
-);
-criterion_main!(benches);
+fn bench_index_growth(h: &mut Harness) {
+    h.bench_batched(
+        "index_insert_100k_with_growth",
+        || HashIndex::with_capacity(64),
+        |mut idx| {
+            // Addresses stand in for log positions; keys are implicit
+            // in the verify closure (always-miss: all distinct).
+            for a in 0..100_000u64 {
+                idx.upsert(
+                    slash_state::hash::hash_u64(a),
+                    a,
+                    |_| false,
+                    slash_state::hash::hash_u64,
+                );
+            }
+            idx
+        },
+    );
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    bench_lss_append(&mut h);
+    bench_index_probe(&mut h);
+    bench_rmw_hot_path(&mut h);
+    bench_crdt_merge(&mut h);
+    bench_hashing(&mut h);
+    bench_index_growth(&mut h);
+}

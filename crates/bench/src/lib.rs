@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # slash-bench — the experiment harness
 //!
 //! One runner per table/figure of the paper's evaluation (§8). Each
@@ -17,6 +18,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod harness;
 pub mod micro;
 pub mod scale;
 pub mod suts;

@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # slash-core — the Slash stateful executor (paper §4–§5)
 //!
 //! The engine that ties the substrates together: queries are fused operator

@@ -194,8 +194,10 @@ mod tests {
 
     #[test]
     fn mem_bandwidth_over_elapsed() {
-        let mut m = EngineMetrics::default();
-        m.mem_bytes = 4_000_000_000;
+        let m = EngineMetrics {
+            mem_bytes: 4_000_000_000,
+            ..EngineMetrics::default()
+        };
         let bw = m.mem_bandwidth(SimTime::from_secs(2));
         assert!((bw - 2e9).abs() < 1.0);
         assert_eq!(m.mem_bandwidth(SimTime::ZERO), 0.0);

@@ -25,6 +25,9 @@ pub enum JoinSide {
     Right,
 }
 
+/// A filter predicate over one physical record (true = keep).
+pub type FilterFn = Rc<dyn Fn(&RecordSchema, &[u8]) -> bool>;
+
 /// A stream with its stateless pipeline prefix.
 #[derive(Clone)]
 pub struct StreamDef {
@@ -32,7 +35,7 @@ pub struct StreamDef {
     pub schema: RecordSchema,
     /// Optional filter predicate (fused into the pipeline; YSB's
     /// event-type filter).
-    pub filter: Option<Rc<dyn Fn(&RecordSchema, &[u8]) -> bool>>,
+    pub filter: Option<FilterFn>,
 }
 
 impl StreamDef {

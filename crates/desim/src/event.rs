@@ -12,6 +12,52 @@ use crate::sim::Sim;
 /// which is what makes the simulation deterministic.
 pub(crate) type EventSeq = u64;
 
+/// Policy for ordering events that share a virtual timestamp.
+///
+/// Real hardware gives no ordering guarantee between *independent* events
+/// that happen "at the same time" (deliveries on different links, polls on
+/// different endpoints). The kernel's default FIFO tie-break silently picks
+/// one legal order and hides bugs that only surface under another. The race
+/// checker in `slash-verify` replays protocol scenarios under many seeded
+/// permutations of exactly these ties — a bounded, deterministic
+/// exploration of the schedule space (DPOR-lite).
+///
+/// Every policy is fully deterministic: two runs with the same policy and
+/// inputs produce byte-identical schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// First-scheduled fires first (the default; matches historic behavior).
+    #[default]
+    Fifo,
+    /// Last-scheduled fires first (an adversarial stack order).
+    Lifo,
+    /// Deterministic pseudo-random permutation keyed by the seed: each
+    /// distinct seed yields a distinct (but reproducible) interleaving of
+    /// same-timestamp events.
+    Seeded(u64),
+}
+
+impl TieBreak {
+    /// Priority key for an event with schedule sequence `seq`; among events
+    /// at the same virtual time, the smallest key fires first.
+    fn key(self, seq: EventSeq) -> u64 {
+        match self {
+            TieBreak::Fifo => seq,
+            TieBreak::Lifo => !seq,
+            TieBreak::Seeded(s) => {
+                // SplitMix64 over (seed, seq): a high-quality deterministic
+                // permutation of the tie order.
+                let mut z = seq
+                    .wrapping_add(s.wrapping_mul(0x9E3779B97F4A7C15))
+                    .wrapping_add(0x9E3779B97F4A7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            }
+        }
+    }
+}
+
 /// What happens when an event fires.
 pub(crate) enum EventKind {
     /// Wake a parked or yielded process.
@@ -24,6 +70,10 @@ pub(crate) enum EventKind {
 pub(crate) struct Scheduled {
     pub at: SimTime,
     pub seq: EventSeq,
+    /// Tie-break priority among same-time events (smallest fires first).
+    /// Computed once at push from the queue's [`TieBreak`] policy so that
+    /// changing the policy mid-run never reorders already-queued events.
+    pub key: u64,
     pub kind: EventKind,
 }
 
@@ -42,24 +92,38 @@ impl PartialOrd for Scheduled {
 
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        // BinaryHeap is a max-heap; invert so the earliest (time, key, seq)
+        // pops first. `seq` remains the final tie so the order stays total
+        // and deterministic even when keys collide.
+        (other.at, other.key, other.seq).cmp(&(self.at, self.key, self.seq))
     }
 }
 
-/// A deterministic min-queue of scheduled events.
+/// A deterministic min-queue of scheduled events with a pluggable policy
+/// for ordering same-timestamp entries.
 #[derive(Default)]
 pub(crate) struct EventQueue {
     heap: BinaryHeap<Scheduled>,
     next_seq: EventSeq,
+    policy: TieBreak,
 }
 
 impl EventQueue {
     pub fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, kind });
+        let key = self.policy.key(seq);
+        self.heap.push(Scheduled { at, seq, key, kind });
+    }
+
+    /// Set the tie-break policy for events pushed from now on.
+    pub fn set_policy(&mut self, policy: TieBreak) {
+        self.policy = policy;
+    }
+
+    /// The active tie-break policy.
+    pub fn policy(&self) -> TieBreak {
+        self.policy
     }
 
     pub fn pop(&mut self) -> Option<Scheduled> {
@@ -111,6 +175,50 @@ mod tests {
             s
         };
         assert_eq!(seqs, sorted, "same-time events must fire in schedule order");
+    }
+
+    #[test]
+    fn lifo_reverses_same_time_order() {
+        let mut q = EventQueue::default();
+        q.set_policy(TieBreak::Lifo);
+        for i in 0..8u64 {
+            q.push(SimTime(42), EventKind::Wake(ProcId(i as u32)));
+        }
+        let seqs: Vec<EventSeq> = std::iter::from_fn(|| q.pop().map(|s| s.seq)).collect();
+        assert_eq!(seqs, (0..8u64).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeded_policy_permutes_ties_deterministically() {
+        let order_for = |tb: TieBreak| -> Vec<EventSeq> {
+            let mut q = EventQueue::default();
+            q.set_policy(tb);
+            for _ in 0..32u64 {
+                q.push(SimTime(7), EventKind::Wake(ProcId(0)));
+            }
+            std::iter::from_fn(|| q.pop().map(|s| s.seq)).collect()
+        };
+        let fifo = order_for(TieBreak::Fifo);
+        let a1 = order_for(TieBreak::Seeded(1));
+        let a2 = order_for(TieBreak::Seeded(1));
+        let b = order_for(TieBreak::Seeded(2));
+        assert_eq!(a1, a2, "same seed must reproduce the same schedule");
+        assert_ne!(a1, fifo, "seeded order should differ from FIFO");
+        assert_ne!(a1, b, "different seeds should explore different orders");
+        let mut sorted = a1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, fifo, "a permutation: no event lost or duplicated");
+    }
+
+    #[test]
+    fn time_order_beats_tie_break_key() {
+        let mut q = EventQueue::default();
+        q.set_policy(TieBreak::Lifo);
+        wake(30, &mut q);
+        wake(10, &mut q);
+        wake(20, &mut q);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|s| s.at.0)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
     }
 
     #[test]

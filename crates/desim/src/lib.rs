@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # slash-desim — deterministic discrete-event simulation kernel
 //!
 //! All of Slash's "hardware" substrates (the software RDMA fabric, NIC
@@ -12,6 +13,10 @@
 //! 1. **Determinism.** Two runs with the same inputs produce byte-identical
 //!    results. Ties between events at the same virtual time are broken by a
 //!    monotone sequence number, and the kernel is strictly single-threaded.
+//!    The tie-break order among same-timestamp events is *pluggable* (see
+//!    [`TieBreak`]): the default is FIFO, and the `slash-verify` race
+//!    checker replays protocol scenarios under seeded permutations of
+//!    exactly those ties to explore alternative legal schedules.
 //! 2. **Ergonomics for protocol code.** The RDMA channel and the epoch
 //!    coherence protocol are written as ordinary Rust state machines that
 //!    implement [`Process`]; shared structures (memory regions, completion
@@ -31,6 +36,7 @@ pub mod rng;
 pub mod sim;
 
 pub use clock::SimTime;
+pub use event::TieBreak;
 pub use link::Link;
 pub use process::{ProcId, Process, Step};
 pub use rng::DetRng;

@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::clock::SimTime;
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, EventQueue, TieBreak};
 use crate::process::{ProcId, ProcState, Process, Step};
 
 struct ProcEntry {
@@ -35,6 +35,7 @@ pub struct Sim {
     stepping: Option<ProcId>,
     self_wake: bool,
     stats: SimStats,
+    fingerprint: u64,
 }
 
 impl Default for Sim {
@@ -53,7 +54,32 @@ impl Sim {
             stepping: None,
             self_wake: false,
             stats: SimStats::default(),
+            fingerprint: 0,
         }
+    }
+
+    /// Create a simulation whose same-timestamp events fire in the order
+    /// chosen by `policy` (the default is [`TieBreak::Fifo`]).
+    ///
+    /// Used by the race checker to explore many legal interleavings of the
+    /// same scenario: the physics (event timestamps) are unchanged, only the
+    /// order among genuinely concurrent events varies.
+    pub fn with_tie_break(policy: TieBreak) -> Self {
+        let mut sim = Sim::new();
+        sim.queue.set_policy(policy);
+        sim
+    }
+
+    /// Change the tie-break policy for events scheduled from now on.
+    /// Already-queued events keep the order they were given at scheduling
+    /// time, so this is safe to call mid-run.
+    pub fn set_tie_break(&mut self, policy: TieBreak) {
+        self.queue.set_policy(policy);
+    }
+
+    /// The active tie-break policy.
+    pub fn tie_break(&self) -> TieBreak {
+        self.queue.policy()
     }
 
     /// Current virtual time.
@@ -65,6 +91,16 @@ impl Sim {
     /// Kernel statistics so far.
     pub fn stats(&self) -> SimStats {
         self.stats
+    }
+
+    /// A hash of the exact order in which events have fired so far.
+    ///
+    /// Two runs have the same fingerprint iff they popped the same
+    /// `(time, schedule-seq)` stream — i.e. executed the same schedule. The
+    /// race checker uses this to count how many *distinct* interleavings a
+    /// sweep of tie-break seeds actually explored.
+    pub fn schedule_fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Register a process and schedule its first step at the current time.
@@ -201,6 +237,16 @@ impl Sim {
         debug_assert!(ev.at >= self.now, "event queue went backwards");
         self.now = ev.at;
         self.stats.events += 1;
+        // Fold the pop order into the schedule fingerprint (SplitMix64 over
+        // the running hash and the event identity).
+        let mut z = self
+            .fingerprint
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(ev.at.0)
+            .wrapping_add(ev.seq.rotate_left(32));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        self.fingerprint = z ^ (z >> 31);
         match ev.kind {
             EventKind::Closure(f) => f(self),
             EventKind::Wake(pid) => self.step_proc(pid),
@@ -404,5 +450,51 @@ mod tests {
         }
         sim.run();
         assert_eq!(&*log.borrow(), &[0, 1, 2, 3]);
+    }
+
+    fn same_time_order(policy: TieBreak) -> (Vec<u64>, u64) {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::with_tie_break(policy);
+        for i in 0..8u64 {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(10), move |_s| log.borrow_mut().push(i));
+        }
+        sim.run();
+        let order = log.borrow().clone();
+        (order, sim.schedule_fingerprint())
+    }
+
+    #[test]
+    fn tie_break_policies_permute_same_time_events() {
+        let (fifo, fp_fifo) = same_time_order(TieBreak::Fifo);
+        let (lifo, fp_lifo) = same_time_order(TieBreak::Lifo);
+        let (s1, fp_s1) = same_time_order(TieBreak::Seeded(1));
+        let (s1_again, fp_s1_again) = same_time_order(TieBreak::Seeded(1));
+        assert_eq!(fifo, (0..8u64).collect::<Vec<_>>());
+        assert_eq!(lifo, (0..8u64).rev().collect::<Vec<_>>());
+        assert_eq!(s1, s1_again, "seeded schedules are reproducible");
+        assert_eq!(fp_s1, fp_s1_again);
+        assert_ne!(fp_fifo, fp_lifo, "different schedules → different fingerprints");
+        assert_ne!(fp_fifo, fp_s1);
+        let mut sorted = s1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, fifo, "every event still fires exactly once");
+    }
+
+    #[test]
+    fn fingerprint_identical_for_identical_runs() {
+        let run = || {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = Sim::new();
+            sim.spawn(Ticker {
+                log,
+                interval: SimTime::from_nanos(25),
+                remaining: 5,
+            });
+            sim.run();
+            sim.schedule_fingerprint()
+        };
+        assert_eq!(run(), run());
+        assert_ne!(run(), 0, "a non-trivial run should leave a non-zero hash");
     }
 }

@@ -77,12 +77,25 @@ impl Footer {
     pub fn decode(bytes: &[u8]) -> Footer {
         debug_assert_eq!(bytes.len(), FOOTER_SIZE);
         Footer {
-            len: u32::from_le_bytes(bytes[0..4].try_into().unwrap()),
-            seq32: u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
-            flags: MsgFlags(u16::from_le_bytes(bytes[8..10].try_into().unwrap())),
-            gen: bytes[15],
+            len: u32::from_le_bytes(le_bytes(bytes, 0)),
+            seq32: u32::from_le_bytes(le_bytes(bytes, 4)),
+            flags: MsgFlags(u16::from_le_bytes(le_bytes(bytes, 8))),
+            gen: bytes.get(15).copied().unwrap_or(0),
         }
     }
+}
+
+/// Copy `N` little-endian bytes starting at `at`, zero-filling past the end
+/// of `bytes` so footer decoding is total (the slot layout guarantees 16
+/// bytes; short reads only happen on corrupt input).
+fn le_bytes<const N: usize>(bytes: &[u8], at: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (i, dst) in out.iter_mut().enumerate() {
+        if let Some(b) = bytes.get(at + i) {
+            *dst = *b;
+        }
+    }
+    out
 }
 
 /// The generation (poll byte) for sequence number `seq` on a queue of `c`
@@ -91,7 +104,8 @@ impl Footer {
 /// expected generation.
 #[inline]
 pub fn generation(seq: u64, credits: usize) -> u8 {
-    ((seq / credits as u64) % 255) as u8 + 1
+    // `% 255` bounds the value to 0..=254, so +1 fits u8 exactly.
+    ((seq / credits as u64) % 255) as u8 + 1 // lint:ok(no-truncating-cast)
 }
 
 /// Byte offset of slot `k`'s start within the ring region.

@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # slash-net — RDMA data channels (paper §6)
 //!
 //! The RDMA channel is Slash's unit of data movement: a credit-based,

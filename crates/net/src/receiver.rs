@@ -27,6 +27,8 @@ pub struct ChannelReceiver {
     /// Consumed buffers not yet covered by a credit message.
     unreturned: usize,
     eos_seen: bool,
+    /// Fault injection (verification only): consume without returning credit.
+    fault_drop_credits: bool,
     /// Statistics (throughput/latency drill-down).
     pub stats: ChannelStats,
 }
@@ -48,6 +50,7 @@ impl ChannelReceiver {
             next_seq: 0,
             unreturned: 0,
             eos_seen: false,
+            fault_drop_credits: false,
             stats: ChannelStats::default(),
         }
     }
@@ -66,6 +69,22 @@ impl ChannelReceiver {
     /// Sequence number of the next buffer expected.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Consumed buffers not yet covered by a credit message. Exposed so
+    /// external checkers (the `slash-verify` race checker) can account for
+    /// credit currently held on the consumer side.
+    pub fn unreturned(&self) -> usize {
+        self.unreturned
+    }
+
+    /// Fault injection (verification only): stop returning credit for
+    /// consumed buffers, starving the producer. Used by `slash-verify`
+    /// mutation tests to prove the credit-conservation invariant check
+    /// actually fires. Never call this from protocol code.
+    #[doc(hidden)]
+    pub fn fault_skip_credit_return(&mut self) {
+        self.fault_drop_credits = true;
     }
 
     /// Whether a buffer is ready without consuming it.
@@ -121,7 +140,7 @@ impl ChannelReceiver {
         self.unreturned += 1;
         self.stats.buffers += 1;
         self.stats.payload_bytes += len as u64;
-        if self.unreturned >= self.cfg.credit_batch || self.eos_seen {
+        if (self.unreturned >= self.cfg.credit_batch || self.eos_seen) && !self.fault_drop_credits {
             self.return_credit(sim)?;
         }
         Ok(Some(out))

@@ -27,6 +27,8 @@ pub struct ChannelSender {
     cfg: ChannelConfig,
     next_seq: u64,
     eos_sent: bool,
+    /// Fault injection (verification only): send without observing credit.
+    fault_ignore_credits: bool,
     /// Statistics (throughput/latency drill-down).
     pub stats: ChannelStats,
 }
@@ -47,6 +49,7 @@ impl ChannelSender {
             cfg,
             next_seq: 0,
             eos_sent: false,
+            fault_ignore_credits: false,
             stats: ChannelStats::default(),
         }
     }
@@ -84,6 +87,25 @@ impl ChannelSender {
         self.next_seq
     }
 
+    /// Cumulative count of buffers the consumer has acknowledged via credit
+    /// writes, as currently visible on this side. Exposed so external
+    /// checkers (the `slash-verify` race checker) can assert the credit
+    /// window invariant `acked ≤ consumer.next_seq ≤ producer.next_seq ≤
+    /// acked + credits` without reaching into the credit region.
+    pub fn acked(&self) -> u64 {
+        self.consumed()
+    }
+
+    /// Fault injection (verification only): make every subsequent send
+    /// ignore the credit window, so the sender overwrites ring slots the
+    /// consumer has not yet drained. Used by `slash-verify` mutation tests
+    /// to prove the no-overwrite invariant check actually fires. Never call
+    /// this from protocol code.
+    #[doc(hidden)]
+    pub fn fault_ignore_credit_window(&mut self) {
+        self.fault_ignore_credits = true;
+    }
+
     /// Whether end-of-stream was already sent.
     pub fn eos_sent(&self) -> bool {
         self.eos_sent
@@ -111,7 +133,10 @@ impl ChannelSender {
             "payload {len} exceeds buffer capacity {}",
             self.payload_capacity()
         );
-        if self.credits() == 0 {
+        // Computed from the raw counters (not via `credits()`) so the
+        // fault-injected overrun path cannot underflow the subtraction.
+        let in_flight = self.next_seq - self.consumed();
+        if in_flight >= self.cfg.credits as u64 && !self.fault_ignore_credits {
             self.stats.credit_stalls += 1;
             return Ok(false);
         }

@@ -25,13 +25,10 @@ pub struct ChannelStats {
 impl ChannelStats {
     /// Mean buffer latency, if any samples were taken.
     pub fn mean_latency(&self) -> Option<SimTime> {
-        if self.latency_samples == 0 {
-            None
-        } else {
-            Some(SimTime::from_nanos(
-                self.latency_sum.as_nanos() / self.latency_samples,
-            ))
-        }
+        self.latency_sum
+            .as_nanos()
+            .checked_div(self.latency_samples)
+            .map(SimTime::from_nanos)
     }
 }
 

@@ -3,11 +3,12 @@
 //! The protocol's stated guarantees — FIFO delivery, no overwrites of
 //! unread buffers, credit conservation, self-adjusting rate — must hold for
 //! *every* interleaving of producer sends, consumer polls, and simulation
-//! progress. proptest drives randomized schedules against the real channel
-//! over the real simulated fabric.
+//! progress. Seeded loops over the deterministic `DetRng` generator drive
+//! randomized schedules against the real channel over the real simulated
+//! fabric; every failure reproduces from its printed seed, with no external
+//! dependencies (the suite runs fully offline).
 
-use proptest::prelude::*;
-use slash_desim::{Sim, SimTime};
+use slash_desim::{DetRng, Sim, SimTime};
 use slash_net::{create_channel, ChannelConfig, MsgFlags};
 use slash_rdma::{Fabric, FabricConfig};
 
@@ -24,27 +25,28 @@ enum Op {
     Drain,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => Just(Op::Send),
-        3 => Just(Op::Recv),
-        2 => (1u32..10_000).prop_map(Op::Advance),
-        1 => Just(Op::Drain),
-    ]
+/// Draw one schedule step with the same weights the proptest version used
+/// (3 send : 3 recv : 2 advance : 1 drain).
+fn draw_op(rng: &mut DetRng) -> Op {
+    match rng.next_below(9) {
+        0..=2 => Op::Send,
+        3..=5 => Op::Recv,
+        6..=7 => Op::Advance(1 + rng.next_below(9_999) as u32),
+        _ => Op::Drain,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Under any schedule: messages arrive in FIFO order with intact payloads,
+/// and the credit invariant `in_flight = sent - consumed_acked <= c` holds
+/// at every step.
+#[test]
+fn fifo_and_credit_conservation() {
+    for seed in 0..128u64 {
+        let mut rng = DetRng::new(0xC0FFEE ^ seed);
+        let n_ops = 1 + rng.next_below(199) as usize;
+        let credits = 1 + rng.next_below(11) as usize;
+        let buf_size = 48 + rng.next_below(208) as usize;
 
-    /// Under any schedule: messages arrive in FIFO order with intact
-    /// payloads, and the credit invariant
-    /// `in_flight = sent - consumed_acked <= c` holds at every step.
-    #[test]
-    fn fifo_and_credit_conservation(
-        ops in proptest::collection::vec(op_strategy(), 1..200),
-        credits in 1usize..12,
-        buf_size in 48usize..256,
-    ) {
         let mut sim = Sim::new();
         let fabric = Fabric::new(FabricConfig::default());
         let a = fabric.add_node();
@@ -55,8 +57,8 @@ proptest! {
         let mut next_to_send = 0u64;
         let mut next_expected = 0u64;
 
-        for op in &ops {
-            match op {
+        for _ in 0..n_ops {
+            match draw_op(&mut rng) {
                 Op::Send => {
                     let sent = tx
                         .try_send(&mut sim, MsgFlags::DATA, &next_to_send.to_le_bytes())
@@ -68,18 +70,18 @@ proptest! {
                     // stay within [0, c]. (`credits()` computes it with
                     // unsigned arithmetic, so an in_flight > c protocol bug
                     // would panic right here.)
-                    prop_assert!(tx.credits() <= credits);
+                    assert!(tx.credits() <= credits, "seed {seed}");
                 }
                 Op::Recv => {
                     if let Some((flags, data)) = rx.try_recv(&mut sim).unwrap() {
-                        prop_assert_eq!(flags, MsgFlags::DATA);
+                        assert_eq!(flags, MsgFlags::DATA, "seed {seed}");
                         let v = u64::from_le_bytes(data.as_slice().try_into().unwrap());
-                        prop_assert_eq!(v, next_expected, "FIFO order violated");
+                        assert_eq!(v, next_expected, "FIFO order violated, seed {seed}");
                         next_expected += 1;
                     }
                 }
                 Op::Advance(ns) => {
-                    let t = sim.now() + SimTime::from_nanos(*ns as u64);
+                    let t = sim.now() + SimTime::from_nanos(ns as u64);
                     sim.run_until(t);
                 }
                 Op::Drain => {
@@ -94,25 +96,27 @@ proptest! {
             match rx.try_recv(&mut sim).unwrap() {
                 Some((_, data)) => {
                     let v = u64::from_le_bytes(data.as_slice().try_into().unwrap());
-                    prop_assert_eq!(v, next_expected);
+                    assert_eq!(v, next_expected, "seed {seed}");
                     next_expected += 1;
                 }
                 None => break,
             }
         }
-        prop_assert_eq!(next_expected, next_to_send, "no message may be lost");
+        assert_eq!(next_expected, next_to_send, "message lost, seed {seed}");
     }
+}
 
-    /// A producer that retries on stall eventually delivers every message,
-    /// no matter the credit budget or buffer size: the channel is
-    /// deadlock-free under in-order consumption.
-    #[test]
-    fn no_deadlock_under_minimal_credits(
-        n_msgs in 1u64..64,
-        credits in 1usize..4,
-        batch in 1usize..3,
-    ) {
-        let batch = batch.min(credits);
+/// A producer that retries on stall eventually delivers every message, no
+/// matter the credit budget or buffer size: the channel is deadlock-free
+/// under in-order consumption.
+#[test]
+fn no_deadlock_under_minimal_credits() {
+    for seed in 0..64u64 {
+        let mut rng = DetRng::new(0xD00D ^ seed);
+        let n_msgs = 1 + rng.next_below(63);
+        let credits = 1 + rng.next_below(3) as usize;
+        let batch = (1 + rng.next_below(2) as usize).min(credits);
+
         let mut sim = Sim::new();
         let fabric = Fabric::new(FabricConfig::default());
         let a = fabric.add_node();
@@ -125,30 +129,38 @@ proptest! {
         let mut spins = 0u32;
         while got < n_msgs {
             spins += 1;
-            prop_assert!(spins < 100_000, "protocol deadlocked");
-            if sent < n_msgs {
-                if tx.try_send(&mut sim, MsgFlags::DATA, &sent.to_le_bytes()).unwrap() {
-                    sent += 1;
-                }
+            assert!(spins < 100_000, "protocol deadlocked, seed {seed}");
+            if sent < n_msgs
+                && tx.try_send(&mut sim, MsgFlags::DATA, &sent.to_le_bytes()).unwrap()
+            {
+                sent += 1;
             }
             sim.run();
             while let Some((_, data)) = rx.try_recv(&mut sim).unwrap() {
                 let v = u64::from_le_bytes(data.as_slice().try_into().unwrap());
-                prop_assert_eq!(v, got);
+                assert_eq!(v, got, "seed {seed}");
                 got += 1;
             }
             sim.run();
         }
-        prop_assert_eq!(got, n_msgs);
+        assert_eq!(got, n_msgs, "seed {seed}");
     }
+}
 
-    /// Payload integrity: arbitrary binary payloads of arbitrary legal
-    /// sizes survive the trip bit-for-bit, including zero-length ones.
-    #[test]
-    fn payload_integrity(
-        payloads in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..200), 1..20),
-    ) {
+/// Payload integrity: arbitrary binary payloads of arbitrary legal sizes
+/// survive the trip bit-for-bit, including zero-length ones.
+#[test]
+fn payload_integrity() {
+    for seed in 0..64u64 {
+        let mut rng = DetRng::new(0xFACADE ^ seed);
+        let n_payloads = 1 + rng.next_below(19) as usize;
+        let payloads: Vec<Vec<u8>> = (0..n_payloads)
+            .map(|_| {
+                let len = rng.next_below(200) as usize;
+                (0..len).map(|_| rng.next_u64() as u8).collect()
+            })
+            .collect();
+
         let mut sim = Sim::new();
         let fabric = Fabric::new(FabricConfig::default());
         let a = fabric.add_node();
@@ -162,7 +174,7 @@ proptest! {
         let mut spins = 0;
         while received.len() < payloads.len() {
             spins += 1;
-            assert!(spins < 100_000);
+            assert!(spins < 100_000, "seed {seed}");
             if let Some(p) = pending {
                 if tx.try_send(&mut sim, MsgFlags::DATA, p).unwrap() {
                     pending = it.next();
@@ -174,6 +186,6 @@ proptest! {
             }
             sim.run();
         }
-        prop_assert_eq!(received, payloads);
+        assert_eq!(received, payloads, "seed {seed}");
     }
 }

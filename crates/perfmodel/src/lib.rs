@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # slash-perfmodel — micro-architecture proxies and reporting
 //!
 //! Derives the paper's drill-down artifacts (Fig. 9/10 execution

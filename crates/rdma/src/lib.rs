@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # slash-rdma — a software RDMA fabric with ibverbs-shaped semantics
 //!
 //! This crate is the substitute for the InfiniBand hardware the paper runs

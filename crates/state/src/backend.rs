@@ -81,6 +81,16 @@ impl SsbNode {
         &self.vclock
     }
 
+    /// Mutable access to the vector clock, bypassing the protocol.
+    ///
+    /// Fault-injection hook for the `slash-verify` race checker's mutation
+    /// tests (regressing a slot must be detectable). Never call this from
+    /// protocol code.
+    #[doc(hidden)]
+    pub fn fault_vclock_mut(&mut self) -> &mut VectorClock {
+        &mut self.vclock
+    }
+
     /// This executor's current low watermark.
     pub fn local_watermark(&self) -> u64 {
         self.local_watermark
@@ -379,9 +389,9 @@ mod tests {
                 .map(CounterCrdt::get);
             assert_eq!(v, Some(3 * (1 + g)), "key {g} on leader {leader}");
             // And on no other node's primary.
-            for other in 0..3 {
+            for (other, node) in ssb.iter().enumerate() {
                 if other != leader {
-                    assert_eq!(ssb[other].fragments[other].get(key), None);
+                    assert_eq!(node.fragments[other].get(key), None);
                 }
             }
         }

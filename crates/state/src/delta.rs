@@ -35,6 +35,19 @@ pub struct DeltaHeader {
     pub fin: bool,
 }
 
+/// Copy `N` little-endian bytes starting at `at`, zero-filling past the end
+/// of `bytes` so decoding is total (chunk framing is enforced by the channel
+/// layer; short reads only happen on corrupt input).
+fn le_bytes<const N: usize>(bytes: &[u8], at: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (i, dst) in out.iter_mut().enumerate() {
+        if let Some(b) = bytes.get(at + i) {
+            *dst = *b;
+        }
+    }
+    out
+}
+
 impl DeltaHeader {
     /// Append the encoded header to `out`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
@@ -42,18 +55,18 @@ impl DeltaHeader {
         out.extend_from_slice(&self.n_entries.to_le_bytes());
         out.extend_from_slice(&self.epoch.to_le_bytes());
         out.extend_from_slice(&self.watermark.to_le_bytes());
-        out.push(self.fin as u8);
+        out.push(u8::from(self.fin));
         out.extend_from_slice(&[0u8; 7]);
     }
 
     /// Decode from the first [`DELTA_HEADER_SIZE`] bytes.
     pub fn decode(bytes: &[u8]) -> DeltaHeader {
         DeltaHeader {
-            partition: u32::from_le_bytes(bytes[0..4].try_into().unwrap()),
-            n_entries: u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
-            epoch: u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
-            watermark: u64::from_le_bytes(bytes[16..24].try_into().unwrap()),
-            fin: bytes[24] != 0,
+            partition: u32::from_le_bytes(le_bytes(bytes, 0)),
+            n_entries: u32::from_le_bytes(le_bytes(bytes, 4)),
+            epoch: u64::from_le_bytes(le_bytes(bytes, 8)),
+            watermark: u64::from_le_bytes(le_bytes(bytes, 16)),
+            fin: bytes.get(24).copied().unwrap_or(0) != 0,
         }
     }
 
@@ -61,14 +74,18 @@ impl DeltaHeader {
     /// at `offset` in `buf` (chunks are built incrementally).
     pub fn patch(buf: &mut [u8], offset: usize, n_entries: u32, fin: bool) {
         buf[offset + 4..offset + 8].copy_from_slice(&n_entries.to_le_bytes());
-        buf[offset + 24] = fin as u8;
+        buf[offset + 24] = u8::from(fin);
     }
 }
 
 /// Append one entry to a chunk under construction.
 pub fn push_entry(out: &mut Vec<u8>, key: StateKey, kind: EntryKind, value: &[u8]) {
+    // Entries are bounded by the chunk capacity (see `ChunkBuilder::push`),
+    // which is far below 4 GiB, so the conversion never saturates.
+    debug_assert!(u32::try_from(value.len()).is_ok(), "entry value too large");
+    let len = u32::try_from(value.len()).unwrap_or(u32::MAX);
     out.extend_from_slice(&key.to_le_bytes());
-    out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes());
     out.push(match kind {
         EntryKind::Fixed => 0,
         EntryKind::Appended => 1,
@@ -88,12 +105,14 @@ pub fn parse_chunk(payload: &[u8], mut f: impl FnMut(StateKey, EntryKind, &[u8])
     let header = DeltaHeader::decode(payload);
     let mut off = DELTA_HEADER_SIZE;
     for _ in 0..header.n_entries {
-        let key = StateKey::from_le_bytes(payload[off..off + 16].try_into().unwrap());
-        let len = u32::from_le_bytes(payload[off + 16..off + 20].try_into().unwrap()) as usize;
-        let kind = match payload[off + 20] {
-            0 => EntryKind::Fixed,
-            1 => EntryKind::Appended,
-            other => panic!("corrupt delta chunk: kind {other}"),
+        let key = StateKey::from_le_bytes(le_bytes(payload, off));
+        let len = u32::from_le_bytes(le_bytes(payload, off + 16)) as usize;
+        let kind_byte = payload.get(off + 20).copied().unwrap_or(0);
+        debug_assert!(kind_byte <= 1, "corrupt delta chunk: kind {kind_byte}");
+        let kind = if kind_byte == 1 {
+            EntryKind::Appended
+        } else {
+            EntryKind::Fixed
         };
         off += ENTRY_OVERHEAD;
         f(key, kind, &payload[off..off + len]);

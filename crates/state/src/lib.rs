@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # slash-state — the Slash State Backend (SSB, paper §7)
 //!
 //! A distributed, concurrent key-value store for in-memory operator state.

@@ -26,9 +26,22 @@ impl VectorClock {
         self.entries.len()
     }
 
-    /// Always false (a clock tracks at least one executor).
+    /// Whether the clock tracks no executors. Always false in practice —
+    /// [`VectorClock::new`] rejects `n == 0` — but derived from `len()`
+    /// rather than hardcoded so the pair can never fall out of sync.
     pub fn is_empty(&self) -> bool {
-        false
+        self.entries.is_empty()
+    }
+
+    /// Forcibly set executor `node`'s watermark, bypassing the monotonicity
+    /// guard of [`VectorClock::update`].
+    ///
+    /// Fault-injection hook for the `slash-verify` race checker's mutation
+    /// tests (it must be able to *cause* a monotonicity violation to prove
+    /// the checker detects one). Never call this from protocol code.
+    #[doc(hidden)]
+    pub fn fault_force_set(&mut self, node: usize, watermark: u64) {
+        self.entries[node] = watermark;
     }
 
     /// The watermark of executor `node`.

@@ -3,9 +3,10 @@
 //! The epoch protocol's convergence proof rests on each state's merge
 //! being a commutative, associative operation with the init value as
 //! identity. These tests check the laws for every shipped CRDT over
-//! arbitrary update sequences.
+//! arbitrary update sequences, driven by seeded `DetRng` loops so the
+//! suite runs fully offline and every failure reproduces from its seed.
 
-use proptest::prelude::*;
+use slash_desim::DetRng;
 use slash_state::descriptor::StateDescriptor;
 use slash_state::{CounterCrdt, MaxCrdt, MeanCrdt, MinCrdt, SumF64Crdt};
 
@@ -51,84 +52,111 @@ fn check_laws(d: &StateDescriptor, a: &[u8], b: &[u8], c: &[u8], approx: bool) {
     assert!(eq(&a0, a), "init is not the merge identity");
 }
 
-proptest! {
-    #[test]
-    fn counter_laws(xs in proptest::collection::vec(0u64..1 << 40, 3)) {
-        let d = CounterCrdt::descriptor();
-        let mk = |x: u64| {
+/// Uniform f64 in `[lo, hi)`.
+fn f64_in(rng: &mut DetRng, lo: f64, hi: f64) -> f64 {
+    lo + rng.next_f64() * (hi - lo)
+}
+
+const CASES: u64 = 256;
+
+#[test]
+fn counter_laws() {
+    let d = CounterCrdt::descriptor();
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(0x11 ^ seed.wrapping_mul(0x9E3779B9));
+        let mk = |rng: &mut DetRng| {
             let mut v = zeroed(&d);
-            CounterCrdt::add(&mut v, x);
+            CounterCrdt::add(&mut v, rng.next_below(1 << 40));
             v
         };
-        check_laws(&d, &mk(xs[0]), &mk(xs[1]), &mk(xs[2]), false);
+        let (a, b, c) = (mk(&mut rng), mk(&mut rng), mk(&mut rng));
+        check_laws(&d, &a, &b, &c, false);
     }
+}
 
-    #[test]
-    fn sum_f64_laws(xs in proptest::collection::vec(-1e12f64..1e12, 3)) {
-        let d = SumF64Crdt::descriptor();
-        let mk = |x: f64| {
+#[test]
+fn sum_f64_laws() {
+    let d = SumF64Crdt::descriptor();
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(0x22 ^ seed.wrapping_mul(0x9E3779B9));
+        let mk = |rng: &mut DetRng| {
             let mut v = zeroed(&d);
-            SumF64Crdt::add(&mut v, x);
+            SumF64Crdt::add(&mut v, f64_in(rng, -1e12, 1e12));
             v
         };
-        check_laws(&d, &mk(xs[0]), &mk(xs[1]), &mk(xs[2]), true);
+        let (a, b, c) = (mk(&mut rng), mk(&mut rng), mk(&mut rng));
+        check_laws(&d, &a, &b, &c, true);
     }
+}
 
-    #[test]
-    fn max_laws(xs in proptest::collection::vec(any::<u64>(), 3)) {
-        let d = MaxCrdt::descriptor();
-        let mk = |x: u64| {
+#[test]
+fn max_laws() {
+    let d = MaxCrdt::descriptor();
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(0x33 ^ seed.wrapping_mul(0x9E3779B9));
+        let mk = |rng: &mut DetRng| {
             let mut v = zeroed(&d);
-            MaxCrdt::update(&mut v, x);
+            MaxCrdt::update(&mut v, rng.next_u64());
             v
         };
-        check_laws(&d, &mk(xs[0]), &mk(xs[1]), &mk(xs[2]), false);
+        let (a, b, c) = (mk(&mut rng), mk(&mut rng), mk(&mut rng));
+        check_laws(&d, &a, &b, &c, false);
     }
+}
 
-    #[test]
-    fn min_laws(xs in proptest::collection::vec(any::<u64>(), 3)) {
-        let d = MinCrdt::descriptor();
-        let mk = |x: u64| {
+#[test]
+fn min_laws() {
+    let d = MinCrdt::descriptor();
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(0x44 ^ seed.wrapping_mul(0x9E3779B9));
+        let mk = |rng: &mut DetRng| {
             let mut v = zeroed(&d);
-            MinCrdt::update(&mut v, x);
+            MinCrdt::update(&mut v, rng.next_u64());
             v
         };
-        check_laws(&d, &mk(xs[0]), &mk(xs[1]), &mk(xs[2]), false);
+        let (a, b, c) = (mk(&mut rng), mk(&mut rng), mk(&mut rng));
+        check_laws(&d, &a, &b, &c, false);
     }
+}
 
-    #[test]
-    fn mean_laws(
-        xs in proptest::collection::vec(proptest::collection::vec(-1e6f64..1e6, 0..8), 3)
-    ) {
-        let d = MeanCrdt::descriptor();
-        let mk = |obs: &Vec<f64>| {
+#[test]
+fn mean_laws() {
+    let d = MeanCrdt::descriptor();
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(0x55 ^ seed.wrapping_mul(0x9E3779B9));
+        let mk = |rng: &mut DetRng| {
             let mut v = zeroed(&d);
-            for &x in obs {
-                MeanCrdt::observe(&mut v, x);
+            let n_obs = rng.next_below(8);
+            for _ in 0..n_obs {
+                MeanCrdt::observe(&mut v, f64_in(rng, -1e6, 1e6));
             }
             v
         };
-        check_laws(&d, &mk(&xs[0]), &mk(&xs[1]), &mk(&xs[2]), true);
+        let (a, b, c) = (mk(&mut rng), mk(&mut rng), mk(&mut rng));
+        check_laws(&d, &a, &b, &c, true);
     }
+}
 
-    /// Merging k partial counters in any grouping equals a sequential fold
-    /// — the late-merge correctness statement (property P2) at the CRDT
-    /// level.
-    #[test]
-    fn partials_merge_to_sequential_total(
-        updates in proptest::collection::vec((0usize..4, 1u64..1000), 1..100),
-    ) {
-        let d = CounterCrdt::descriptor();
+/// Merging k partial counters in any grouping equals a sequential fold —
+/// the late-merge correctness statement (property P2) at the CRDT level.
+#[test]
+fn partials_merge_to_sequential_total() {
+    let d = CounterCrdt::descriptor();
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(0x66 ^ seed.wrapping_mul(0x9E3779B9));
+        let n_updates = 1 + rng.next_below(99) as usize;
         let mut partials: Vec<Vec<u8>> = (0..4).map(|_| zeroed(&d)).collect();
         let mut sequential: u64 = 0;
-        for (who, x) in &updates {
-            CounterCrdt::add(&mut partials[*who], *x);
+        for _ in 0..n_updates {
+            let who = rng.next_below(4) as usize;
+            let x = 1 + rng.next_below(999);
+            CounterCrdt::add(&mut partials[who], x);
             sequential += x;
         }
         let mut acc = zeroed(&d);
         for p in &partials {
             (d.merge)(&mut acc, p);
         }
-        prop_assert_eq!(CounterCrdt::get(&acc), sequential);
+        assert_eq!(CounterCrdt::get(&acc), sequential, "seed {seed}");
     }
 }

@@ -2,12 +2,12 @@
 //! distributed instances of the SSB that follow the protocol converge, at
 //! the end of each epoch, to the state a sequential execution would have
 //! produced — for arbitrary schedules of updates, epoch tokens, and
-//! simulation progress.
+//! simulation progress. Schedules are drawn from seeded `DetRng` loops so
+//! the suite runs fully offline and failures reproduce from their seed.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
-use slash_desim::Sim;
+use slash_desim::{DetRng, Sim};
 use slash_net::ChannelConfig;
 use slash_rdma::{Fabric, FabricConfig};
 use slash_state::backend::{build_cluster, SsbConfig, SsbNode};
@@ -24,13 +24,20 @@ enum Op {
     Settle,
 }
 
-fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        6 => (0..n, 0u64..16, 1u64..100)
-            .prop_map(|(who, g, amount)| Op::Update { who, g, amount }),
-        2 => (0..n).prop_map(|who| Op::Epoch { who }),
-        1 => Just(Op::Settle),
-    ]
+/// Draw one schedule step with the proptest version's weights
+/// (6 update : 2 epoch : 1 settle) over 4 logical node slots.
+fn draw_op(rng: &mut DetRng) -> Op {
+    match rng.next_below(9) {
+        0..=5 => Op::Update {
+            who: rng.next_below(4) as usize,
+            g: rng.next_below(16),
+            amount: 1 + rng.next_below(99),
+        },
+        6..=7 => Op::Epoch {
+            who: rng.next_below(4) as usize,
+        },
+        _ => Op::Settle,
+    }
 }
 
 fn settle(sim: &mut Sim, ssb: &mut [SsbNode]) {
@@ -49,14 +56,13 @@ fn settle(sim: &mut Sim, ssb: &mut [SsbNode]) {
     panic!("did not settle");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn distributed_equals_sequential() {
+    for seed in 0..64u64 {
+        let mut rng = DetRng::new(0xE90C ^ seed.wrapping_mul(0x9E3779B9));
+        let n = 2 + rng.next_below(3) as usize;
+        let n_ops = 1 + rng.next_below(149) as usize;
 
-    #[test]
-    fn distributed_equals_sequential(
-        n in 2usize..5,
-        ops in proptest::collection::vec(op_strategy(4), 1..150),
-    ) {
         let mut sim = Sim::new();
         let fabric = Fabric::new(FabricConfig::default());
         let nodes = fabric.add_nodes(n);
@@ -68,12 +74,12 @@ proptest! {
         let mut ssb = build_cluster(&fabric, &nodes, CounterCrdt::descriptor(), cfg);
         let mut expected: HashMap<u64, u64> = HashMap::new();
 
-        for op in &ops {
-            match op {
+        for _ in 0..n_ops {
+            match draw_op(&mut rng) {
                 Op::Update { who, g, amount } => {
                     let who = who % n;
-                    ssb[who].rmw(pack_key(1, *g), |v| CounterCrdt::add(v, *amount));
-                    *expected.entry(*g).or_default() += amount;
+                    ssb[who].rmw(pack_key(1, g), |v| CounterCrdt::add(v, amount));
+                    *expected.entry(g).or_default() += amount;
                 }
                 Op::Epoch { who } => {
                     let who = who % n;
@@ -93,7 +99,11 @@ proptest! {
             let key = pack_key(1, *g);
             let leader = partition_of(key, n);
             let got = ssb[leader].local_get(key).map(CounterCrdt::get);
-            prop_assert_eq!(got, Some(*want), "key {} on leader {}", g, leader);
+            assert_eq!(
+                got,
+                Some(*want),
+                "key {g} on leader {leader}, seed {seed}"
+            );
         }
     }
 }

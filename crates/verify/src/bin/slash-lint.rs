@@ -1,0 +1,75 @@
+//! `slash-lint` — run the workspace lint pass.
+//!
+//! ```text
+//! slash-lint [--json] [--root <dir>]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations or stale allowlist, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use slash_verify::lint;
+
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => {
+                    eprintln!("slash-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: slash-lint [--json] [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("slash-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(find_root)) {
+        Some(r) => r,
+        None => {
+            eprintln!("slash-lint: could not locate the workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    match lint::run(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("slash-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

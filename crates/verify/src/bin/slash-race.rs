@@ -1,0 +1,67 @@
+//! `slash-race` — sweep the protocol scenarios across tie-break schedules.
+//!
+//! ```text
+//! slash-race [--seeds N]
+//! ```
+//!
+//! Runs the channel and coherence scenarios under `N` tie-break policies
+//! (FIFO, LIFO, and seeded permutations; default 128), printing how many
+//! distinct schedules were explored and any invariant violations. Exit
+//! codes: 0 all invariants hold and coverage is sufficient, 1 otherwise,
+//! 2 usage error.
+
+use std::process::ExitCode;
+
+use slash_verify::race::{explore, Exploration};
+use slash_verify::scenarios::{ChannelScenario, CoherenceScenario};
+
+/// Minimum distinct schedules per scenario for a full-size sweep.
+const MIN_DISTINCT: usize = 100;
+
+fn gate(e: &Exploration, seeds: u64) -> bool {
+    let needed = if seeds as usize > MIN_DISTINCT + 2 {
+        MIN_DISTINCT
+    } else {
+        // Small sweeps (e.g. smoke runs) still must mostly diverge.
+        (seeds as usize / 2).max(1)
+    };
+    e.clean() && e.distinct_schedules >= needed
+}
+
+fn main() -> ExitCode {
+    let mut seeds: u64 = 128;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seeds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seeds = n,
+                None => {
+                    eprintln!("slash-race: --seeds requires a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: slash-race [--seeds N]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("slash-race: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let chan = explore("channel-protocol", seeds, |p| ChannelScenario::default().run(p));
+    print!("{}", chan.render_human());
+    let coh = explore("epoch-coherence", seeds, |p| CoherenceScenario::default().run(p));
+    print!("{}", coh.render_human());
+
+    let ok = gate(&chan, seeds) && gate(&coh, seeds);
+    if ok {
+        println!("slash-race: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("slash-race: FAIL");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,32 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! # slash-verify — verification tooling for the Slash reproduction
+//!
+//! Two halves, one goal: catch protocol bugs that ordinary unit tests and
+//! `clippy` structurally cannot.
+//!
+//! 1. **`slash-lint`** ([`lint`]): a self-contained static-analysis pass
+//!    over the workspace sources. No `syn`, no `rustc` plumbing — a small
+//!    comment/string-aware token scanner that enforces repo-specific
+//!    hygiene rules: no `unwrap`/`expect`/`panic!`/`todo!` in library code
+//!    of the protocol crates, no silent truncating `as` casts in
+//!    wire-format files, mandatory `#![forbid(unsafe_code)]` +
+//!    `#![deny(missing_docs)]` crate roots, and no debug printing in
+//!    library code. Grandfathered violations live in a checked-in
+//!    allowlist whose budgets can only shrink (burn-down).
+//!
+//! 2. **The interleaving race checker** ([`race`] + [`scenarios`]): a
+//!    bounded schedule explorer layered on `slash-desim`'s pluggable
+//!    [`slash_desim::TieBreak`] policy. The simulation's default FIFO
+//!    tie-break picks *one* legal order among same-timestamp events; the
+//!    checker replays channel and coherence scenarios under many seeded
+//!    permutations of exactly those ties (a DPOR-lite exploration) and
+//!    asserts the protocol invariants under every explored schedule: FIFO
+//!    delivery, credit conservation, no slot overwritten before
+//!    consumption, vector-clock monotonicity, and epoch convergence.
+//!
+//! Both run in CI via `scripts/ci.sh` (`slash-lint`, `slash-race`).
+
+pub mod lint;
+pub mod race;
+pub mod scenarios;

@@ -1,0 +1,706 @@
+//! The `slash-lint` engine: a dependency-free static-analysis pass.
+//!
+//! Works on a *code view* of each source file — comments, string/char
+//! literals, and `#[cfg(test)]` item bodies blanked out (newlines kept, so
+//! line numbers survive) — and then matches rule tokens per line. This is
+//! deliberately a text/token-level scanner, not a parser: it cannot be
+//! fooled by occurrences inside comments or strings, and it has zero
+//! external dependencies, so it runs in the fully offline CI environment.
+//!
+//! ## Rules
+//!
+//! | rule | scope | what it catches |
+//! |------|-------|-----------------|
+//! | `no-panic` | library code of `net`, `state`, `rdma`, `core` | `.unwrap()`, `.expect(`, `panic!`, `todo!` outside `#[cfg(test)]` |
+//! | `no-truncating-cast` | wire-format files (`net/src/layout.rs`, `state/src/delta.rs`) | narrowing `as u8/u16/u32/...` casts |
+//! | `crate-attrs` | every crate root | missing `#![forbid(unsafe_code)]` or `#![deny(missing_docs)]` |
+//! | `no-debug-print` | library code of protocol crates + `desim` | `dbg!`, `println!` |
+//!
+//! ## Allowlist & burn-down
+//!
+//! `crates/verify/lint-allow.txt` holds grandfathered budgets as
+//! `<path> <rule> <count>` lines. A file/rule pair may have **at most** its
+//! budgeted number of violations; fewer is *also* an error ("stale
+//! allowlist") so the budget must be shrunk in the same change — the
+//! allowlist can only ever burn down. A single line can be exempted with a
+//! justifying comment containing `lint:ok(<rule>)`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose library code must not panic (the protocol crates: a panic
+/// there is a protocol bug, not an application choice).
+const NO_PANIC_CRATES: &[&str] = &["net", "state", "rdma", "core"];
+
+/// Crates whose library code must not debug-print.
+const NO_PRINT_CRATES: &[&str] = &["net", "state", "rdma", "core", "desim"];
+
+/// Wire-format files where a silently truncating `as` cast can corrupt
+/// bytes on the wire.
+const WIRE_FILES: &[&str] = &["crates/net/src/layout.rs", "crates/state/src/delta.rs"];
+
+/// Narrowing `as` targets flagged in wire-format files.
+const NARROWING: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Workspace-relative path of the allowlist.
+pub const ALLOWLIST_PATH: &str = "crates/verify/lint-allow.txt";
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// No `unwrap`/`expect`/`panic!`/`todo!` in protocol library code.
+    NoPanic,
+    /// No narrowing `as` casts in wire-format files.
+    NoTruncatingCast,
+    /// Crate roots must forbid unsafe code and deny missing docs.
+    CrateAttrs,
+    /// No `dbg!`/`println!` in library code.
+    NoDebugPrint,
+}
+
+impl Rule {
+    /// Stable kebab-case name (used in the allowlist and in output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::NoTruncatingCast => "no-truncating-cast",
+            Rule::CrateAttrs => "crate-attrs",
+            Rule::NoDebugPrint => "no-debug-print",
+        }
+    }
+
+    /// Parse a rule name as written in the allowlist.
+    pub fn from_name(s: &str) -> Option<Rule> {
+        match s {
+            "no-panic" => Some(Rule::NoPanic),
+            "no-truncating-cast" => Some(Rule::NoTruncatingCast),
+            "crate-attrs" => Some(Rule::CrateAttrs),
+            "no-debug-print" => Some(Rule::NoDebugPrint),
+            _ => None,
+        }
+    }
+}
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable description, including the offending token.
+    pub message: String,
+}
+
+/// Result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files scanned.
+    pub checked_files: usize,
+    /// Violations covered by the allowlist (budget exactly met).
+    pub grandfathered: usize,
+    /// Violations beyond (or absent from) the allowlist — failures.
+    pub new_violations: Vec<Violation>,
+    /// Allowlist entries whose budget exceeds the real count — failures
+    /// (the budget must be shrunk: burn-down only).
+    pub stale_allowlist: Vec<String>,
+}
+
+impl Report {
+    /// Whether the run passed.
+    pub fn clean(&self) -> bool {
+        self.new_violations.is_empty() && self.stale_allowlist.is_empty()
+    }
+
+    /// Render the human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.new_violations {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                v.file,
+                v.line,
+                v.rule.name(),
+                v.message
+            ));
+        }
+        for s in &self.stale_allowlist {
+            out.push_str(&format!("allowlist: {s}\n"));
+        }
+        out.push_str(&format!(
+            "slash-lint: {} files checked, {} grandfathered, {} new violation(s), {} stale allowlist entr(ies) — {}\n",
+            self.checked_files,
+            self.grandfathered,
+            self.new_violations.len(),
+            self.stale_allowlist.len(),
+            if self.clean() { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+
+    /// Render the report as JSON (hand-rolled; no serde in the tree).
+    pub fn render_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"checked_files\": {},\n", self.checked_files));
+        out.push_str(&format!("  \"grandfathered\": {},\n", self.grandfathered));
+        out.push_str(&format!("  \"clean\": {},\n", self.clean()));
+        out.push_str("  \"violations\": [\n");
+        for (i, v) in self.new_violations.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+                esc(&v.file),
+                v.line,
+                v.rule.name(),
+                esc(&v.message),
+                if i + 1 < self.new_violations.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"stale_allowlist\": [\n");
+        for (i, s) in self.stale_allowlist.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\"{}\n",
+                esc(s),
+                if i + 1 < self.stale_allowlist.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Blank out comments, string literals, and char literals with spaces,
+/// preserving newlines so byte offsets map to the same lines.
+fn code_view(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |c: u8| if c == b'\n' { b'\n' } else { b' ' };
+    while i < b.len() {
+        let c = b[i];
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                out.push(blank(b[i]));
+                i += 1;
+            }
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            // Rust block comments nest.
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+        } else if c == b'r' || c == b'b' {
+            // Possible raw/byte string start: r", r#", br", b".
+            let mut j = i + 1;
+            if c == b'b' && j < b.len() && b[j] == b'r' {
+                j += 1;
+            }
+            let mut hashes = 0;
+            while j < b.len() && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            let is_raw = j > i + 1 || (c == b'r' && hashes == 0);
+            if j < b.len() && b[j] == b'"' && (is_raw || c == b'b') {
+                // Copy the prefix verbatim, then blank to the terminator
+                // `"` followed by `hashes` pound signs (raw) or an
+                // unescaped `"` (plain byte string).
+                while i < j {
+                    out.push(b[i]);
+                    i += 1;
+                }
+                out.push(b' '); // the opening quote
+                i += 1;
+                if hashes > 0 || is_raw {
+                    'raw: while i < b.len() {
+                        if b[i] == b'"' {
+                            let mut k = 0;
+                            while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == b'#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                                i += hashes + 1;
+                                break 'raw;
+                            }
+                        }
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                } else {
+                    while i < b.len() {
+                        if b[i] == b'\\' && i + 1 < b.len() {
+                            out.push(b' ');
+                            out.push(b' ');
+                            i += 2;
+                        } else if b[i] == b'"' {
+                            out.push(b' ');
+                            i += 1;
+                            break;
+                        } else {
+                            out.push(blank(b[i]));
+                            i += 1;
+                        }
+                    }
+                }
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else if c == b'"' {
+            out.push(b' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if b[i] == b'"' {
+                    out.push(b' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+        } else if c == b'\'' {
+            // Char literal vs lifetime: a char literal is 'x' or an escape.
+            if i + 1 < b.len() && b[i + 1] == b'\\' {
+                out.push(b' ');
+                i += 1; // past '
+                out.push(b' ');
+                out.push(b' ');
+                i += 2; // past \x
+                while i < b.len() && b[i] != b'\'' {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                if i < b.len() {
+                    out.push(b' ');
+                    i += 1;
+                }
+            } else if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                out.push(b' ');
+                out.push(b' ');
+                out.push(b' ');
+                i += 3;
+            } else {
+                // A lifetime; copy the tick.
+                out.push(c);
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    // `out` only ever contains bytes copied from valid UTF-8 or ASCII
+    // spaces at char boundaries of removed regions; lossy keeps it total.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Blank the bodies of `#[cfg(test)]` items (mod/fn/impl) in a code view.
+fn mask_cfg_test(code: &str) -> String {
+    let marker = "#[cfg(test)]";
+    let mut bytes = code.as_bytes().to_vec();
+    let mut search_from = 0;
+    loop {
+        let hay = String::from_utf8_lossy(&bytes).into_owned();
+        let Some(rel) = hay[search_from..].find(marker) else {
+            break;
+        };
+        let start = search_from + rel;
+        // Find the opening brace of the annotated item; give up at a `;`
+        // at depth 0 (an item without a body, e.g. a gated `use`).
+        let mut i = start + marker.len();
+        let mut open = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => {
+                    open = Some(i);
+                    break;
+                }
+                b';' => break,
+                _ => i += 1,
+            }
+        }
+        let Some(open) = open else {
+            search_from = start + marker.len();
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut end = open;
+        for (j, &c) in bytes.iter().enumerate().skip(open) {
+            match c {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for c in bytes.iter_mut().take(end + 1).skip(start) {
+            if *c != b'\n' {
+                *c = b' ';
+            }
+        }
+        search_from = end + 1;
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Whether byte `i` in `s` starts token `tok` at an identifier boundary
+/// (the previous char must not be part of an identifier).
+fn token_at(s: &str, i: usize, tok: &str) -> bool {
+    if !s[i..].starts_with(tok) {
+        return false;
+    }
+    if i == 0 {
+        return true;
+    }
+    let prev = s.as_bytes()[i - 1];
+    !(prev.is_ascii_alphanumeric() || prev == b'_')
+}
+
+/// Find all boundary-respecting occurrences of `tok` in `line`.
+fn find_tokens(line: &str, tok: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(tok) {
+        let i = from + rel;
+        if token_at(line, i, tok) {
+            hits.push(i);
+        }
+        from = i + tok.len();
+    }
+    hits
+}
+
+/// Whether the original source line carries a `lint:ok(<rule>)` waiver.
+fn line_waived(original_line: &str, rule: Rule) -> bool {
+    original_line.contains(&format!("lint:ok({})", rule.name()))
+}
+
+/// Scan one library file's code view for `no-panic` and `no-debug-print`
+/// tokens and wire-file casts, pushing violations.
+fn scan_file(
+    rel: &str,
+    original: &str,
+    check_panics: bool,
+    check_prints: bool,
+    out: &mut Vec<Violation>,
+) {
+    let view = mask_cfg_test(&code_view(original));
+    let originals: Vec<&str> = original.lines().collect();
+    let is_wire = WIRE_FILES.contains(&rel);
+    for (idx, line) in view.lines().enumerate() {
+        let orig = originals.get(idx).copied().unwrap_or("");
+        if check_panics && !line_waived(orig, Rule::NoPanic) {
+            for tok in [".unwrap()", ".expect(", "panic!", "todo!"] {
+                let hits = if tok.starts_with('.') {
+                    // Method tokens need no boundary check: the dot is one.
+                    let mut h = Vec::new();
+                    let mut from = 0;
+                    while let Some(rel_i) = line[from..].find(tok) {
+                        h.push(from + rel_i);
+                        from += rel_i + tok.len();
+                    }
+                    h
+                } else {
+                    find_tokens(line, tok)
+                };
+                for _ in hits {
+                    out.push(Violation {
+                        file: rel.to_owned(),
+                        line: idx + 1,
+                        rule: Rule::NoPanic,
+                        message: format!(
+                            "`{}` in protocol library code — return an error or prove the invariant locally",
+                            tok.trim_start_matches('.')
+                        ),
+                    });
+                }
+            }
+        }
+        if check_prints && !line_waived(orig, Rule::NoDebugPrint) {
+            for tok in ["dbg!", "println!"] {
+                for _ in find_tokens(line, tok) {
+                    out.push(Violation {
+                        file: rel.to_owned(),
+                        line: idx + 1,
+                        rule: Rule::NoDebugPrint,
+                        message: format!("`{tok}` in library code — use a stats counter or return data"),
+                    });
+                }
+            }
+        }
+        if is_wire && !line_waived(orig, Rule::NoTruncatingCast) {
+            for target in NARROWING {
+                let tok = format!("as {target}");
+                for i in find_tokens(line, &tok) {
+                    // The char after the target must not extend the type
+                    // name (`as u32` must not match inside `as u32x4`).
+                    let after = i + tok.len();
+                    let boundary = line
+                        .as_bytes()
+                        .get(after)
+                        .is_none_or(|c| !(c.is_ascii_alphanumeric() || *c == b'_'));
+                    if boundary {
+                        out.push(Violation {
+                            file: rel.to_owned(),
+                            line: idx + 1,
+                            rule: Rule::NoTruncatingCast,
+                            message: format!(
+                                "narrowing `{tok}` cast in wire-format code — use a checked conversion or waive with a masked-width justification"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Check a crate root for the mandatory attributes.
+fn scan_crate_root(rel: &str, original: &str, out: &mut Vec<Violation>) {
+    for attr in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
+        if !original.contains(attr) {
+            out.push(Violation {
+                file: rel.to_owned(),
+                line: 1,
+                rule: Rule::CrateAttrs,
+                message: format!("crate root missing `{attr}`"),
+            });
+        }
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping `bin/` (binaries
+/// may print and exit; the rules target library code).
+fn rs_files(dir: &Path, skip_bin: bool, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(|e| e.path());
+    for e in entries {
+        let p = e.path();
+        if p.is_dir() {
+            if skip_bin && p.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            rs_files(&p, skip_bin, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn rel_path(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Parse the allowlist into `(path, rule) -> budget`.
+fn parse_allowlist(text: &str) -> Result<BTreeMap<(String, Rule), usize>, String> {
+    let mut map = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(format!("allowlist line {}: expected `<path> <rule> <count>`", i + 1));
+        }
+        let rule = Rule::from_name(parts[1])
+            .ok_or_else(|| format!("allowlist line {}: unknown rule `{}`", i + 1, parts[1]))?;
+        let count: usize = parts[2]
+            .parse()
+            .map_err(|_| format!("allowlist line {}: bad count `{}`", i + 1, parts[2]))?;
+        if count == 0 {
+            return Err(format!(
+                "allowlist line {}: zero-count entry — delete the line instead",
+                i + 1
+            ));
+        }
+        if map.insert((parts[0].to_owned(), rule), count).is_some() {
+            return Err(format!("allowlist line {}: duplicate entry", i + 1));
+        }
+    }
+    Ok(map)
+}
+
+/// Run the full lint pass over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+    let mut raw: Vec<Violation> = Vec::new();
+
+    // Crate roots: the root package plus every crate under crates/.
+    let mut roots = vec![root.join("src/lib.rs")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for d in dirs {
+            let lib = d.join("src/lib.rs");
+            if lib.is_file() {
+                roots.push(lib);
+            }
+        }
+    }
+    for p in &roots {
+        let rel = rel_path(root, p);
+        let src = fs::read_to_string(p).map_err(|e| format!("{rel}: {e}"))?;
+        report.checked_files += 1;
+        scan_crate_root(&rel, &src, &mut raw);
+    }
+
+    // Library sources of the panic- and print-restricted crates.
+    let mut lib_files: Vec<PathBuf> = Vec::new();
+    for c in NO_PRINT_CRATES {
+        rs_files(&root.join("crates").join(c).join("src"), true, &mut lib_files);
+    }
+    lib_files.sort();
+    lib_files.dedup();
+    for p in &lib_files {
+        let rel = rel_path(root, p);
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("");
+        let src = fs::read_to_string(p).map_err(|e| format!("{rel}: {e}"))?;
+        report.checked_files += 1;
+        scan_file(
+            &rel,
+            &src,
+            NO_PANIC_CRATES.contains(&crate_name),
+            NO_PRINT_CRATES.contains(&crate_name),
+            &mut raw,
+        );
+    }
+
+    // Apply the allowlist with burn-down semantics.
+    let allow_text = fs::read_to_string(root.join(ALLOWLIST_PATH)).unwrap_or_default();
+    let budgets = parse_allowlist(&allow_text)?;
+    let mut actual: BTreeMap<(String, Rule), Vec<Violation>> = BTreeMap::new();
+    for v in raw {
+        actual.entry((v.file.clone(), v.rule)).or_default().push(v);
+    }
+    for ((file, rule), vs) in &actual {
+        let budget = budgets.get(&(file.clone(), *rule)).copied().unwrap_or(0);
+        if vs.len() > budget {
+            report.new_violations.extend(vs.iter().cloned());
+            if budget > 0 {
+                report.stale_allowlist.push(format!(
+                    "{file} {} budget {budget} exceeded: {} found",
+                    rule.name(),
+                    vs.len()
+                ));
+            }
+        } else if vs.len() < budget {
+            report.grandfathered += vs.len();
+            report.stale_allowlist.push(format!(
+                "{file} {} budget {budget} but only {} found — shrink the budget (burn-down only)",
+                rule.name(),
+                vs.len()
+            ));
+        } else {
+            report.grandfathered += vs.len();
+        }
+    }
+    // Budgets for pairs with zero actual violations are stale too.
+    for ((file, rule), budget) in &budgets {
+        if !actual.contains_key(&(file.clone(), *rule)) {
+            report.stale_allowlist.push(format!(
+                "{file} {} budget {budget} but 0 found — delete the entry (burn-down only)",
+                rule.name()
+            ));
+        }
+    }
+    report.new_violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
+    });
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_view_blanks_comments_and_strings() {
+        let src = "let a = 1; // unwrap() in a comment\nlet s = \".unwrap()\";\n/* panic! */ let b = 2;\n";
+        let v = code_view(src);
+        assert!(!v.contains("unwrap"));
+        assert!(!v.contains("panic"));
+        assert!(v.contains("let a = 1;"));
+        assert!(v.contains("let b = 2;"));
+        assert_eq!(v.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn code_view_handles_raw_strings_and_chars() {
+        let src = "let r = r#\"todo!()\"#;\nlet c = '\"';\nlet lt: &'static str = x;\n";
+        let v = code_view(src);
+        assert!(!v.contains("todo!"));
+        assert!(v.contains("'static"));
+    }
+
+    #[test]
+    fn cfg_test_bodies_are_masked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() { y.unwrap(); }\n";
+        let masked = mask_cfg_test(&code_view(src));
+        let hits: Vec<usize> = masked
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains(".unwrap()"))
+            .map(|(i, _)| i + 1)
+            .collect();
+        assert_eq!(hits, vec![6], "only the unwrap outside #[cfg(test)] remains");
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        assert!(find_tokens("panic!(\"x\")", "panic!").len() == 1);
+        assert!(find_tokens("debug_panic!()", "panic!").is_empty());
+        assert!(find_tokens("eprintln!(\"x\")", "println!").is_empty());
+        assert!(find_tokens("println!(\"x\")", "println!").len() == 1);
+    }
+
+    #[test]
+    fn allowlist_rejects_zero_and_duplicates() {
+        assert!(parse_allowlist("a.rs no-panic 0").is_err());
+        assert!(parse_allowlist("a.rs no-panic 1\na.rs no-panic 2").is_err());
+        assert!(parse_allowlist("# comment\n\na.rs no-panic 3\n").is_ok());
+        assert!(parse_allowlist("a.rs bogus-rule 3").is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Fixture tests for `slash-lint`: each test materialises a miniature
+//! workspace under `CARGO_TARGET_TMPDIR` and runs the lint pass against it,
+//! checking that every rule fires where it should and stays quiet where it
+//! must (test code, strings, comments, waivers, allowlisted debt).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use slash_verify::lint::{self, Rule, ALLOWLIST_PATH};
+
+/// A crate root that satisfies the `crate-attrs` rule.
+const CLEAN_ROOT: &str = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! Fixture.\n";
+
+/// Materialise `files` under a fresh per-test directory and return its root.
+fn fixture(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if root.exists() {
+        fs::remove_dir_all(&root).unwrap();
+    }
+    // Every fixture needs the workspace-root crate the linter always scans.
+    let mut all = vec![("src/lib.rs", CLEAN_ROOT)];
+    all.extend(files.iter().copied());
+    for (rel, content) in all {
+        let p = root.join(rel);
+        fs::create_dir_all(p.parent().unwrap()).unwrap();
+        fs::write(p, content).unwrap();
+    }
+    root
+}
+
+fn rules_of(report: &lint::Report) -> Vec<(String, Rule)> {
+    report
+        .new_violations
+        .iter()
+        .map(|v| (v.file.clone(), v.rule))
+        .collect()
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let root = fixture(
+        "clean",
+        &[(
+            "crates/net/src/lib.rs",
+            "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! Net.\npub fn f() -> u64 { 1 }\n",
+        )],
+    );
+    let report = lint::run(&root).unwrap();
+    assert!(report.clean(), "{:?}", report.new_violations);
+    assert_eq!(report.checked_files, 3, "root lib counted twice (root + lib scan)");
+}
+
+#[test]
+fn unwrap_in_library_code_is_flagged() {
+    let root = fixture(
+        "unwrap-lib",
+        &[(
+            "crates/net/src/sender.rs",
+            "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+        )],
+    );
+    let report = lint::run(&root).unwrap();
+    let v: Vec<_> = report
+        .new_violations
+        .iter()
+        .filter(|v| v.rule == Rule::NoPanic)
+        .collect();
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].file, "crates/net/src/sender.rs");
+    assert_eq!(v[0].line, 2);
+}
+
+#[test]
+fn panics_in_test_code_strings_and_comments_are_exempt() {
+    let src = r#"
+// A comment mentioning .unwrap() is fine.
+pub fn f() -> &'static str {
+    "so is .unwrap() or panic! inside a string"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Option::<u8>::Some(1).unwrap();
+        panic!("tests may panic");
+    }
+}
+"#;
+    let root = fixture("exempt", &[("crates/net/src/sender.rs", src)]);
+    let report = lint::run(&root).unwrap();
+    assert!(report.clean(), "{:?}", report.new_violations);
+}
+
+#[test]
+fn unwrap_outside_the_panic_restricted_crates_is_ignored() {
+    // desim is print-restricted but not panic-restricted.
+    let root = fixture(
+        "unwrap-desim",
+        &[(
+            "crates/desim/src/event.rs",
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )],
+    );
+    let report = lint::run(&root).unwrap();
+    assert!(report.clean(), "{:?}", report.new_violations);
+}
+
+#[test]
+fn truncating_casts_are_flagged_only_in_wire_files() {
+    let cast = "pub fn f(x: u64) -> u16 { x as u16 }\n";
+    let root = fixture(
+        "casts",
+        &[
+            ("crates/net/src/layout.rs", cast),
+            ("crates/net/src/other.rs", cast),
+        ],
+    );
+    let report = lint::run(&root).unwrap();
+    assert_eq!(
+        rules_of(&report),
+        vec![("crates/net/src/layout.rs".to_owned(), Rule::NoTruncatingCast)]
+    );
+}
+
+#[test]
+fn widening_casts_in_wire_files_are_fine() {
+    let root = fixture(
+        "widen",
+        &[(
+            "crates/net/src/layout.rs",
+            "pub fn f(x: u16) -> u64 { x as u64 }\n",
+        )],
+    );
+    let report = lint::run(&root).unwrap();
+    assert!(report.clean(), "{:?}", report.new_violations);
+}
+
+#[test]
+fn inline_waiver_suppresses_exactly_its_rule() {
+    let root = fixture(
+        "waiver",
+        &[(
+            "crates/net/src/layout.rs",
+            "pub fn f(x: u64) -> u8 { (x % 255) as u8 } // lint:ok(no-truncating-cast)\n",
+        )],
+    );
+    let report = lint::run(&root).unwrap();
+    assert!(report.clean(), "{:?}", report.new_violations);
+
+    // A waiver for a different rule does not help.
+    let root = fixture(
+        "waiver-wrong-rule",
+        &[(
+            "crates/net/src/layout.rs",
+            "pub fn f(x: u64) -> u8 { (x % 255) as u8 } // lint:ok(no-panic)\n",
+        )],
+    );
+    let report = lint::run(&root).unwrap();
+    assert_eq!(report.new_violations.len(), 1);
+}
+
+#[test]
+fn missing_crate_attrs_are_flagged() {
+    let root = fixture(
+        "attrs",
+        &[("crates/net/src/lib.rs", "//! Net without attrs.\n")],
+    );
+    let report = lint::run(&root).unwrap();
+    let attrs: Vec<_> = report
+        .new_violations
+        .iter()
+        .filter(|v| v.rule == Rule::CrateAttrs)
+        .collect();
+    assert_eq!(attrs.len(), 2, "one per missing attribute");
+    assert!(attrs.iter().all(|v| v.file == "crates/net/src/lib.rs"));
+}
+
+#[test]
+fn debug_prints_are_flagged_in_library_code_but_not_binaries() {
+    let src = "pub fn f() { println!(\"x\"); dbg!(1); }\n";
+    let root = fixture(
+        "prints",
+        &[
+            ("crates/desim/src/sim.rs", src),
+            ("crates/desim/src/bin/tool.rs", src),
+        ],
+    );
+    let report = lint::run(&root).unwrap();
+    let v = rules_of(&report);
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v.iter().all(|(f, r)| f == "crates/desim/src/sim.rs" && *r == Rule::NoDebugPrint));
+}
+
+#[test]
+fn allowlist_budget_grandfathers_exact_counts() {
+    let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() + x.unwrap() }\n";
+    let root = fixture(
+        "allow-exact",
+        &[
+            ("crates/net/src/sender.rs", src),
+            (ALLOWLIST_PATH, "crates/net/src/sender.rs no-panic 2\n"),
+        ],
+    );
+    let report = lint::run(&root).unwrap();
+    assert!(report.clean(), "{:?}", report.new_violations);
+    assert_eq!(report.grandfathered, 2);
+}
+
+#[test]
+fn allowlist_budget_may_only_shrink() {
+    let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+
+    // Budget larger than reality → stale entry, lint fails until shrunk.
+    let root = fixture(
+        "allow-stale",
+        &[
+            ("crates/net/src/sender.rs", src),
+            (ALLOWLIST_PATH, "crates/net/src/sender.rs no-panic 3\n"),
+        ],
+    );
+    let report = lint::run(&root).unwrap();
+    assert!(!report.clean());
+    assert_eq!(report.stale_allowlist.len(), 1, "{:?}", report.stale_allowlist);
+
+    // Budget for a file with no violations at all → also stale.
+    let root = fixture(
+        "allow-ghost",
+        &[
+            ("crates/net/src/sender.rs", "pub fn f() {}\n"),
+            (ALLOWLIST_PATH, "crates/net/src/sender.rs no-panic 1\n"),
+        ],
+    );
+    let report = lint::run(&root).unwrap();
+    assert!(!report.clean());
+    assert_eq!(report.stale_allowlist.len(), 1);
+}
+
+#[test]
+fn violations_over_budget_are_reported() {
+    let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() + x.unwrap() }\n";
+    let root = fixture(
+        "allow-over",
+        &[
+            ("crates/net/src/sender.rs", src),
+            (ALLOWLIST_PATH, "crates/net/src/sender.rs no-panic 1\n"),
+        ],
+    );
+    let report = lint::run(&root).unwrap();
+    assert!(!report.clean());
+    assert_eq!(report.new_violations.len(), 2, "over budget reports the whole group");
+}
+
+#[test]
+fn malformed_allowlists_are_rejected() {
+    for (name, allow) in [
+        ("allow-zero", "crates/net/src/sender.rs no-panic 0\n"),
+        (
+            "allow-dup",
+            "crates/net/src/sender.rs no-panic 1\ncrates/net/src/sender.rs no-panic 1\n",
+        ),
+        ("allow-rule", "crates/net/src/sender.rs no-such-rule 1\n"),
+        ("allow-shape", "crates/net/src/sender.rs no-panic\n"),
+    ] {
+        let root = fixture(
+            name,
+            &[
+                ("crates/net/src/sender.rs", "pub fn f() {}\n"),
+                (ALLOWLIST_PATH, allow),
+            ],
+        );
+        assert!(lint::run(&root).is_err(), "{name} should be rejected");
+    }
+}

@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # slash-workloads — benchmark workload generators (paper §8.1.2)
 //!
 //! Deterministic, seedable generators for every workload the paper

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification gate for the workspace. Run from anywhere inside the
+# repo; every step is offline and deterministic. Order is cheapest-first
+# so failures surface fast.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> [1/5] build (release, all targets)"
+cargo build --release --workspace
+
+echo "==> [2/5] tests (unit + integration + fixtures + mutations)"
+cargo test --workspace -q
+
+echo "==> [3/5] clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> [4/5] slash-lint (custom static analysis, burn-down allowlist)"
+cargo run --release -p slash-verify --bin slash-lint
+
+echo "==> [5/5] slash-race (schedule exploration smoke: 128 tie-breaks)"
+cargo run --release -p slash-verify --bin slash-race -- --seeds 128
+
+echo "ci: all gates green"

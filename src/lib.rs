@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # Slash — RDMA-native stateful stream processing
 //!
 //! Facade crate re-exporting the public API of the Slash reproduction.

@@ -1,34 +1,30 @@
 //! Property-based end-to-end tests: random streams, random window sizes,
 //! random cluster shapes — the Slash engine must always match a
 //! sequential fold (property P2 at engine level), never double-fire a
-//! window, and never lose a record.
+//! window, and never lose a record. Cases are drawn from seeded `DetRng`
+//! loops so the suite runs fully offline and failures reproduce from
+//! their seed.
 
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use proptest::prelude::*;
 use slash::core::{
     AggSpec, QueryPlan, RecordSchema, RunConfig, SinkResult, SlashCluster, StreamDef,
     WindowAssigner,
 };
+use slash::desim::DetRng;
 
 /// A randomly generated partition: (ts, key) records with strictly
 /// monotone timestamps.
-fn partition_strategy(max_records: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
-    (
-        proptest::collection::vec((1u64..50, 0u64..12), 1..max_records),
-        1u64..100,
-    )
-        .prop_map(|(deltas, start)| {
-            let mut ts = start;
-            deltas
-                .into_iter()
-                .map(|(dt, key)| {
-                    ts += dt;
-                    (ts, key)
-                })
-                .collect()
+fn random_partition(rng: &mut DetRng, max_records: usize) -> Vec<(u64, u64)> {
+    let n = 1 + rng.next_below(max_records as u64 - 1) as usize;
+    let mut ts = 1 + rng.next_below(99);
+    (0..n)
+        .map(|_| {
+            ts += 1 + rng.next_below(49);
+            (ts, rng.next_below(12))
         })
+        .collect()
 }
 
 fn encode(partition: &[(u64, u64)]) -> Rc<Vec<u8>> {
@@ -40,15 +36,16 @@ fn encode(partition: &[(u64, u64)]) -> Rc<Vec<u8>> {
     Rc::new(buf)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn random_streams_match_sequential_counts() {
+    for seed in 0..24u64 {
+        let mut rng = DetRng::new(0xE2E ^ seed.wrapping_mul(0x9E3779B9));
+        let n_parts = 2 + rng.next_below(5) as usize;
+        let parts: Vec<Vec<(u64, u64)>> =
+            (0..n_parts).map(|_| random_partition(&mut rng, 300)).collect();
+        let window = 50 + rng.next_below(1950);
+        let nodes = 1 + rng.next_below(3) as usize;
 
-    #[test]
-    fn random_streams_match_sequential_counts(
-        parts in proptest::collection::vec(partition_strategy(300), 2..7),
-        window in 50u64..2000,
-        nodes in 1usize..4,
-    ) {
         // Shape the partition list to nodes × workers.
         let nodes = nodes.min(parts.len());
         let workers = parts.len() / nodes;
@@ -80,21 +77,27 @@ proptest! {
         for r in &report.results {
             if let SinkResult::Agg { window_id, key, value } = r {
                 let prev = got.insert((*window_id, *key), *value as u64);
-                prop_assert!(prev.is_none(), "double trigger {window_id}/{key}");
+                assert!(
+                    prev.is_none(),
+                    "double trigger {window_id}/{key}, seed {seed}"
+                );
             }
         }
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "seed {seed}");
     }
+}
 
-    /// Straggler resilience: one worker gets a much longer stream than the
-    /// others. Watermarks must hold results back until the straggler
-    /// catches up, and nothing may be lost or double-counted.
-    #[test]
-    fn stragglers_delay_but_never_corrupt(
-        short_len in 10usize..100,
-        long_factor in 5usize..20,
-        window in 100u64..1000,
-    ) {
+/// Straggler resilience: one worker gets a much longer stream than the
+/// others. Watermarks must hold results back until the straggler catches
+/// up, and nothing may be lost or double-counted.
+#[test]
+fn stragglers_delay_but_never_corrupt() {
+    for seed in 0..16u64 {
+        let mut rng = DetRng::new(0x57A6 ^ seed.wrapping_mul(0x9E3779B9));
+        let short_len = 10 + rng.next_below(90) as usize;
+        let long_factor = 5 + rng.next_below(15) as usize;
+        let window = 100 + rng.next_below(900);
+
         let short: Vec<(u64, u64)> = (0..short_len)
             .map(|i| (1 + i as u64 * 7, i as u64 % 4))
             .collect();
@@ -120,6 +123,6 @@ proptest! {
                 _ => 0.0,
             })
             .sum();
-        prop_assert_eq!(sum as u64, total);
+        assert_eq!(sum as u64, total, "seed {seed}");
     }
 }

@@ -7,7 +7,6 @@
 //! counts (joins).
 
 use std::collections::HashMap;
-use std::rc::Rc;
 
 use slash::baselines::partitioned::{run_partitioned, PartitionedConfig, Transport};
 use slash::core::{QueryPlan, RunConfig, SinkResult, SlashCluster};
