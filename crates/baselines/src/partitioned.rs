@@ -256,7 +256,7 @@ impl Process for SenderProc {
                 CostCategory::MemoryBound,
                 (self.cost.copy_per_byte_ns * rf) * staged_bytes as f64,
             );
-            sh.sender_metrics.records += n;
+            sh.sender_metrics.add_records(n);
             let (c2, _) = self.drain_pending(sim);
             cpu += c2;
         } else {
@@ -276,7 +276,7 @@ impl Process for SenderProc {
 
         let cpu_time = CostModel::to_time(cpu);
         let busy = if mem_bytes > 0 {
-            sh.sender_metrics.mem_bytes += mem_bytes;
+            sh.sender_metrics.add_mem_bytes(mem_bytes);
             let now = sim.now();
             let (_s, end) = sh.mem.reserve(now, mem_bytes);
             let mem_time = end - now;
@@ -361,10 +361,12 @@ impl ReceiverProc {
                 }
             }
         }
-        sh.receiver_metrics.l1_misses += access.l1_miss * n as f64;
-        sh.receiver_metrics.l2_misses += access.l2_miss * n as f64;
-        sh.receiver_metrics.llc_misses += access.llc_miss * n as f64;
-        sh.receiver_metrics.records += n;
+        sh.receiver_metrics.add_cache_misses(
+            access.l1_miss * n as f64,
+            access.l2_miss * n as f64,
+            access.llc_miss * n as f64,
+        );
+        sh.receiver_metrics.add_records(n);
         sh.receiver_metrics.charge(
             CostCategory::MemoryBound,
             (self.cost.rmw_base_ns * self.rf + access.penalty_ns) * n as f64,
@@ -497,7 +499,7 @@ impl Process for ReceiverProc {
 
         let cpu_time = CostModel::to_time(cpu);
         let busy = if mem_bytes > 0 {
-            sh.receiver_metrics.mem_bytes += mem_bytes;
+            sh.receiver_metrics.add_mem_bytes(mem_bytes);
             let now = sim.now();
             let (_s, end) = sh.mem.reserve(now, mem_bytes);
             (end - now).max(cpu_time)

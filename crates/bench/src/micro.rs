@@ -18,6 +18,7 @@ use std::rc::Rc;
 use slash_core::{CostCategory, CostModel, EngineMetrics};
 use slash_desim::{DetRng, ProcId, Process, Sim, SimTime, Step};
 use slash_net::{create_channel, ChannelConfig, ChannelReceiver, ChannelSender, MsgFlags};
+use slash_obs::Histogram;
 use slash_rdma::{Fabric, FabricConfig};
 use slash_state::hash::hash_u64;
 use slash_workloads::{Uniform, Zipf};
@@ -97,6 +98,9 @@ pub struct MicroReport {
     pub elapsed: SimTime,
     /// Mean producer→consumer buffer latency.
     pub mean_latency: Option<SimTime>,
+    /// Full producer→consumer buffer-latency distribution (tail quantiles
+    /// via [`Histogram::quantile`]).
+    pub latency: Histogram,
     /// Producer-side counters.
     pub sender_metrics: EngineMetrics,
     /// Consumer-side counters.
@@ -120,8 +124,7 @@ struct SharedStats {
     receiver: EngineMetrics,
     consumer_records: Vec<u64>,
     payload_bytes: u64,
-    latency_sum: SimTime,
-    latency_samples: u64,
+    latency: Histogram,
     finished_consumers: usize,
     last_finish: SimTime,
 }
@@ -329,7 +332,7 @@ impl Process for Consumer {
             let mut st = stats.borrow_mut();
             st.payload_bytes += bytes;
             st.consumer_records[self.idx] += recs;
-            st.receiver.records += recs;
+            st.receiver.add_records(recs);
             st.receiver
                 .charge(CostCategory::MemoryBound, recs as f64 * per_rec);
             st.receiver.charge(
@@ -339,8 +342,7 @@ impl Process for Consumer {
             if self.eos_seen == self.rxs.len() {
                 // Collect latency stats before retiring.
                 for rx in &self.rxs {
-                    st.latency_sum += rx.stats.latency_sum;
-                    st.latency_samples += rx.stats.latency_samples;
+                    st.latency.merge(&rx.stats.latency);
                 }
                 st.finished_consumers += 1;
                 st.last_finish = sim.now();
@@ -374,8 +376,7 @@ pub fn run_micro(cfg: MicroConfig) -> MicroReport {
         receiver: EngineMetrics::default(),
         consumer_records: vec![0; n_consumers],
         payload_bytes: 0,
-        latency_sum: SimTime::ZERO,
-        latency_samples: 0,
+        latency: Histogram::new(),
         finished_consumers: 0,
         last_finish: SimTime::ZERO,
     }));
@@ -453,14 +454,13 @@ pub fn run_micro(cfg: MicroConfig) -> MicroReport {
 
     let st = stats.borrow();
     let mut sender = st.sender.clone();
-    sender.records = st.receiver.records;
+    sender.set_records(st.receiver.records);
     MicroReport {
         payload_bytes: st.payload_bytes,
         records: st.receiver.records,
         elapsed: st.last_finish,
-        mean_latency: (st.latency_samples > 0).then(|| {
-            SimTime::from_nanos(st.latency_sum.as_nanos() / st.latency_samples)
-        }),
+        mean_latency: st.latency.mean().map(SimTime::from_nanos),
+        latency: st.latency.clone(),
         sender_metrics: sender,
         receiver_metrics: st.receiver.clone(),
         hottest_consumer_records: st.consumer_records.iter().copied().max().unwrap_or(0),

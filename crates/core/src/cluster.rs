@@ -6,8 +6,9 @@ use std::rc::Rc;
 
 use slash_desim::{Sim, SimTime};
 use slash_net::ChannelConfig;
+use slash_obs::Obs;
 use slash_rdma::{Fabric, FabricConfig};
-use slash_state::backend::{build_cluster, SsbConfig};
+use slash_state::backend::{build_cluster_obs, SsbConfig};
 
 use crate::cost::CostModel;
 use crate::metrics::EngineMetrics;
@@ -96,6 +97,19 @@ impl SlashCluster {
     /// Run `plan` over pre-generated input partitions (one per worker,
     /// node-major order: `partitions[node * workers + worker]`).
     pub fn run(plan: QueryPlan, partitions: Vec<Rc<Vec<u8>>>, cfg: RunConfig) -> RunReport {
+        Self::run_with_obs(plan, partitions, cfg, Obs::disabled())
+    }
+
+    /// Like [`SlashCluster::run`], threading an observability handle
+    /// through every node: workers emit batch spans and record-latency
+    /// samples, delta channels trace verbs and epoch phases, and the final
+    /// per-node counters are published into the metrics registry.
+    pub fn run_with_obs(
+        plan: QueryPlan,
+        partitions: Vec<Rc<Vec<u8>>>,
+        cfg: RunConfig,
+        obs: Obs,
+    ) -> RunReport {
         assert_eq!(
             partitions.len(),
             cfg.nodes * cfg.workers_per_node,
@@ -109,7 +123,8 @@ impl SlashCluster {
             epoch_bytes: cfg.epoch_bytes,
             channel: cfg.channel,
         };
-        let ssb_nodes = build_cluster(&fabric, &node_ids, plan.descriptor(), ssb_cfg);
+        let ssb_nodes =
+            build_cluster_obs(&fabric, &node_ids, plan.descriptor(), ssb_cfg, obs.clone());
 
         let plan = Rc::new(plan);
         let schema = plan.input().schema;
@@ -121,6 +136,13 @@ impl SlashCluster {
                 cfg.cost.mem_bandwidth,
                 cfg.collect_results,
             )));
+            {
+                let mut sh = shared.borrow_mut();
+                sh.metrics.set_clock_ghz(cfg.cost.clock_ghz);
+                if obs.is_enabled() {
+                    sh.instrument(obs.clone(), node);
+                }
+            }
             for w in 0..cfg.workers_per_node {
                 let part = Rc::clone(&partitions[node * cfg.workers_per_node + w]);
                 let source = MemorySource::new(part, schema, cfg.batch_records);
@@ -167,7 +189,7 @@ impl SlashCluster {
             per_node: Vec::new(),
             net_tx_bytes: fabric.total_tx_bytes(),
         };
-        for shared in &shareds {
+        for (node, shared) in shareds.iter().enumerate() {
             let sh = shared.borrow();
             report.records += sh.records;
             report.processing_time = report.processing_time.max(sh.last_ingest);
@@ -176,8 +198,19 @@ impl SlashCluster {
             report.results.extend(sh.sink.results.iter().cloned());
             report.metrics.absorb(&sh.metrics);
             report.per_node.push(sh.metrics.clone());
+            if obs.is_enabled() {
+                let label = format!("node{node}");
+                obs.counter_add("records", &label, sh.records);
+                obs.counter_add("instructions", &label, sh.metrics.instructions);
+                obs.counter_add("mem_bytes", &label, sh.metrics.mem_bytes);
+                obs.gauge_set("ipc", &label, sh.metrics.ipc());
+                sh.ssb.publish_obs();
+            }
         }
-        report.metrics.records = report.records;
+        if obs.is_enabled() {
+            obs.counter_add("net_tx_bytes", "fabric", report.net_tx_bytes);
+        }
+        report.metrics.set_records(report.records);
         report
     }
 }

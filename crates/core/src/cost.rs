@@ -17,6 +17,12 @@
 
 use slash_desim::SimTime;
 
+/// Nominal clock of the paper's testbed CPU (Intel Xeon Gold 5115,
+/// 2.4 GHz). The single source of truth for every ns↔cycle conversion;
+/// [`crate::metrics::EngineMetrics`] and the perfmodel tables both derive
+/// their cycle counts from it.
+pub const TESTBED_CLOCK_GHZ: f64 = 2.4;
+
 /// Cache hierarchy model used to derive per-access penalties from the
 /// state's working-set size. Sizes follow the paper's Intel Xeon Gold 5115
 /// (10 cores, 32 KiB L1d, 1 MiB L2 per core, 13.75 MiB shared LLC).
@@ -136,6 +142,10 @@ pub struct CostModel {
     /// worker threads (Xeon Gold 5115: 6 × DDR4-2400 ≈ 115 GB/s peak;
     /// ~40 GB/s sustainable under random access).
     pub mem_bandwidth: u64,
+    /// Core clock for ns↔cycle accounting, GHz. Defaults to
+    /// [`TESTBED_CLOCK_GHZ`]; sensitivity sweeps may override it, and the
+    /// cluster driver propagates it into each node's `EngineMetrics`.
+    pub clock_ghz: f64,
     /// Cache hierarchy.
     pub cache: CacheModel,
 }
@@ -156,6 +166,7 @@ impl Default for CostModel {
             source_per_byte_ns: 0.012,
             task_queue_ns: 0.0,
             mem_bandwidth: 40_000_000_000,
+            clock_ghz: TESTBED_CLOCK_GHZ,
             cache: CacheModel::default(),
         }
     }

@@ -17,11 +17,10 @@ use crate::window::WindowAssigner;
 /// timestamp.
 #[inline]
 fn decode(elem: &[u8]) -> Option<(u64, bool)> {
-    if elem.len() < 9 {
-        return None;
-    }
-    let ts = u64::from_le_bytes(elem[1..9].try_into().unwrap());
-    Some((ts, elem[0] == 0))
+    let ts_bytes = elem.get(1..9)?;
+    let mut ts = [0u8; 8];
+    ts.copy_from_slice(ts_bytes);
+    Some((u64::from_le_bytes(ts), elem[0] == 0))
 }
 
 /// Count left × right combinations of a triggered element list under the

@@ -31,7 +31,7 @@ pub mod worker;
 
 pub use agg::AggSpec;
 pub use cluster::{RunConfig, RunReport, SlashCluster};
-pub use cost::{CacheModel, CostModel};
+pub use cost::{CacheModel, CostModel, TESTBED_CLOCK_GHZ};
 pub use metrics::{CostCategory, EngineMetrics};
 pub use query::{JoinSide, QueryPlan, StreamDef};
 pub use record::RecordSchema;

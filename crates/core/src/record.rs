@@ -14,6 +14,21 @@ pub struct RecordSchema {
     pub key_off: usize,
 }
 
+/// Read eight little-endian bytes at `off`, zero-filling past the end of
+/// `rec`. Sources hand the schema whole records (`chunks_exact`), so the
+/// zero-fill path only triggers on a mis-declared offset; decoding stays
+/// total without a panic site on the per-record hot path.
+#[inline]
+fn le8(rec: &[u8], off: usize) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    if let Some(src) = rec.get(off..off + 8) {
+        out.copy_from_slice(src);
+    } else {
+        debug_assert!(false, "record field at {off} out of bounds");
+    }
+    out
+}
+
 impl RecordSchema {
     /// A schema with timestamp at 0 and key at 8 (the common layout).
     pub const fn plain(size: usize) -> Self {
@@ -27,26 +42,26 @@ impl RecordSchema {
     /// Event-time timestamp of a record.
     #[inline]
     pub fn ts(&self, rec: &[u8]) -> u64 {
-        u64::from_le_bytes(rec[self.ts_off..self.ts_off + 8].try_into().unwrap())
+        u64::from_le_bytes(le8(rec, self.ts_off))
     }
 
     /// Primary key of a record.
     #[inline]
     pub fn key(&self, rec: &[u8]) -> u64 {
-        u64::from_le_bytes(rec[self.key_off..self.key_off + 8].try_into().unwrap())
+        u64::from_le_bytes(le8(rec, self.key_off))
     }
 
     /// A little-endian u64 field at an arbitrary offset (aggregation
     /// inputs: prices, CPU shares, ...).
     #[inline]
     pub fn field_u64(&self, rec: &[u8], off: usize) -> u64 {
-        u64::from_le_bytes(rec[off..off + 8].try_into().unwrap())
+        u64::from_le_bytes(le8(rec, off))
     }
 
     /// An f64 field at an arbitrary offset.
     #[inline]
     pub fn field_f64(&self, rec: &[u8], off: usize) -> f64 {
-        f64::from_le_bytes(rec[off..off + 8].try_into().unwrap())
+        f64::from_le_bytes(le8(rec, off))
     }
 
     /// Number of whole records in a byte buffer.

@@ -19,6 +19,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use slash_desim::{Link, ProcId, Process, Sim, SimTime, Step};
+use slash_obs::{Cat, Obs};
 use slash_state::backend::{SsbNode, TriggeredData, TriggeredValue};
 use slash_state::pack_key;
 
@@ -67,6 +68,10 @@ pub struct NodeShared {
     pub last_ingest: SimTime,
     /// Source records fully processed on this node.
     pub records: u64,
+    /// Observability handle (disabled unless the driver instruments it).
+    pub obs: Obs,
+    /// Metric label for this node (e.g. `node3`).
+    pub obs_label: String,
 }
 
 impl NodeShared {
@@ -85,7 +90,17 @@ impl NodeShared {
             finished: false,
             last_ingest: SimTime::ZERO,
             records: 0,
+            obs: Obs::disabled(),
+            obs_label: String::new(),
         }
+    }
+
+    /// Attach an observability handle; workers then emit batch spans and
+    /// record-latency samples, and the SSB node traces its channels.
+    pub fn instrument(&mut self, obs: Obs, node: usize) {
+        self.obs_label = format!("node{node}");
+        self.ssb.instrument(obs.clone());
+        self.obs = obs;
     }
 
     fn node_watermark(&self) -> u64 {
@@ -206,9 +221,11 @@ impl SlashWorker {
             }
         }
         // Cache-miss accounting for the state accesses of this batch.
-        sh.metrics.l1_misses += access.l1_miss * state_ops as f64;
-        sh.metrics.l2_misses += access.l2_miss * state_ops as f64;
-        sh.metrics.llc_misses += access.llc_miss * state_ops as f64;
+        sh.metrics.add_cache_misses(
+            access.l1_miss * state_ops as f64,
+            access.l2_miss * state_ops as f64,
+            access.llc_miss * state_ops as f64,
+        );
         mem += (access.mem_bytes() * state_ops as f64) as u64;
 
         sh.metrics
@@ -303,6 +320,7 @@ impl Process for SlashWorker {
         }
         let mut cpu = 0.0;
         let mut mem_bytes = 0u64;
+        let mut batch_records = 0u64;
 
         // (1) RDMA coroutine: ship/merge state deltas.
         let (sent, merged) = sh
@@ -334,6 +352,7 @@ impl Process for SlashWorker {
             let (c, m, n, last_ts) = self.process_batch(&mut sh, range);
             cpu += c;
             mem_bytes += m;
+            batch_records = n;
             sh.records += n;
             sh.worker_wm[self.widx] = sh.worker_wm[self.widx].max(last_ts);
             let wm = sh.node_watermark();
@@ -398,7 +417,7 @@ impl Process for SlashWorker {
         let now = sim.now();
         let cpu_time = CostModel::to_time(cpu);
         let busy = if mem_bytes > 0 {
-            sh.metrics.mem_bytes += mem_bytes;
+            sh.metrics.add_mem_bytes(mem_bytes);
             let (_start, end) = sh.mem.reserve(now, mem_bytes);
             let mem_time = end - now;
             if mem_time > cpu_time {
@@ -416,6 +435,24 @@ impl Process for SlashWorker {
         };
         if !self.source_done {
             sh.last_ingest = now + busy;
+        }
+        // Trace the batch as an operator-pipeline span and sample the
+        // per-record latency it implies (virtual time, so deterministic).
+        if batch_records > 0 && sh.obs.is_enabled() {
+            sh.obs.span(
+                Cat::Operator,
+                "batch",
+                self.node as u32,
+                self.widx as u32,
+                now,
+                now + busy,
+                &[("records", batch_records), ("mem_bytes", mem_bytes)],
+            );
+            sh.obs.hist_record(
+                "record_latency_ns",
+                &sh.obs_label,
+                busy.as_nanos() / batch_records.max(1),
+            );
         }
         Step::Yield(busy.max(SimTime::from_nanos(1)))
     }

@@ -243,7 +243,7 @@ mod tests {
         tx.try_send(&mut sim, MsgFlags::DATA, &vec![0u8; 4096]).unwrap();
         sim.run();
         rx.try_recv(&mut sim).unwrap().unwrap();
-        assert_eq!(rx.stats.latency_samples, 1);
+        assert_eq!(rx.stats.latency_samples(), 1);
         // 4 KiB at ~11.8 GB/s + 600ns latency: about 1µs.
         let lat = rx.stats.mean_latency().unwrap();
         assert!(lat.as_nanos() >= 1_000, "{lat}");

@@ -1,6 +1,7 @@
 //! The consumer endpoint of an RDMA channel.
 
-use slash_desim::{Sim, SimTime};
+use slash_desim::Sim;
+use slash_obs::{Cat, Obs};
 use slash_rdma::{LocalSlice, Mr, Qp, RdmaError, RemoteKey, RemoteSlice, WorkRequest};
 
 use crate::channel::ChannelConfig;
@@ -31,6 +32,10 @@ pub struct ChannelReceiver {
     fault_drop_credits: bool,
     /// Statistics (throughput/latency drill-down).
     pub stats: ChannelStats,
+    /// Trace handle (disabled by default); `(pid, tid)` lanes for events.
+    obs: Obs,
+    obs_pid: u32,
+    obs_tid: u32,
 }
 
 impl ChannelReceiver {
@@ -52,12 +57,24 @@ impl ChannelReceiver {
             eos_seen: false,
             fault_drop_credits: false,
             stats: ChannelStats::default(),
+            obs: Obs::disabled(),
+            obs_pid: 0,
+            obs_tid: 0,
         }
     }
 
     /// The channel configuration.
     pub fn config(&self) -> &ChannelConfig {
         &self.cfg
+    }
+
+    /// Attach a trace handle. `pid`/`tid` are the Perfetto lanes the verb
+    /// events of this endpoint render under (node id / peer id by
+    /// convention).
+    pub fn instrument(&mut self, obs: Obs, pid: u32, tid: u32) {
+        self.obs = obs;
+        self.obs_pid = pid;
+        self.obs_tid = tid;
     }
 
     /// Whether the producer has signalled end-of-stream and everything
@@ -104,33 +121,49 @@ impl ChannelReceiver {
         f: impl FnOnce(MsgFlags, &[u8]) -> R,
     ) -> Result<Option<R>, RdmaError> {
         if !self.ready() {
-            self.stats.empty_polls += 1;
+            self.stats.on_empty_poll();
             return Ok(None);
         }
         let slot = (self.next_seq % self.cfg.credits as u64) as usize;
         let m = self.cfg.buffer_size;
         let foot_off = footer_offset(slot, m);
-        let (footer, sent_us) = self
-            .ring
-            .with(foot_off, FOOTER_SIZE, |b| {
-                let mut us = [0u8; 8];
-                us[..5].copy_from_slice(&b[10..15]);
-                (Footer::decode(b), u64::from_le_bytes(us))
-            })
-            .expect("footer inside ring");
+        let footer_read = self.ring.with(foot_off, FOOTER_SIZE, |b| {
+            let mut us = [0u8; 8];
+            us[..5].copy_from_slice(&b[10..15]);
+            (Footer::decode(b), u64::from_le_bytes(us))
+        });
+        let (footer, sent_us) = match footer_read {
+            Ok(v) => v,
+            Err(e) => {
+                // Decode error: the slot layout disagrees with the ring
+                // bounds. Capture a flight-recorder dump and surface the
+                // error instead of panicking.
+                self.obs.record_failure(
+                    &format!("channel footer decode out of ring bounds: {e:?}"),
+                    &format!("seq={} slot={slot} foot_off={foot_off}", self.next_seq),
+                );
+                return Err(e);
+            }
+        };
         debug_assert_eq!(footer.seq32, self.next_seq as u32, "FIFO violated");
         let len = footer.len as usize;
         let payload_off = foot_off - len;
-        let out = self
-            .ring
-            .with(payload_off, len, |payload| f(footer.flags, payload))
-            .expect("payload inside ring");
+        let out = match self.ring.with(payload_off, len, |payload| f(footer.flags, payload)) {
+            Ok(v) => v,
+            Err(e) => {
+                self.obs.record_failure(
+                    &format!("channel payload decode out of ring bounds: {e:?}"),
+                    &format!("seq={} len={len} payload_off={payload_off}", self.next_seq),
+                );
+                return Err(e);
+            }
+        };
 
         // Latency sample: send stamp (µs) → now.
-        let now_us = sim.now().as_nanos() / 1_000;
-        if now_us >= sent_us {
-            self.stats.latency_sum += SimTime::from_micros(now_us - sent_us);
-            self.stats.latency_samples += 1;
+        let now_ns = sim.now().as_nanos();
+        let sent_ns = sent_us.saturating_mul(1_000);
+        if now_ns >= sent_ns {
+            self.stats.record_latency_ns(now_ns - sent_ns);
         }
 
         if footer.flags.contains(MsgFlags::EOS) {
@@ -138,8 +171,15 @@ impl ChannelReceiver {
         }
         self.next_seq += 1;
         self.unreturned += 1;
-        self.stats.buffers += 1;
-        self.stats.payload_bytes += len as u64;
+        self.stats.on_buffer(len);
+        self.obs.instant(
+            Cat::Verb,
+            "consume",
+            self.obs_pid,
+            self.obs_tid,
+            sim.now(),
+            &[("seq", self.next_seq - 1), ("len", len as u64)],
+        );
         if (self.unreturned >= self.cfg.credit_batch || self.eos_seen) && !self.fault_drop_credits {
             self.return_credit(sim)?;
         }
@@ -168,7 +208,15 @@ impl ChannelReceiver {
             },
         )?;
         self.unreturned = 0;
-        self.stats.credit_msgs += 1;
+        self.stats.on_credit_msg();
+        self.obs.instant(
+            Cat::Verb,
+            "credit-return",
+            self.obs_pid,
+            self.obs_tid,
+            sim.now(),
+            &[("acked", self.next_seq)],
+        );
         Ok(())
     }
 }

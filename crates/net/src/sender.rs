@@ -1,6 +1,7 @@
 //! The producer endpoint of an RDMA channel.
 
 use slash_desim::Sim;
+use slash_obs::{Cat, Obs};
 use slash_rdma::{LocalSlice, Mr, Qp, RdmaError, RemoteKey, RemoteSlice, WorkRequest};
 
 use crate::channel::ChannelConfig;
@@ -31,6 +32,10 @@ pub struct ChannelSender {
     fault_ignore_credits: bool,
     /// Statistics (throughput/latency drill-down).
     pub stats: ChannelStats,
+    /// Trace handle (disabled by default); `(pid, tid)` lanes for events.
+    obs: Obs,
+    obs_pid: u32,
+    obs_tid: u32,
 }
 
 impl ChannelSender {
@@ -51,12 +56,24 @@ impl ChannelSender {
             eos_sent: false,
             fault_ignore_credits: false,
             stats: ChannelStats::default(),
+            obs: Obs::disabled(),
+            obs_pid: 0,
+            obs_tid: 0,
         }
     }
 
     /// The channel configuration.
     pub fn config(&self) -> &ChannelConfig {
         &self.cfg
+    }
+
+    /// Attach a trace handle. `pid`/`tid` are the Perfetto lanes the verb
+    /// events of this endpoint render under (node id / peer id by
+    /// convention).
+    pub fn instrument(&mut self, obs: Obs, pid: u32, tid: u32) {
+        self.obs = obs;
+        self.obs_pid = pid;
+        self.obs_tid = tid;
     }
 
     /// Remote key of this sender's credit counter region (the consumer
@@ -137,7 +154,15 @@ impl ChannelSender {
         // fault-injected overrun path cannot underflow the subtraction.
         let in_flight = self.next_seq - self.consumed();
         if in_flight >= self.cfg.credits as u64 && !self.fault_ignore_credits {
-            self.stats.credit_stalls += 1;
+            self.stats.on_credit_stall();
+            self.obs.instant(
+                Cat::Verb,
+                "credit-stall",
+                self.obs_pid,
+                self.obs_tid,
+                sim.now(),
+                &[("seq", self.next_seq), ("in_flight", in_flight)],
+            );
             return Ok(false);
         }
         let seq = self.next_seq;
@@ -173,8 +198,15 @@ impl ChannelSender {
             },
         )?;
         self.next_seq += 1;
-        self.stats.buffers += 1;
-        self.stats.payload_bytes += len as u64;
+        self.stats.on_buffer(len);
+        self.obs.instant(
+            Cat::Verb,
+            "write",
+            self.obs_pid,
+            self.obs_tid,
+            sim.now(),
+            &[("seq", seq), ("len", len as u64)],
+        );
         Ok(true)
     }
 

@@ -1,0 +1,188 @@
+//! Exporters: Chrome trace-event JSON (Perfetto-loadable) and the
+//! plain-text `slash-top` summary table.
+//!
+//! Both exporters are hand-rolled (zero dependencies) and fully
+//! deterministic: events are sorted by `(ts, seq)`, timestamps are
+//! formatted with integer arithmetic only, and registry iteration order
+//! is fixed by `BTreeMap`. Same seed, same bytes.
+
+use crate::registry::MetricsRegistry;
+use crate::trace::TraceEvent;
+
+/// Format nanoseconds as microseconds with three decimals (`"12.345"`),
+/// using integer math only so the output is platform-independent.
+fn us3(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Escape a string for a JSON literal (names here are static identifiers,
+/// but labels may contain arbitrary bytes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_event_json(out: &mut String, ev: &TraceEvent) {
+    out.push_str("{\"name\":\"");
+    out.push_str(&json_escape(ev.name));
+    out.push_str("\",\"cat\":\"");
+    out.push_str(ev.cat.name());
+    if ev.dur > 0 {
+        out.push_str("\",\"ph\":\"X\",\"ts\":");
+        out.push_str(&us3(ev.ts.as_nanos()));
+        out.push_str(",\"dur\":");
+        out.push_str(&us3(ev.dur));
+    } else {
+        out.push_str("\",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+        out.push_str(&us3(ev.ts.as_nanos()));
+    }
+    out.push_str(",\"pid\":");
+    out.push_str(&ev.pid.to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&ev.tid.to_string());
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in ev.args().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json_escape(k));
+        out.push_str("\":");
+        out.push_str(&v.to_string());
+    }
+    out.push_str("}}");
+}
+
+/// Render events as a Chrome trace-event JSON document.
+///
+/// Events are emitted sorted by `(virtual time, sequence)` so timestamps
+/// are monotone non-decreasing — `slash-trace-check` relies on this.
+/// Load the file at <https://ui.perfetto.dev> or `chrome://tracing`.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.ts, e.seq));
+    let mut out = String::with_capacity(128 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+    for (i, ev) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        push_event_json(&mut out, ev);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\",\"otherData\":{\"generator\":\"slash-obs\"}}\n");
+    out
+}
+
+/// Quantiles reported by the `slash-top` table.
+const QUANTILES: [(f64, &str); 4] = [(0.5, "p50"), (0.9, "p90"), (0.99, "p99"), (0.999, "p99.9")];
+
+/// Render the registry as a plain-text `slash-top` summary table.
+pub fn top_summary(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    out.push_str("== slash-top (virtual time) ==\n");
+    if reg.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+        return out;
+    }
+    let counters: Vec<_> = reg.counters().collect();
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, label, v) in counters {
+            out.push_str(&format!("  {name:<28} {label:<20} {v:>16}\n"));
+        }
+    }
+    let gauges: Vec<_> = reg.gauges().collect();
+    if !gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, label, v) in gauges {
+            out.push_str(&format!("  {name:<28} {label:<20} {v:>16.3}\n"));
+        }
+    }
+    let hists: Vec<_> = reg.hists().collect();
+    if !hists.is_empty() {
+        out.push_str(&format!(
+            "histograms (ns):\n  {:<28} {:<20} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "name", "label", "count", "p50", "p90", "p99", "p99.9", "max"
+        ));
+        for (name, label, h) in hists {
+            out.push_str(&format!("  {name:<28} {label:<20} {:>9}", h.count()));
+            for (q, _) in QUANTILES {
+                let v = h.quantile(q).unwrap_or(0);
+                out.push_str(&format!(" {v:>10}"));
+            }
+            out.push_str(&format!(" {:>10}\n", h.max().unwrap_or(0)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Cat, TraceRing};
+    use slash_desim::SimTime;
+
+    #[test]
+    fn json_is_sorted_and_integer_formatted() {
+        let mut ring = TraceRing::new(16);
+        ring.record(
+            Cat::Verb,
+            "write",
+            0,
+            1,
+            SimTime::from_nanos(2_500),
+            0,
+            &[("seq", 1)],
+        );
+        ring.record(
+            Cat::Operator,
+            "batch",
+            0,
+            0,
+            SimTime::from_nanos(1_001),
+            1_499,
+            &[("records", 512)],
+        );
+        let json = chrome_trace_json(&ring.snapshot());
+        let batch = json.find("\"batch\"").unwrap();
+        let write = json.find("\"write\"").unwrap();
+        assert!(batch < write, "events must be sorted by virtual time");
+        assert!(json.contains("\"ts\":1.001"));
+        assert!(json.contains("\"dur\":1.499"));
+        assert!(json.contains("\"ts\":2.500"));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn summary_lists_quantiles() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("records", "node=0", 42);
+        for v in 1..=1000u64 {
+            reg.hist_record("record_latency_ns", "node=0", v);
+        }
+        let top = top_summary(&reg);
+        assert!(top.contains("slash-top"));
+        assert!(top.contains("records"));
+        assert!(top.contains("p99.9"));
+        assert!(top.contains("record_latency_ns"));
+    }
+}

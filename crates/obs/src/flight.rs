@@ -1,0 +1,86 @@
+//! Flight recorder: on an invariant failure or decode error, snapshot the
+//! last N trace events together with the schedule fingerprint and any
+//! vector-clock context, so the failing schedule can be replayed and the
+//! moments leading up to the failure inspected offline.
+//!
+//! Library code never prints; dumps are stored on the [`crate::Obs`]
+//! handle and retrieved by the harness (`slash-race`, examples) which
+//! decides where to render them.
+
+use crate::trace::TraceEvent;
+
+/// Number of trailing trace events captured per dump.
+pub const FLIGHT_TAIL: usize = 64;
+
+/// A captured failure: reason, context, and the trailing event window.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// What went wrong (invariant name or decode error).
+    pub reason: String,
+    /// Schedule fingerprint and vector-clock context, if known.
+    pub context: String,
+    /// The last events recorded before the failure, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+impl FlightDump {
+    /// Render the dump as indented plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("flight-recorder dump: {}\n", self.reason));
+        if !self.context.is_empty() {
+            out.push_str(&format!("  context: {}\n", self.context));
+        }
+        out.push_str(&format!("  last {} events:\n", self.events.len()));
+        for ev in &self.events {
+            out.push_str(&format!(
+                "    [{:>12} ns] seq={:<6} {}/{} pid={} tid={}",
+                ev.ts.as_nanos(),
+                ev.seq,
+                ev.cat.name(),
+                ev.name,
+                ev.pid,
+                ev.tid
+            ));
+            if ev.dur > 0 {
+                out.push_str(&format!(" dur={}ns", ev.dur));
+            }
+            for (k, v) in ev.args() {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Cat, TraceRing};
+    use slash_desim::SimTime;
+
+    #[test]
+    fn render_includes_reason_context_and_events() {
+        let mut ring = TraceRing::new(8);
+        ring.record(
+            Cat::Epoch,
+            "epoch-merge",
+            1,
+            0,
+            SimTime::from_micros(5),
+            1_000,
+            &[("watermark", 42)],
+        );
+        let dump = FlightDump {
+            reason: "vclock regressed".to_string(),
+            context: "fingerprint=0xabc vclock=[3, 2]".to_string(),
+            events: ring.tail(FLIGHT_TAIL),
+        };
+        let text = dump.render();
+        assert!(text.contains("flight-recorder dump: vclock regressed"));
+        assert!(text.contains("fingerprint=0xabc"));
+        assert!(text.contains("epoch-merge"));
+        assert!(text.contains("watermark=42"));
+    }
+}

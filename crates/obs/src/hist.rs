@@ -1,0 +1,288 @@
+//! HDR-style log-bucketed histogram.
+//!
+//! Values are bucketed with a fixed relative error of at most `1/32`
+//! (5 sub-bucket bits per octave), using only integer arithmetic so that
+//! recording, merging, and quantile queries are bit-for-bit deterministic
+//! across platforms. This replaces the lossy `latency_sum / latency_samples`
+//! averages that previously lived in `ChannelStats`: a mean hides exactly
+//! the tail behaviour (p99, p99.9) that matters for a streaming engine.
+//!
+//! Layout: values `< 32` map to unit-width buckets `0..32`; a value with
+//! most-significant bit `m >= 5` lands in octave group `m - 4`, sub-bucket
+//! `(v >> (m - 5)) - 32`. With 64-bit values this is at most
+//! `60 * 32 = 1920` buckets; storage grows lazily so an idle histogram is
+//! a few machine words.
+
+/// Sub-bucket resolution bits: 32 sub-buckets per octave, relative error <= 1/32.
+const SUB_BITS: u32 = 5;
+/// Number of sub-buckets per octave (`1 << SUB_BITS`).
+const SUB: u64 = 1 << SUB_BITS;
+
+/// A log-bucketed histogram over `u64` values (typically nanoseconds).
+///
+/// All operations are O(1) or O(buckets); none allocate after the bucket
+/// vector has grown to cover the largest recorded value. Merging is
+/// associative and commutative (element-wise bucket addition), which the
+/// property tests in this module verify against exact sorted samples.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index for a value. Total over all of `u64`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let group = (msb - SUB_BITS + 1) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) - SUB) as usize;
+        group * SUB as usize + sub
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_lower(idx: usize) -> u64 {
+    let sub_n = SUB as usize;
+    if idx < sub_n {
+        idx as u64
+    } else {
+        let group = idx / sub_n;
+        let sub = (idx % sub_n) as u64;
+        (SUB + sub) << (group - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket.
+fn bucket_upper(idx: usize) -> u64 {
+    let sub_n = SUB as usize;
+    if idx < sub_n {
+        idx as u64
+    } else {
+        // `lower - 1 + width` instead of `lower + width - 1`: the topmost
+        // bucket's upper bound is exactly `u64::MAX`, which the latter
+        // form would overflow computing.
+        let group = idx / sub_n;
+        bucket_lower(idx) - 1 + (1u64 << (group - 1))
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean of recorded values, if any.
+    pub fn mean(&self) -> Option<u64> {
+        (self.count > 0).then(|| self.sum / self.count)
+    }
+
+    /// Value at quantile `q` in `[0, 1]`.
+    ///
+    /// Returns the upper bound of the bucket holding the `ceil(q * count)`-th
+    /// smallest sample (clamped to the observed maximum), so the estimate `e`
+    /// for an exact quantile `x` satisfies `x <= e <= x + x/32 + 1`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper(idx).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another histogram into this one (element-wise bucket addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        if self.count != other.count || self.sum != other.sum {
+            return false;
+        }
+        if self.count > 0 && (self.min != other.min || self.max != other.max) {
+            return false;
+        }
+        let longest = self.counts.len().max(other.counts.len());
+        (0..longest).all(|i| {
+            self.counts.get(i).copied().unwrap_or(0) == other.counts.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for Histogram {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slash_desim::DetRng;
+
+    #[test]
+    fn bucket_bounds_cover_values() {
+        let mut rng = DetRng::new(0x0B5);
+        for _ in 0..10_000 {
+            let shift = rng.next_below(64) as u32;
+            let v = rng.next_u64() >> shift;
+            let idx = bucket_index(v);
+            assert!(bucket_lower(idx) <= v, "lower bound for {v}");
+            assert!(v <= bucket_upper(idx), "upper bound for {v}");
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut rng = DetRng::new(0x0B6);
+        for _ in 0..10_000 {
+            let shift = rng.next_below(64) as u32;
+            let v = rng.next_u64() >> shift;
+            let idx = bucket_index(v);
+            let width = bucket_upper(idx) - bucket_lower(idx);
+            assert!(
+                width <= bucket_lower(idx) / 32 + 1,
+                "width {width} too wide for value {v}"
+            );
+        }
+    }
+
+    /// Quantile estimates vs. an exact sort, over seeded loops mixing
+    /// uniform and heavy-tailed samples (satellite: property tests).
+    #[test]
+    fn quantiles_bounded_vs_exact_sort() {
+        for seed in 0..8u64 {
+            let mut rng = DetRng::new(0x9A11 + seed);
+            let n = 1 + rng.next_below(10_000) as usize;
+            let mut hist = Histogram::new();
+            let mut exact: Vec<u64> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let v = if rng.next_below(4) == 0 {
+                    rng.next_u64() >> rng.next_below(48)
+                } else {
+                    rng.next_below(1_000_000)
+                };
+                hist.record(v);
+                exact.push(v);
+            }
+            exact.sort_unstable();
+            assert_eq!(hist.count(), n as u64);
+            assert_eq!(hist.max(), exact.last().copied());
+            assert_eq!(hist.min(), exact.first().copied());
+            for &q in &[0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                let x = exact[rank - 1];
+                let e = hist.quantile(q).unwrap();
+                assert!(x <= e, "seed {seed} q {q}: exact {x} > est {e}");
+                assert!(
+                    e - x <= x / 32 + 1,
+                    "seed {seed} q {q}: est {e} beyond bound of exact {x}"
+                );
+            }
+        }
+    }
+
+    /// Merging is associative and equals recording the concatenation
+    /// (satellite: property tests).
+    #[test]
+    fn merge_is_associative_and_matches_concat() {
+        for seed in 0..8u64 {
+            let mut rng = DetRng::new(0x3E6 + seed);
+            let mut parts: Vec<Histogram> = Vec::new();
+            let mut all = Histogram::new();
+            for _ in 0..3 {
+                let mut h = Histogram::new();
+                for _ in 0..rng.next_below(2_000) {
+                    let v = rng.next_u64() >> rng.next_below(40);
+                    h.record(v);
+                    all.record(v);
+                }
+                parts.push(h);
+            }
+            // (a + b) + c
+            let mut left = parts[0].clone();
+            left.merge(&parts[1]);
+            left.merge(&parts[2]);
+            // a + (b + c)
+            let mut bc = parts[1].clone();
+            bc.merge(&parts[2]);
+            let mut right = parts[0].clone();
+            right.merge(&bc);
+            assert_eq!(left, right, "seed {seed}: merge not associative");
+            assert_eq!(left, all, "seed {seed}: merge differs from concat");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_nothing() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+}

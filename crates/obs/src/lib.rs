@@ -1,0 +1,305 @@
+//! # slash-obs — deterministic observability for the Slash engine
+//!
+//! Zero-dependency tracing, metrics, and flight recording, all keyed on
+//! the desim virtual clock. The crate provides:
+//!
+//! * [`trace`] — typed spans/instants for operator pipelines, RDMA channel
+//!   verbs, and epoch-coherence phases, in a bounded O(1) ring buffer;
+//! * [`hist`] — an HDR-style log-bucketed [`Histogram`] for tail-latency
+//!   metrics (p50/p90/p99/p99.9) with bounded relative error;
+//! * [`registry`] — a central [`MetricsRegistry`] of counters, gauges and
+//!   histograms labeled by node/operator/channel;
+//! * [`export`] — Chrome trace-event JSON (Perfetto) and the `slash-top`
+//!   text summary;
+//! * [`flight`] — a flight recorder that snapshots the last N events with
+//!   schedule-fingerprint and vector-clock context on invariant failures.
+//!
+//! Determinism rules: no wall clock anywhere, timestamps are [`SimTime`]
+//! only, registry iteration is `BTreeMap`-ordered, and exports sort by
+//! `(virtual time, sequence)` — so the same seed produces byte-identical
+//! artifacts.
+//!
+//! The entry point is the [`Obs`] handle: a cheaply cloneable reference
+//! that is either *enabled* (shared ring + registry + dump store) or
+//! *disabled* (every call is a no-op and nothing allocates). Engine code
+//! takes an `Obs` unconditionally and never branches on configuration.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod export;
+pub mod flight;
+pub mod hist;
+pub mod registry;
+pub mod trace;
+
+pub use flight::{FlightDump, FLIGHT_TAIL};
+pub use hist::Histogram;
+pub use registry::MetricsRegistry;
+pub use trace::{Cat, TraceEvent, TraceRing};
+
+use slash_desim::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct ObsInner {
+    ring: RefCell<TraceRing>,
+    registry: RefCell<MetricsRegistry>,
+    dumps: RefCell<Vec<FlightDump>>,
+}
+
+/// Shared observability handle threaded through the engine.
+///
+/// Cloning is O(1) (an `Rc` bump, or nothing when disabled). All methods
+/// on a disabled handle are no-ops, so instrumented code pays only a
+/// branch when tracing is off.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Rc<ObsInner>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// A disabled handle: every call is a no-op.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled handle with a trace ring of `capacity` events.
+    pub fn enabled(capacity: usize) -> Self {
+        Self {
+            inner: Some(Rc::new(ObsInner {
+                ring: RefCell::new(TraceRing::new(capacity)),
+                registry: RefCell::new(MetricsRegistry::new()),
+                dumps: RefCell::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether tracing is live.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record an instant event at virtual time `at`.
+    pub fn instant(
+        &self,
+        cat: Cat,
+        name: &'static str,
+        pid: u32,
+        tid: u32,
+        at: SimTime,
+        args: &[(&'static str, u64)],
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.ring.borrow_mut().record(cat, name, pid, tid, at, 0, args);
+        }
+    }
+
+    /// Record a complete span from `start` to `end` (clamped non-negative).
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &self,
+        cat: Cat,
+        name: &'static str,
+        pid: u32,
+        tid: u32,
+        start: SimTime,
+        end: SimTime,
+        args: &[(&'static str, u64)],
+    ) {
+        if let Some(inner) = &self.inner {
+            let dur = end.as_nanos().saturating_sub(start.as_nanos()).max(1);
+            inner
+                .ring
+                .borrow_mut()
+                .record(cat, name, pid, tid, start, dur, args);
+        }
+    }
+
+    /// Add to a registry counter.
+    pub fn counter_add(&self, name: &str, label: &str, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.borrow_mut().counter_add(name, label, v);
+        }
+    }
+
+    /// Set a registry gauge.
+    pub fn gauge_set(&self, name: &str, label: &str, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.borrow_mut().gauge_set(name, label, v);
+        }
+    }
+
+    /// Record one value into a registry histogram.
+    pub fn hist_record(&self, name: &str, label: &str, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.borrow_mut().hist_record(name, label, v);
+        }
+    }
+
+    /// Merge a histogram into a registry histogram.
+    pub fn hist_merge(&self, name: &str, label: &str, h: &Histogram) {
+        if let Some(inner) = &self.inner {
+            inner.registry.borrow_mut().hist_merge(name, label, h);
+        }
+    }
+
+    /// Quantile of a registry histogram, if present.
+    pub fn quantile(&self, name: &str, label: &str, q: f64) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.registry.borrow().quantile(name, label, q))
+    }
+
+    /// Run `f` against the registry (read-only snapshot access).
+    pub fn with_registry<R>(&self, f: impl FnOnce(&MetricsRegistry) -> R) -> Option<R> {
+        self.inner.as_ref().map(|inner| f(&inner.registry.borrow()))
+    }
+
+    /// Capture a flight-recorder dump: the last [`FLIGHT_TAIL`] events plus
+    /// `reason` and `context` (schedule fingerprint, vector clocks). A
+    /// `fault` instant is also appended to the trace so the failure is
+    /// visible in Perfetto. No-op when disabled.
+    pub fn record_failure(&self, reason: &str, context: &str) {
+        if let Some(inner) = &self.inner {
+            let events = inner.ring.borrow().tail(FLIGHT_TAIL);
+            let at = events.last().map(|e| e.ts).unwrap_or(SimTime::ZERO);
+            inner
+                .ring
+                .borrow_mut()
+                .record(Cat::Fault, "failure", 0, 0, at, 0, &[]);
+            inner.dumps.borrow_mut().push(FlightDump {
+                reason: reason.to_string(),
+                context: context.to_string(),
+                events,
+            });
+        }
+    }
+
+    /// Drain captured flight-recorder dumps.
+    pub fn take_failures(&self) -> Vec<FlightDump> {
+        match &self.inner {
+            Some(inner) => std::mem::take(&mut *inner.dumps.borrow_mut()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of captured (undrained) flight-recorder dumps.
+    pub fn failure_count(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.dumps.borrow().len())
+            .unwrap_or(0)
+    }
+
+    /// Total trace events recorded so far (including overwritten ones).
+    pub fn event_count(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.ring.borrow().recorded())
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of retained trace events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.ring.borrow().snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Export retained events as Chrome trace-event JSON (Perfetto).
+    pub fn chrome_trace_json(&self) -> String {
+        export::chrome_trace_json(&self.events())
+    }
+
+    /// Render the registry as the `slash-top` text summary.
+    pub fn summary(&self) -> String {
+        match self.with_registry(export::top_summary) {
+            Some(s) => s,
+            None => export::top_summary(&MetricsRegistry::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        obs.instant(Cat::Verb, "write", 0, 0, SimTime::ZERO, &[]);
+        obs.counter_add("x", "y", 1);
+        obs.hist_record("h", "l", 5);
+        obs.record_failure("nope", "");
+        assert_eq!(obs.event_count(), 0);
+        assert_eq!(obs.failure_count(), 0);
+        assert!(obs.take_failures().is_empty());
+        assert!(obs.chrome_trace_json().contains("traceEvents"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::enabled(64);
+        let clone = obs.clone();
+        clone.instant(Cat::Epoch, "epoch-propose", 1, 0, SimTime::from_micros(3), &[]);
+        clone.counter_add("records", "node=1", 7);
+        assert_eq!(obs.event_count(), 1);
+        assert_eq!(
+            obs.with_registry(|r| r.counter("records", "node=1")),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn record_failure_captures_tail_and_marks_trace() {
+        let obs = Obs::enabled(128);
+        for i in 0..100u64 {
+            obs.instant(
+                Cat::Verb,
+                "write",
+                0,
+                1,
+                SimTime::from_nanos(i * 5),
+                &[("seq", i)],
+            );
+        }
+        obs.record_failure("credit window exceeded", "fingerprint=0x1");
+        assert_eq!(obs.failure_count(), 1);
+        let dumps = obs.take_failures();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].events.len(), FLIGHT_TAIL);
+        assert_eq!(dumps[0].events.last().unwrap().args()[0], ("seq", 99));
+        assert!(obs.take_failures().is_empty(), "drained");
+        assert!(obs
+            .events()
+            .iter()
+            .any(|e| e.cat == Cat::Fault && e.name == "failure"));
+    }
+
+    #[test]
+    fn span_durations_clamp_and_export() {
+        let obs = Obs::enabled(16);
+        obs.span(
+            Cat::Operator,
+            "batch",
+            0,
+            2,
+            SimTime::from_nanos(10),
+            SimTime::from_nanos(10),
+            &[],
+        );
+        let json = obs.chrome_trace_json();
+        assert!(json.contains("\"dur\":0.001"), "zero-length span clamps to 1ns");
+    }
+}

@@ -1,0 +1,148 @@
+//! Central metrics registry: counters, gauges, and histograms, labeled by
+//! node / operator / channel.
+//!
+//! The registry absorbs what used to be scattered across `EngineMetrics`,
+//! `ChannelStats`, and ad-hoc report fields into one queryable namespace.
+//! Storage is `BTreeMap`-keyed by `(name, label)` so iteration order — and
+//! therefore every export — is deterministic.
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+
+type Key = (String, String);
+
+/// Deterministic store of named, labeled metrics.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    hists: BTreeMap<Key, Histogram>,
+}
+
+fn key(name: &str, label: &str) -> Key {
+    (name.to_string(), label.to_string())
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `v` to the counter `(name, label)`, creating it at zero.
+    pub fn counter_add(&mut self, name: &str, label: &str, v: u64) {
+        *self.counters.entry(key(name, label)).or_insert(0) += v;
+    }
+
+    /// Read a counter.
+    pub fn counter(&self, name: &str, label: &str) -> u64 {
+        self.counters.get(&key(name, label)).copied().unwrap_or(0)
+    }
+
+    /// Set the gauge `(name, label)` to `v` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, label: &str, v: f64) {
+        self.gauges.insert(key(name, label), v);
+    }
+
+    /// Read a gauge.
+    pub fn gauge(&self, name: &str, label: &str) -> Option<f64> {
+        self.gauges.get(&key(name, label)).copied()
+    }
+
+    /// Record one value into the histogram `(name, label)`.
+    pub fn hist_record(&mut self, name: &str, label: &str, v: u64) {
+        self.hists.entry(key(name, label)).or_default().record(v);
+    }
+
+    /// Merge a whole histogram into `(name, label)`.
+    pub fn hist_merge(&mut self, name: &str, label: &str, h: &Histogram) {
+        self.hists.entry(key(name, label)).or_default().merge(h);
+    }
+
+    /// Read a histogram.
+    pub fn hist(&self, name: &str, label: &str) -> Option<&Histogram> {
+        self.hists.get(&key(name, label))
+    }
+
+    /// Quantile of a histogram, if present and non-empty.
+    pub fn quantile(&self, name: &str, label: &str, q: f64) -> Option<u64> {
+        self.hist(name, label).and_then(|h| h.quantile(q))
+    }
+
+    /// Iterate counters in deterministic `(name, label)` order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, &str, u64)> {
+        self.counters
+            .iter()
+            .map(|((n, l), &v)| (n.as_str(), l.as_str(), v))
+    }
+
+    /// Iterate gauges in deterministic `(name, label)` order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, &str, f64)> {
+        self.gauges
+            .iter()
+            .map(|((n, l), &v)| (n.as_str(), l.as_str(), v))
+    }
+
+    /// Iterate histograms in deterministic `(name, label)` order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &str, &Histogram)> {
+        self.hists
+            .iter()
+            .map(|((n, l), h)| (n.as_str(), l.as_str(), h))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("records", "node=0", 10);
+        reg.counter_add("records", "node=0", 5);
+        reg.counter_add("records", "node=1", 1);
+        assert_eq!(reg.counter("records", "node=0"), 15);
+        assert_eq!(reg.counter("records", "node=1"), 1);
+        assert_eq!(reg.counter("records", "node=2"), 0);
+        reg.gauge_set("ipc", "node=0", 0.5);
+        reg.gauge_set("ipc", "node=0", 0.75);
+        assert_eq!(reg.gauge("ipc", "node=0"), Some(0.75));
+    }
+
+    #[test]
+    fn hist_record_and_merge_share_namespace() {
+        let mut reg = MetricsRegistry::new();
+        reg.hist_record("lat", "chan=0->1", 100);
+        let mut extra = Histogram::new();
+        extra.record(200);
+        extra.record(300);
+        reg.hist_merge("lat", "chan=0->1", &extra);
+        assert_eq!(reg.hist("lat", "chan=0->1").unwrap().count(), 3);
+        assert!(reg.quantile("lat", "chan=0->1", 1.0).unwrap() >= 300);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("b", "x", 1);
+        reg.counter_add("a", "y", 2);
+        reg.counter_add("a", "x", 3);
+        let names: Vec<(String, String)> = reg
+            .counters()
+            .map(|(n, l, _)| (n.to_string(), l.to_string()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("a".to_string(), "x".to_string()),
+                ("a".to_string(), "y".to_string()),
+                ("b".to_string(), "x".to_string())
+            ]
+        );
+    }
+}

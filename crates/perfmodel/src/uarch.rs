@@ -65,7 +65,8 @@ pub struct Table1Row {
     pub ipc: f64,
     /// Instructions per record.
     pub instr_per_rec: f64,
-    /// Cycles per record (at the testbed's 2.4 GHz).
+    /// Cycles per record (at the metrics' configured clock; testbed
+    /// default [`slash_core::TESTBED_CLOCK_GHZ`]).
     pub cyc_per_rec: f64,
     /// L1d misses per record.
     pub l1_per_rec: f64,

@@ -2,9 +2,10 @@
 
 use slash_desim::Sim;
 use slash_net::{create_channel, ChannelConfig};
-use slash_rdma::{Fabric, NodeId, RdmaError};
+use slash_obs::Obs;
+use slash_rdma::{Fabric, NodeId};
 
-use crate::coherence::{DeltaReceiver, DeltaSender};
+use crate::coherence::{DeltaReceiver, DeltaSender, StateError};
 use crate::descriptor::StateDescriptor;
 use crate::hash::{partition_of, unpack_key, StateKey};
 use crate::partition::Partition;
@@ -68,6 +69,7 @@ pub struct SsbNode {
     vclock: VectorClock,
     bytes_since_epoch: u64,
     local_watermark: u64,
+    obs: Obs,
 }
 
 impl SsbNode {
@@ -132,7 +134,7 @@ impl SsbNode {
 
     /// Close an epoch if enough update volume accumulated. Returns true if
     /// an epoch was closed.
-    pub fn maybe_close_epoch(&mut self, sim: &mut Sim) -> Result<Option<u64>, RdmaError> {
+    pub fn maybe_close_epoch(&mut self, sim: &mut Sim) -> Result<Option<u64>, StateError> {
         if self.bytes_since_epoch >= self.cfg.epoch_bytes {
             return self.close_epoch(sim).map(Some);
         }
@@ -144,18 +146,22 @@ impl SsbNode {
     /// vector-clock slot. Also called ahead of schedule on window triggers
     /// ("a Slash instance signals the ahead-of-time termination of an
     /// epoch upon window triggering").
-    pub fn close_epoch(&mut self, sim: &mut Sim) -> Result<u64, RdmaError> {
+    pub fn close_epoch(&mut self, sim: &mut Sim) -> Result<u64, StateError> {
         let wm = self.local_watermark;
+        let now = sim.now();
         let mut delta_bytes = 0;
         for p in 0..self.cfg.nodes {
             if p == self.node {
                 continue;
             }
             delta_bytes += self.fragments[p].dirty_bytes();
-            let sender = self.senders[p]
-                .as_mut()
-                .expect("sender exists for every remote partition");
-            sender.enqueue_epoch(&mut self.fragments[p], wm);
+            // `build_cluster` creates a sender for every remote partition;
+            // a missing one would be a wiring bug, not a runtime condition.
+            let Some(sender) = self.senders[p].as_mut() else {
+                debug_assert!(false, "sender exists for every remote partition");
+                continue;
+            };
+            sender.enqueue_epoch(&mut self.fragments[p], wm, now);
             sender.pump(sim)?;
         }
         self.vclock.update(self.node, wm);
@@ -166,7 +172,7 @@ impl SsbNode {
     /// Make progress on delta shipping and merging. Returns
     /// `(chunks_sent, entries_merged)`; the engine calls this from its
     /// RDMA coroutines.
-    pub fn pump(&mut self, sim: &mut Sim) -> Result<(u64, u64), RdmaError> {
+    pub fn pump(&mut self, sim: &mut Sim) -> Result<(u64, u64), StateError> {
         let mut sent = 0;
         for s in self.senders.iter_mut().flatten() {
             sent += s.pump(sim)? as u64;
@@ -223,7 +229,14 @@ impl SsbNode {
                 primary.for_each_element(key, |e| elems.push(e.to_vec()));
                 TriggeredData::Elements(elems)
             } else {
-                TriggeredData::Fixed(primary.get(key).expect("key listed").to_vec())
+                // Keys were collected from `for_each_key` just above with no
+                // intervening mutation; a vanished key would indicate index
+                // corruption, so skip it rather than panic.
+                let Some(value) = primary.get(key) else {
+                    debug_assert!(false, "key listed by for_each_key has a value");
+                    continue;
+                };
+                TriggeredData::Fixed(value.to_vec())
             };
             primary.remove(key);
             emit(TriggeredValue {
@@ -277,6 +290,37 @@ impl SsbNode {
     pub fn resident_bytes(&self) -> usize {
         self.fragments.iter().map(|f| f.resident_bytes()).sum()
     }
+
+    /// Attach a trace handle to this node and every delta endpoint it
+    /// owns: channel verb instants, epoch phase spans, and merge-latency
+    /// histograms all flow into `obs`.
+    pub fn instrument(&mut self, obs: Obs) {
+        let node = self.node as u32;
+        for (leader, sender) in self.senders.iter_mut().enumerate() {
+            if let Some(s) = sender {
+                s.instrument(obs.clone(), node, leader as u32);
+            }
+        }
+        for r in self.receivers.iter_mut() {
+            r.instrument(obs.clone(), node);
+        }
+        self.obs = obs;
+    }
+
+    /// Publish this node's channel statistics into the obs registry
+    /// (buffer counters and residence-latency histograms per channel).
+    pub fn publish_obs(&self) {
+        for (leader, sender) in self.senders.iter().enumerate() {
+            if let Some(s) = sender {
+                let label = format!("chan={}->{}", self.node, leader);
+                s.channel_stats().publish(&self.obs, &label);
+            }
+        }
+        for r in &self.receivers {
+            let label = format!("chan={}->{}", r.helper(), self.node);
+            r.channel_stats().publish(&self.obs, &label);
+        }
+    }
 }
 
 /// Build the SSB for a cluster: one [`SsbNode`] per executor and the
@@ -287,6 +331,18 @@ pub fn build_cluster(
     nodes: &[NodeId],
     desc: StateDescriptor,
     cfg: SsbConfig,
+) -> Vec<SsbNode> {
+    build_cluster_obs(fabric, nodes, desc, cfg, Obs::disabled())
+}
+
+/// [`build_cluster`] with tracing: every node and delta endpoint is
+/// instrumented against `obs` before any traffic flows.
+pub fn build_cluster_obs(
+    fabric: &Fabric,
+    nodes: &[NodeId],
+    desc: StateDescriptor,
+    cfg: SsbConfig,
+    obs: Obs,
 ) -> Vec<SsbNode> {
     let n = nodes.len();
     assert_eq!(n, cfg.nodes, "config must match the node list");
@@ -300,6 +356,7 @@ pub fn build_cluster(
             vclock: VectorClock::new(n),
             bytes_since_epoch: 0,
             local_watermark: 0,
+            obs: Obs::disabled(),
         })
         .collect();
 
@@ -311,6 +368,11 @@ pub fn build_cluster(
             let (tx, rx) = create_channel(fabric, nodes[helper], nodes[leader], cfg.channel);
             ssb[helper].senders[leader] = Some(DeltaSender::new(tx));
             ssb[leader].receivers.push(DeltaReceiver::new(rx, helper));
+        }
+    }
+    if obs.is_enabled() {
+        for node in ssb.iter_mut() {
+            node.instrument(obs.clone());
         }
     }
     ssb

@@ -8,14 +8,46 @@
 //! inbound chunks into the primary partition, advancing the vector clock
 //! when an epoch's final chunk lands.
 
-use slash_desim::Sim;
+use slash_desim::{Sim, SimTime};
 use slash_net::{ChannelReceiver, ChannelSender, MsgFlags};
+use slash_obs::{Cat, Obs};
 use slash_rdma::RdmaError;
 
-use crate::delta::{parse_chunk, ChunkBuilder};
+use crate::delta::{try_parse_chunk, ChunkBuilder, DeltaDecodeError};
 use crate::entry::EntryKind;
 use crate::partition::Partition;
 use crate::vclock::VectorClock;
+
+/// Errors surfaced by the coherence protocol: transport failures from the
+/// RDMA layer, or a delta chunk that failed strict wire validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// The underlying RDMA channel failed.
+    Rdma(RdmaError),
+    /// An inbound delta chunk was malformed.
+    Decode(DeltaDecodeError),
+}
+
+impl From<RdmaError> for StateError {
+    fn from(e: RdmaError) -> Self {
+        StateError::Rdma(e)
+    }
+}
+
+impl From<DeltaDecodeError> for StateError {
+    fn from(e: DeltaDecodeError) -> Self {
+        StateError::Decode(e)
+    }
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::Rdma(e) => write!(f, "rdma channel error: {e:?}"),
+            StateError::Decode(e) => write!(f, "delta decode error: {e}"),
+        }
+    }
+}
 
 /// Helper-side shipping endpoint for one (helper, leader) pair.
 pub struct DeltaSender {
@@ -23,6 +55,9 @@ pub struct DeltaSender {
     outbox: std::collections::VecDeque<Vec<u8>>,
     /// Chunks shipped (stats).
     pub chunks_sent: u64,
+    obs: Obs,
+    obs_pid: u32,
+    obs_tid: u32,
 }
 
 impl DeltaSender {
@@ -32,20 +67,49 @@ impl DeltaSender {
             chan,
             outbox: std::collections::VecDeque::new(),
             chunks_sent: 0,
+            obs: Obs::disabled(),
+            obs_pid: 0,
+            obs_tid: 0,
         }
     }
 
+    /// Attach a trace handle; `pid` is the helper node, `tid` the leader.
+    /// Also instruments the underlying channel's verb events.
+    pub fn instrument(&mut self, obs: Obs, pid: u32, tid: u32) {
+        self.chan.instrument(obs.clone(), pid, tid);
+        self.obs = obs;
+        self.obs_pid = pid;
+        self.obs_tid = tid;
+    }
+
     /// Close the fragment's open epoch and queue its delta for shipping.
-    /// `watermark` is this helper's low watermark at the token.
-    pub fn enqueue_epoch(&mut self, fragment: &mut Partition, watermark: u64) {
+    /// `watermark` is this helper's low watermark at the token; `now` is
+    /// stamped into the chunk headers so the leader can measure merge
+    /// latency (epoch-coherence "propose" phase).
+    pub fn enqueue_epoch(&mut self, fragment: &mut Partition, watermark: u64, now: SimTime) {
+        let epoch = fragment.epoch();
         let mut builder = ChunkBuilder::new(
             fragment.id as u32,
-            fragment.epoch(),
+            epoch,
             watermark,
+            now.as_nanos() / 1_000,
             self.chan.payload_capacity(),
         );
         fragment.close_epoch(|h, v| builder.push(h.key, h.kind, v));
-        self.outbox.extend(builder.finish());
+        let chunks = builder.finish();
+        self.obs.instant(
+            Cat::Epoch,
+            "epoch-propose",
+            self.obs_pid,
+            self.obs_tid,
+            now,
+            &[
+                ("epoch", epoch),
+                ("watermark", watermark),
+                ("chunks", chunks.len() as u64),
+            ],
+        );
+        self.outbox.extend(chunks);
     }
 
     /// Push queued chunks while channel credits allow. Returns the number
@@ -69,8 +133,8 @@ impl DeltaSender {
     }
 
     /// Channel statistics.
-    pub fn channel_stats(&self) -> slash_net::ChannelStats {
-        self.chan.stats
+    pub fn channel_stats(&self) -> &slash_net::ChannelStats {
+        &self.chan.stats
     }
 }
 
@@ -81,6 +145,10 @@ pub struct DeltaReceiver {
     helper: usize,
     /// Entries merged (stats).
     pub entries_merged: u64,
+    obs: Obs,
+    obs_pid: u32,
+    /// Registry label for epoch-merge latency (`chan=<helper>-><leader>`).
+    obs_label: String,
 }
 
 impl DeltaReceiver {
@@ -90,7 +158,19 @@ impl DeltaReceiver {
             chan,
             helper,
             entries_merged: 0,
+            obs: Obs::disabled(),
+            obs_pid: 0,
+            obs_label: String::new(),
         }
+    }
+
+    /// Attach a trace handle; `leader` is the node this receiver merges
+    /// into. Also instruments the underlying channel's verb events.
+    pub fn instrument(&mut self, obs: Obs, leader: u32) {
+        self.chan.instrument(obs.clone(), leader, self.helper as u32);
+        self.obs = obs;
+        self.obs_pid = leader;
+        self.obs_label = format!("chan={}->{}", self.helper, leader);
     }
 
     /// The helper executor this receiver listens to.
@@ -98,14 +178,28 @@ impl DeltaReceiver {
         self.helper
     }
 
+    /// Channel statistics.
+    pub fn channel_stats(&self) -> &slash_net::ChannelStats {
+        &self.chan.stats
+    }
+
+    /// Registry label used by this receiver's instrumentation.
+    pub fn obs_label(&self) -> &str {
+        &self.obs_label
+    }
+
     /// Drain and merge every delivered chunk into `primary`, advancing
     /// `vclock` on epoch-final chunks. Returns entries merged this call.
+    ///
+    /// A malformed chunk (strict wire validation) captures a
+    /// flight-recorder dump with vector-clock context and surfaces
+    /// [`StateError::Decode`] instead of panicking.
     pub fn pump(
         &mut self,
         sim: &mut Sim,
         primary: &mut Partition,
         vclock: &mut VectorClock,
-    ) -> Result<u64, RdmaError> {
+    ) -> Result<u64, StateError> {
         let mut merged = 0;
         loop {
             let polled = self.chan.poll_with(sim, |flags, payload| {
@@ -113,16 +207,58 @@ impl DeltaReceiver {
                 payload.to_vec()
             })?;
             let Some(payload) = polled else { break };
-            let header = parse_chunk(&payload, |key, kind, value| {
+            let parsed = try_parse_chunk(&payload, |key, kind, value| {
                 match kind {
                     EntryKind::Fixed => primary.merge_fixed(key, value),
                     EntryKind::Appended => primary.append(key, value),
                 }
                 merged += 1;
             });
+            let header = match parsed {
+                Ok(h) => h,
+                Err(e) => {
+                    self.obs.record_failure(
+                        &format!("delta chunk decode failed: {e}"),
+                        &format!(
+                            "helper={} partition={} vclock={:?}",
+                            self.helper,
+                            primary.id,
+                            vclock.snapshot()
+                        ),
+                    );
+                    self.entries_merged += merged;
+                    return Err(e.into());
+                }
+            };
             debug_assert_eq!(header.partition as usize, primary.id);
             if header.fin {
+                // Epoch "merge" completes here; the vclock update below is
+                // the "install" phase the rest of the node observes.
+                let now = sim.now();
+                let sent = SimTime::from_nanos(header.sent_us.saturating_mul(1_000));
+                self.obs.span(
+                    Cat::Epoch,
+                    "epoch-merge",
+                    self.obs_pid,
+                    self.helper as u32,
+                    sent.min(now),
+                    now,
+                    &[("epoch", header.epoch), ("watermark", header.watermark)],
+                );
+                if header.sent_us > 0 {
+                    let lat = now.as_nanos().saturating_sub(sent.as_nanos());
+                    self.obs
+                        .hist_record("epoch_merge_latency_ns", &self.obs_label, lat);
+                }
                 vclock.update(self.helper, header.watermark);
+                self.obs.instant(
+                    Cat::Epoch,
+                    "epoch-install",
+                    self.obs_pid,
+                    self.helper as u32,
+                    now,
+                    &[("epoch", header.epoch), ("watermark", header.watermark)],
+                );
             }
         }
         self.entries_merged += merged;
@@ -160,7 +296,7 @@ mod tests {
         fragment.rmw(7, |v| CounterCrdt::add(v, 11));
         fragment.rmw(8, |v| CounterCrdt::add(v, 22));
 
-        tx.enqueue_epoch(&mut fragment, 5_000);
+        tx.enqueue_epoch(&mut fragment, 5_000, sim.now());
         tx.pump(&mut sim).unwrap();
         sim.run();
         let merged = rx.pump(&mut sim, &mut primary, &mut vclock).unwrap();
@@ -179,7 +315,7 @@ mod tests {
         let mut primary = Partition::new(0, desc);
         let mut vclock = VectorClock::new(2);
 
-        tx.enqueue_epoch(&mut fragment, 777);
+        tx.enqueue_epoch(&mut fragment, 777, sim.now());
         tx.pump(&mut sim).unwrap();
         sim.run();
         assert_eq!(rx.pump(&mut sim, &mut primary, &mut vclock).unwrap(), 0);
@@ -204,7 +340,7 @@ mod tests {
         for k in 0..50u128 {
             fragment.rmw(k, |v| CounterCrdt::add(v, 1));
         }
-        tx.enqueue_epoch(&mut fragment, 42);
+        tx.enqueue_epoch(&mut fragment, 42, sim.now());
         assert!(tx.backlog() > 2, "must not fit in one credit window");
 
         let mut spins = 0;
@@ -232,7 +368,7 @@ mod tests {
 
         for epoch in 0..5u64 {
             fragment.rmw(1, |v| CounterCrdt::add(v, epoch + 1));
-            tx.enqueue_epoch(&mut fragment, (epoch + 1) * 10);
+            tx.enqueue_epoch(&mut fragment, (epoch + 1) * 10, sim.now());
         }
         let mut spins = 0;
         while tx.backlog() > 0 {

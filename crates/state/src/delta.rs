@@ -8,9 +8,13 @@
 //! ```text
 //! chunk := header | entry*
 //! header (32 B) := partition u32 | n_entries u32 | epoch u64 |
-//!                  watermark u64 | fin u8 | pad[7]
+//!                  watermark u64 | fin u8 | sent_us u40 | pad[2]
 //! entry := key u128 | len u32 | kind u8 | pad[3] | value[len]
 //! ```
+//!
+//! `sent_us` is the virtual time (microseconds, 40 bits — same stamp
+//! format as the channel footer) at which the helper closed the epoch; the
+//! leader uses it to measure epoch-merge latency end to end.
 
 use crate::entry::EntryKind;
 use crate::hash::StateKey;
@@ -33,6 +37,9 @@ pub struct DeltaHeader {
     pub watermark: u64,
     /// Whether this is the epoch's final chunk.
     pub fin: bool,
+    /// Virtual epoch-close time in microseconds (40-bit stamp; 0 when the
+    /// producer has no clock, e.g. snapshot chunks).
+    pub sent_us: u64,
 }
 
 /// Copy `N` little-endian bytes starting at `at`, zero-filling past the end
@@ -56,17 +63,21 @@ impl DeltaHeader {
         out.extend_from_slice(&self.epoch.to_le_bytes());
         out.extend_from_slice(&self.watermark.to_le_bytes());
         out.push(u8::from(self.fin));
-        out.extend_from_slice(&[0u8; 7]);
+        out.extend_from_slice(&self.sent_us.to_le_bytes()[..5]);
+        out.extend_from_slice(&[0u8; 2]);
     }
 
     /// Decode from the first [`DELTA_HEADER_SIZE`] bytes.
     pub fn decode(bytes: &[u8]) -> DeltaHeader {
+        let mut us = [0u8; 8];
+        us[..5].copy_from_slice(&le_bytes::<5>(bytes, 25));
         DeltaHeader {
             partition: u32::from_le_bytes(le_bytes(bytes, 0)),
             n_entries: u32::from_le_bytes(le_bytes(bytes, 4)),
             epoch: u64::from_le_bytes(le_bytes(bytes, 8)),
             watermark: u64::from_le_bytes(le_bytes(bytes, 16)),
             fin: bytes.get(24).copied().unwrap_or(0) != 0,
+            sent_us: u64::from_le_bytes(us),
         }
     }
 
@@ -100,26 +111,98 @@ pub fn entry_wire_size(len: usize) -> usize {
     ENTRY_OVERHEAD + len
 }
 
-/// Parse a chunk: returns the header and calls `f` per entry.
-pub fn parse_chunk(payload: &[u8], mut f: impl FnMut(StateKey, EntryKind, &[u8])) -> DeltaHeader {
+/// Why a delta chunk failed strict validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaDecodeError {
+    /// The chunk is shorter than its own framing claims.
+    Truncated {
+        /// Byte offset the decoder needed to reach.
+        need: usize,
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// An entry carried an unknown kind byte.
+    BadKind(u8),
+    /// Bytes remained after the declared entries.
+    TrailingBytes {
+        /// Offset where decoding stopped.
+        at: usize,
+        /// Total payload length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaDecodeError::Truncated { need, have } => {
+                write!(f, "delta chunk truncated: need {need} bytes, have {have}")
+            }
+            DeltaDecodeError::BadKind(k) => write!(f, "delta entry has unknown kind byte {k}"),
+            DeltaDecodeError::TrailingBytes { at, len } => {
+                write!(f, "delta chunk has trailing bytes: entries end at {at}, payload is {len}")
+            }
+        }
+    }
+}
+
+/// Strictly parse a chunk: validates framing before touching entry bytes,
+/// returning the header and calling `f` per entry. Entries decoded before
+/// an error is detected will already have been passed to `f`.
+pub fn try_parse_chunk(
+    payload: &[u8],
+    mut f: impl FnMut(StateKey, EntryKind, &[u8]),
+) -> Result<DeltaHeader, DeltaDecodeError> {
+    if payload.len() < DELTA_HEADER_SIZE {
+        return Err(DeltaDecodeError::Truncated {
+            need: DELTA_HEADER_SIZE,
+            have: payload.len(),
+        });
+    }
     let header = DeltaHeader::decode(payload);
     let mut off = DELTA_HEADER_SIZE;
     for _ in 0..header.n_entries {
         let key = StateKey::from_le_bytes(le_bytes(payload, off));
         let len = u32::from_le_bytes(le_bytes(payload, off + 16)) as usize;
         let kind_byte = payload.get(off + 20).copied().unwrap_or(0);
-        debug_assert!(kind_byte <= 1, "corrupt delta chunk: kind {kind_byte}");
-        let kind = if kind_byte == 1 {
-            EntryKind::Appended
-        } else {
-            EntryKind::Fixed
+        let kind = match kind_byte {
+            0 => EntryKind::Fixed,
+            1 => EntryKind::Appended,
+            other => return Err(DeltaDecodeError::BadKind(other)),
         };
         off += ENTRY_OVERHEAD;
-        f(key, kind, &payload[off..off + len]);
+        let value = payload
+            .get(off..off + len)
+            .ok_or(DeltaDecodeError::Truncated {
+                need: off + len,
+                have: payload.len(),
+            })?;
+        f(key, kind, value);
         off += len;
     }
-    debug_assert_eq!(off, payload.len(), "trailing bytes in delta chunk");
-    header
+    if off != payload.len() {
+        return Err(DeltaDecodeError::TrailingBytes {
+            at: off,
+            len: payload.len(),
+        });
+    }
+    Ok(header)
+}
+
+/// Parse a chunk: returns the header and calls `f` per entry.
+///
+/// Total variant of [`try_parse_chunk`] for inputs already known to be
+/// well-formed (e.g. snapshot chunks produced locally): a corrupt chunk
+/// trips a debug assertion and yields the header with whatever entries
+/// decoded cleanly.
+pub fn parse_chunk(payload: &[u8], f: impl FnMut(StateKey, EntryKind, &[u8])) -> DeltaHeader {
+    match try_parse_chunk(payload, f) {
+        Ok(header) => header,
+        Err(e) => {
+            debug_assert!(false, "corrupt delta chunk: {e}");
+            DeltaHeader::decode(payload)
+        }
+    }
 }
 
 /// Incrementally build delta chunks no larger than `max_chunk` bytes.
@@ -127,6 +210,7 @@ pub struct ChunkBuilder {
     partition: u32,
     epoch: u64,
     watermark: u64,
+    sent_us: u64,
     max_chunk: usize,
     current: Vec<u8>,
     n_entries: u32,
@@ -134,8 +218,9 @@ pub struct ChunkBuilder {
 }
 
 impl ChunkBuilder {
-    /// Start building chunks for one closed epoch.
-    pub fn new(partition: u32, epoch: u64, watermark: u64, max_chunk: usize) -> Self {
+    /// Start building chunks for one closed epoch. `sent_us` is the
+    /// virtual close time in microseconds (0 when not applicable).
+    pub fn new(partition: u32, epoch: u64, watermark: u64, sent_us: u64, max_chunk: usize) -> Self {
         assert!(
             max_chunk >= DELTA_HEADER_SIZE + ENTRY_OVERHEAD + 8,
             "chunk size too small for even one entry"
@@ -144,6 +229,7 @@ impl ChunkBuilder {
             partition,
             epoch,
             watermark,
+            sent_us,
             max_chunk,
             current: Vec::with_capacity(max_chunk),
             n_entries: 0,
@@ -161,6 +247,7 @@ impl ChunkBuilder {
             epoch: self.epoch,
             watermark: self.watermark,
             fin: false,
+            sent_us: self.sent_us,
         }
         .encode_into(&mut self.current);
         self.n_entries = 0;
@@ -209,6 +296,7 @@ mod tests {
             epoch: 42,
             watermark: 123_456_789,
             fin: true,
+            sent_us: (1u64 << 40) - 7, // full 40-bit stamp survives
         };
         let mut buf = Vec::new();
         h.encode_into(&mut buf);
@@ -218,7 +306,7 @@ mod tests {
 
     #[test]
     fn single_chunk_roundtrip() {
-        let mut b = ChunkBuilder::new(1, 5, 999, 4096);
+        let mut b = ChunkBuilder::new(1, 5, 999, 1234, 4096);
         b.push(100, EntryKind::Fixed, &7u64.to_le_bytes());
         b.push(200, EntryKind::Appended, b"elem");
         let chunks = b.finish();
@@ -228,6 +316,7 @@ mod tests {
         assert_eq!(h.partition, 1);
         assert_eq!(h.epoch, 5);
         assert_eq!(h.watermark, 999);
+        assert_eq!(h.sent_us, 1234);
         assert!(h.fin);
         assert_eq!(h.n_entries, 2);
         assert_eq!(got[0], (100, EntryKind::Fixed, 7u64.to_le_bytes().to_vec()));
@@ -237,7 +326,7 @@ mod tests {
     #[test]
     fn large_deltas_split_into_chunks_with_single_fin() {
         let max = 256;
-        let mut b = ChunkBuilder::new(0, 1, 10, max);
+        let mut b = ChunkBuilder::new(0, 1, 10, 0, max);
         for k in 0..100u128 {
             b.push(k, EntryKind::Fixed, &(k as u64).to_le_bytes());
         }
@@ -259,11 +348,49 @@ mod tests {
 
     #[test]
     fn empty_epoch_still_produces_a_fin_chunk() {
-        let chunks = ChunkBuilder::new(2, 9, 555, 1024).finish();
+        let chunks = ChunkBuilder::new(2, 9, 555, 0, 1024).finish();
         assert_eq!(chunks.len(), 1);
         let h = parse_chunk(&chunks[0], |_, _, _| panic!("no entries"));
         assert!(h.fin);
         assert_eq!(h.n_entries, 0);
         assert_eq!(h.watermark, 555);
+    }
+
+    #[test]
+    fn strict_parse_rejects_corruption() {
+        let mut b = ChunkBuilder::new(0, 1, 10, 0, 4096);
+        b.push(7, EntryKind::Fixed, &1u64.to_le_bytes());
+        let chunks = b.finish();
+        let good = &chunks[0];
+        assert!(try_parse_chunk(good, |_, _, _| {}).is_ok());
+
+        // Truncated: chop the value bytes off.
+        let truncated = &good[..good.len() - 4];
+        assert!(matches!(
+            try_parse_chunk(truncated, |_, _, _| {}),
+            Err(DeltaDecodeError::Truncated { .. })
+        ));
+
+        // Bad kind byte on the first entry.
+        let mut bad_kind = good.clone();
+        bad_kind[DELTA_HEADER_SIZE + 20] = 9;
+        assert!(matches!(
+            try_parse_chunk(&bad_kind, |_, _, _| {}),
+            Err(DeltaDecodeError::BadKind(9))
+        ));
+
+        // Trailing garbage after the declared entries.
+        let mut trailing = good.clone();
+        trailing.push(0xFF);
+        assert!(matches!(
+            try_parse_chunk(&trailing, |_, _, _| {}),
+            Err(DeltaDecodeError::TrailingBytes { .. })
+        ));
+
+        // Too short for even a header.
+        assert!(matches!(
+            try_parse_chunk(&[0u8; 4], |_, _, _| {}),
+            Err(DeltaDecodeError::Truncated { need: 32, have: 4 })
+        ));
     }
 }

@@ -38,13 +38,28 @@ impl EntryKind {
         }
     }
 
-    fn from_u8(v: u8) -> EntryKind {
+    /// Decode a kind byte; `None` for anything but the two valid tags.
+    pub fn try_from_u8(v: u8) -> Option<EntryKind> {
         match v {
-            0 => EntryKind::Fixed,
-            1 => EntryKind::Appended,
-            other => panic!("corrupt log: unknown entry kind {other}"),
+            0 => Some(EntryKind::Fixed),
+            1 => Some(EntryKind::Appended),
+            _ => None,
         }
     }
+}
+
+/// Copy `N` little-endian bytes starting at `at`, zero-filling past the
+/// end of `bytes`. The log always hands `decode` a full header (the
+/// allocator reserves [`HEADER_SIZE`] up front), so the zero-fill path is
+/// corruption-only; it keeps decoding total without a panic site.
+fn le_bytes<const N: usize>(bytes: &[u8], at: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (i, dst) in out.iter_mut().enumerate() {
+        if let Some(b) = bytes.get(at + i) {
+            *dst = *b;
+        }
+    }
+    out
 }
 
 /// Decoded entry header.
@@ -70,13 +85,20 @@ impl EntryHeader {
         out[29..32].fill(0);
     }
 
-    /// Decode from the first [`HEADER_SIZE`] bytes of `bytes`.
+    /// Decode from the first [`HEADER_SIZE`] bytes of `bytes`. Total: a
+    /// corrupt kind byte trips a debug assertion and decodes as `Fixed`
+    /// (the conservative choice — fixed entries never chain).
     pub fn decode(bytes: &[u8]) -> EntryHeader {
+        let kind_byte = bytes.get(28).copied().unwrap_or(0);
+        debug_assert!(
+            EntryKind::try_from_u8(kind_byte).is_some(),
+            "corrupt log: unknown entry kind {kind_byte}"
+        );
         EntryHeader {
-            key: StateKey::from_le_bytes(bytes[0..16].try_into().unwrap()),
-            prev: u64::from_le_bytes(bytes[16..24].try_into().unwrap()),
-            len: u32::from_le_bytes(bytes[24..28].try_into().unwrap()),
-            kind: EntryKind::from_u8(bytes[28]),
+            key: StateKey::from_le_bytes(le_bytes(bytes, 0)),
+            prev: u64::from_le_bytes(le_bytes(bytes, 16)),
+            len: u32::from_le_bytes(le_bytes(bytes, 24)),
+            kind: EntryKind::try_from_u8(kind_byte).unwrap_or(EntryKind::Fixed),
         }
     }
 }
@@ -114,8 +136,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "corrupt log")]
     fn unknown_kind_is_rejected() {
+        assert_eq!(EntryKind::try_from_u8(0), Some(EntryKind::Fixed));
+        assert_eq!(EntryKind::try_from_u8(1), Some(EntryKind::Appended));
+        assert_eq!(EntryKind::try_from_u8(9), None);
+    }
+
+    /// In debug builds a corrupt kind byte trips the decode assertion; in
+    /// release builds it decodes as `Fixed` (total decoding, no panic site).
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "corrupt log")]
+    fn corrupt_kind_asserts_in_debug() {
         let mut buf = [0u8; HEADER_SIZE];
         EntryHeader {
             key: 0,

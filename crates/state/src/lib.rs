@@ -42,7 +42,8 @@ pub mod snapshot;
 pub mod vclock;
 
 pub use backend::{SsbConfig, SsbNode, TriggeredValue};
-pub use coherence::{DeltaReceiver, DeltaSender};
+pub use coherence::{DeltaReceiver, DeltaSender, StateError};
+pub use delta::DeltaDecodeError;
 pub use crdts::{CounterCrdt, MaxCrdt, MeanCrdt, MinCrdt, SumF64Crdt};
 pub use crdts_hll::HllCrdt;
 pub use descriptor::{StateDescriptor, ValueKind};

@@ -19,16 +19,22 @@ use crate::partition::Partition;
 /// Serialize a partition's full live content into delta-format chunks of
 /// at most `max_chunk` bytes. The partition is not modified.
 pub fn snapshot_chunks(part: &Partition, watermark: u64, max_chunk: usize) -> Vec<Vec<u8>> {
-    let mut builder = ChunkBuilder::new(part.id as u32, part.epoch(), watermark, max_chunk);
+    // Snapshots carry no epoch-close time stamp (`sent_us = 0`): they are
+    // produced outside the coherence protocol's clock.
+    let mut builder = ChunkBuilder::new(part.id as u32, part.epoch(), watermark, 0, max_chunk);
     let appended = part.descriptor().is_appended();
     part.for_each_key(|key, _| {
         if appended {
             part.for_each_element(key, |elem| {
                 builder.push(key, EntryKind::Appended, elem);
             });
-        } else {
-            let value = part.get(key).expect("listed key has a value");
+        } else if let Some(value) = part.get(key) {
             builder.push(key, EntryKind::Fixed, value);
+        } else {
+            // `for_each_key` only lists live keys; absence would mean index
+            // corruption. Skip rather than panic — the snapshot then simply
+            // omits the unreadable key.
+            debug_assert!(false, "listed key has a value");
         }
     });
     builder.finish()

@@ -60,9 +60,16 @@ impl VectorClock {
     }
 
     /// The global low watermark: every executor has progressed at least
-    /// this far, and all state updates below it are merged.
+    /// this far, and all state updates below it are merged. An empty clock
+    /// (unreachable: [`VectorClock::new`] rejects `n == 0`) reports 0, the
+    /// conservative "no progress" answer.
     pub fn min(&self) -> u64 {
-        *self.entries.iter().min().expect("non-empty")
+        self.entries.iter().min().copied().unwrap_or(0)
+    }
+
+    /// All per-executor watermarks, in slot order (flight-recorder context).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.entries.clone()
     }
 
     /// Whether an event-time window ending at `end` (exclusive) may

@@ -1,19 +1,28 @@
 //! `slash-race` — sweep the protocol scenarios across tie-break schedules.
 //!
 //! ```text
-//! slash-race [--seeds N]
+//! slash-race [--seeds N] [--mutation NAME]
 //! ```
 //!
 //! Runs the channel and coherence scenarios under `N` tie-break policies
 //! (FIFO, LIFO, and seeded permutations; default 128), printing how many
-//! distinct schedules were explored and any invariant violations. Exit
-//! codes: 0 all invariants hold and coverage is sufficient, 1 otherwise,
-//! 2 usage error.
+//! distinct schedules were explored and any invariant violations. On a
+//! violation the flight recorder's dump — the last trace events with the
+//! schedule fingerprint and vector-clock context — is printed alongside.
+//!
+//! `--mutation NAME` injects a known protocol bug (one of
+//! `skip-credit-return`, `ignore-credit-window`, `reorder-delivered`,
+//! `regress-vclock`, `drop-update`) into the owning scenario and *expects*
+//! the invariant checks to fire and the flight recorder to dump: exit 0
+//! when the bug is detected with a dump, 1 when it slips through.
+//!
+//! Exit codes: 0 all invariants hold and coverage is sufficient (or, under
+//! `--mutation`, the injected bug was caught), 1 otherwise, 2 usage error.
 
 use std::process::ExitCode;
 
 use slash_verify::race::{explore, Exploration};
-use slash_verify::scenarios::{ChannelScenario, CoherenceScenario};
+use slash_verify::scenarios::{ChannelScenario, CoherenceScenario, Mutation};
 
 /// Minimum distinct schedules per scenario for a full-size sweep.
 const MIN_DISTINCT: usize = 100;
@@ -28,8 +37,54 @@ fn gate(e: &Exploration, seeds: u64) -> bool {
     e.clean() && e.distinct_schedules >= needed
 }
 
+fn parse_mutation(name: &str) -> Option<Mutation> {
+    match name {
+        "skip-credit-return" => Some(Mutation::SkipCreditReturn),
+        "ignore-credit-window" => Some(Mutation::IgnoreCreditWindow),
+        "reorder-delivered" => Some(Mutation::ReorderDelivered),
+        "regress-vclock" => Some(Mutation::RegressVclock),
+        "drop-update" => Some(Mutation::DropUpdate),
+        _ => None,
+    }
+}
+
+/// Run one injected bug under a small sweep and require both a violation
+/// and a flight-recorder dump.
+fn run_mutation(m: Mutation, seeds: u64) -> ExitCode {
+    let channel_owned = matches!(
+        m,
+        Mutation::SkipCreditReturn | Mutation::IgnoreCreditWindow | Mutation::ReorderDelivered
+    );
+    let e = if channel_owned {
+        let s = ChannelScenario {
+            mutation: Some(m),
+            ..ChannelScenario::default()
+        };
+        explore("channel-protocol (mutated)", seeds, |p| s.run(p))
+    } else {
+        let s = CoherenceScenario {
+            mutation: Some(m),
+            ..CoherenceScenario::default()
+        };
+        explore("epoch-coherence (mutated)", seeds, |p| s.run(p))
+    };
+    print!("{}", e.render_human());
+    if !e.clean() && !e.dumps.is_empty() {
+        println!("slash-race: mutation {m:?} detected, flight recorder dumped — PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "slash-race: mutation {m:?} NOT detected (violations={}, dumps={}) — FAIL",
+            e.violations.len(),
+            e.dumps.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let mut seeds: u64 = 128;
+    let mut mutation: Option<Mutation> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -40,8 +95,18 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--mutation" => match args.next().as_deref().and_then(parse_mutation) {
+                Some(m) => mutation = Some(m),
+                None => {
+                    eprintln!(
+                        "slash-race: --mutation requires one of skip-credit-return, \
+                         ignore-credit-window, reorder-delivered, regress-vclock, drop-update"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: slash-race [--seeds N]");
+                println!("usage: slash-race [--seeds N] [--mutation NAME]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -49,6 +114,12 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+
+    if let Some(m) = mutation {
+        // A mutated sweep only needs a handful of schedules to prove the
+        // checks fire; cap so `--mutation` stays fast by default.
+        return run_mutation(m, seeds.min(8));
     }
 
     let chan = explore("channel-protocol", seeds, |p| ChannelScenario::default().run(p));

@@ -11,10 +11,11 @@
 //!
 //! | rule | scope | what it catches |
 //! |------|-------|-----------------|
-//! | `no-panic` | library code of `net`, `state`, `rdma`, `core` | `.unwrap()`, `.expect(`, `panic!`, `todo!` outside `#[cfg(test)]` |
+//! | `no-panic` | library code of `net`, `state`, `rdma`, `core`, `obs` | `.unwrap()`, `.expect(`, `panic!`, `todo!` outside `#[cfg(test)]` |
 //! | `no-truncating-cast` | wire-format files (`net/src/layout.rs`, `state/src/delta.rs`) | narrowing `as u8/u16/u32/...` casts |
 //! | `crate-attrs` | every crate root | missing `#![forbid(unsafe_code)]` or `#![deny(missing_docs)]` |
-//! | `no-debug-print` | library code of protocol crates + `desim` | `dbg!`, `println!` |
+//! | `no-debug-print` | library code of protocol crates + `desim` + `obs` | `dbg!`, `println!` |
+//! | `metrics-facade` | library code of `net`, `state`, `core`, `baselines` | direct `=`/`+=`/`-=` writes to counter fields of a `*stats`/`*metrics` value outside the facade files — counters must go through the mutator methods so the observability registry sees them |
 //!
 //! ## Allowlist & burn-down
 //!
@@ -31,10 +32,37 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose library code must not panic (the protocol crates: a panic
 /// there is a protocol bug, not an application choice).
-const NO_PANIC_CRATES: &[&str] = &["net", "state", "rdma", "core"];
+const NO_PANIC_CRATES: &[&str] = &["net", "state", "rdma", "core", "obs"];
 
 /// Crates whose library code must not debug-print.
-const NO_PRINT_CRATES: &[&str] = &["net", "state", "rdma", "core", "desim"];
+const NO_PRINT_CRATES: &[&str] = &["net", "state", "rdma", "core", "desim", "obs"];
+
+/// Crates whose library code must mutate performance counters through the
+/// facade methods (so every bump is also visible to the metrics registry).
+const METRICS_FACADE_CRATES: &[&str] = &["net", "state", "core", "baselines"];
+
+/// The facade implementations themselves: the only files allowed to touch
+/// counter fields directly.
+const METRICS_FACADE_EXEMPT: &[&str] =
+    &["crates/net/src/stats.rs", "crates/core/src/metrics.rs"];
+
+/// Counter fields of `ChannelStats` / `EngineMetrics` that the
+/// `metrics-facade` rule protects from direct writes.
+const METRIC_FIELDS: &[&str] = &[
+    "buffers",
+    "payload_bytes",
+    "credit_stalls",
+    "empty_polls",
+    "credit_msgs",
+    "latency",
+    "instructions",
+    "records",
+    "l1_misses",
+    "l2_misses",
+    "llc_misses",
+    "mem_bytes",
+    "net_bytes",
+];
 
 /// Wire-format files where a silently truncating `as` cast can corrupt
 /// bytes on the wire.
@@ -57,6 +85,8 @@ pub enum Rule {
     CrateAttrs,
     /// No `dbg!`/`println!` in library code.
     NoDebugPrint,
+    /// No direct writes to metric counter fields outside the facades.
+    MetricsFacade,
 }
 
 impl Rule {
@@ -67,6 +97,7 @@ impl Rule {
             Rule::NoTruncatingCast => "no-truncating-cast",
             Rule::CrateAttrs => "crate-attrs",
             Rule::NoDebugPrint => "no-debug-print",
+            Rule::MetricsFacade => "metrics-facade",
         }
     }
 
@@ -77,6 +108,7 @@ impl Rule {
             "no-truncating-cast" => Some(Rule::NoTruncatingCast),
             "crate-attrs" => Some(Rule::CrateAttrs),
             "no-debug-print" => Some(Rule::NoDebugPrint),
+            "metrics-facade" => Some(Rule::MetricsFacade),
             _ => None,
         }
     }
@@ -408,6 +440,59 @@ fn line_waived(original_line: &str, rule: Rule) -> bool {
     original_line.contains(&format!("lint:ok({})", rule.name()))
 }
 
+/// Detect a direct write to a protected metric field on this line:
+/// `<ident ending in stats|metrics>.<field>` followed by `=`, `+=` or
+/// `-=` (not `==` / `=>`). Returns the offending fields.
+fn metric_field_writes(line: &str) -> Vec<&'static str> {
+    let bytes = line.as_bytes();
+    let mut hits = Vec::new();
+    for field in METRIC_FIELDS {
+        let tok = format!(".{field}");
+        // Raw find, not `find_tokens`: the leading `.` is always preceded
+        // by the receiver identifier, so the start boundary is the dot
+        // itself. Only the trailing boundary needs checking (`.records`
+        // must not match inside `.records_total`).
+        let mut from = 0;
+        while let Some(rel) = line[from..].find(&tok) {
+            let i = from + rel;
+            from = i + tok.len();
+            let mut j = i + tok.len();
+            if bytes.get(j).is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') {
+                continue;
+            }
+            // The receiver identifier must end with `stats` or `metrics`.
+            let ident_end = i;
+            let mut ident_start = ident_end;
+            while ident_start > 0 {
+                let c = bytes[ident_start - 1];
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    ident_start -= 1;
+                } else {
+                    break;
+                }
+            }
+            let ident = &line[ident_start..ident_end];
+            if !(ident.ends_with("stats") || ident.ends_with("metrics")) {
+                continue;
+            }
+            // What follows must be an assignment operator.
+            while bytes.get(j).is_some_and(|c| *c == b' ' || *c == b'\t') {
+                j += 1;
+            }
+            let rest = &line[j.min(line.len())..];
+            let is_write = rest.starts_with("+=")
+                || rest.starts_with("-=")
+                || (rest.starts_with('=')
+                    && !rest.starts_with("==")
+                    && !rest.starts_with("=>"));
+            if is_write {
+                hits.push(*field);
+            }
+        }
+    }
+    hits
+}
+
 /// Scan one library file's code view for `no-panic` and `no-debug-print`
 /// tokens and wire-file casts, pushing violations.
 fn scan_file(
@@ -415,11 +500,13 @@ fn scan_file(
     original: &str,
     check_panics: bool,
     check_prints: bool,
+    check_metrics: bool,
     out: &mut Vec<Violation>,
 ) {
     let view = mask_cfg_test(&code_view(original));
     let originals: Vec<&str> = original.lines().collect();
     let is_wire = WIRE_FILES.contains(&rel);
+    let check_metrics = check_metrics && !METRICS_FACADE_EXEMPT.contains(&rel);
     for (idx, line) in view.lines().enumerate() {
         let orig = originals.get(idx).copied().unwrap_or("");
         if check_panics && !line_waived(orig, Rule::NoPanic) {
@@ -459,6 +546,18 @@ fn scan_file(
                         message: format!("`{tok}` in library code — use a stats counter or return data"),
                     });
                 }
+            }
+        }
+        if check_metrics && !line_waived(orig, Rule::MetricsFacade) {
+            for field in metric_field_writes(line) {
+                out.push(Violation {
+                    file: rel.to_owned(),
+                    line: idx + 1,
+                    rule: Rule::MetricsFacade,
+                    message: format!(
+                        "direct write to metric field `{field}` — use the ChannelStats/EngineMetrics facade methods so the observability registry sees the update"
+                    ),
+                });
             }
         }
         if is_wire && !line_waived(orig, Rule::NoTruncatingCast) {
@@ -584,9 +683,9 @@ pub fn run(root: &Path) -> Result<Report, String> {
         scan_crate_root(&rel, &src, &mut raw);
     }
 
-    // Library sources of the panic- and print-restricted crates.
+    // Library sources of the panic-, print- and facade-restricted crates.
     let mut lib_files: Vec<PathBuf> = Vec::new();
-    for c in NO_PRINT_CRATES {
+    for c in NO_PRINT_CRATES.iter().chain(METRICS_FACADE_CRATES) {
         rs_files(&root.join("crates").join(c).join("src"), true, &mut lib_files);
     }
     lib_files.sort();
@@ -604,6 +703,7 @@ pub fn run(root: &Path) -> Result<Report, String> {
             &src,
             NO_PANIC_CRATES.contains(&crate_name),
             NO_PRINT_CRATES.contains(&crate_name),
+            METRICS_FACADE_CRATES.contains(&crate_name),
             &mut raw,
         );
     }
@@ -694,6 +794,28 @@ mod tests {
         assert!(find_tokens("debug_panic!()", "panic!").is_empty());
         assert!(find_tokens("eprintln!(\"x\")", "println!").is_empty());
         assert!(find_tokens("println!(\"x\")", "println!").len() == 1);
+    }
+
+    #[test]
+    fn metric_writes_detected_and_reads_ignored() {
+        // Direct writes through a stats/metrics-named receiver are flagged.
+        assert_eq!(metric_field_writes("sh.metrics.records += n;"), vec!["records"]);
+        assert_eq!(
+            metric_field_writes("sh.sender_metrics.mem_bytes += m;"),
+            vec!["mem_bytes"]
+        );
+        assert_eq!(metric_field_writes("rx.stats.buffers = 0;"), vec!["buffers"]);
+        assert_eq!(metric_field_writes("stats.l1_misses -= x;"), vec!["l1_misses"]);
+        // Reads, comparisons, and method calls are not writes.
+        assert!(metric_field_writes("let n = sh.metrics.records;").is_empty());
+        assert!(metric_field_writes("if sh.metrics.records == 0 {").is_empty());
+        assert!(metric_field_writes("rx.stats.latency.merge(&h);").is_empty());
+        assert!(metric_field_writes("match sh.metrics.records => {").is_empty());
+        // Receivers not named *stats/*metrics are out of scope.
+        assert!(metric_field_writes("report.records += sh.records;").is_empty());
+        assert!(metric_field_writes("self.buffers += 1;").is_empty());
+        // Field-name boundary: `.records_total` is not `.records`.
+        assert!(metric_field_writes("sh.metrics.records_total = 1;").is_empty());
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub struct Outcome {
     pub fingerprint: u64,
     /// Invariant violations observed during the run.
     pub violations: Vec<(Invariant, String)>,
+    /// Rendered flight-recorder dumps (one per violation): the last trace
+    /// events leading up to the failure, with schedule-fingerprint and
+    /// vector-clock context.
+    pub dumps: Vec<String>,
 }
 
 /// Aggregated result of sweeping a scenario across policies.
@@ -77,6 +81,8 @@ pub struct Exploration {
     pub distinct_schedules: usize,
     /// All violations across the sweep.
     pub violations: Vec<Violation>,
+    /// Flight-recorder dumps collected across the sweep.
+    pub dumps: Vec<String>,
 }
 
 impl Exploration {
@@ -105,6 +111,18 @@ impl Exploration {
         if self.violations.len() > 16 {
             out.push_str(&format!("  … and {} more\n", self.violations.len() - 16));
         }
+        for dump in self.dumps.iter().take(4) {
+            out.push_str(dump);
+            if !dump.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        if self.dumps.len() > 4 {
+            out.push_str(&format!(
+                "  … and {} more flight-recorder dump(s) suppressed\n",
+                self.dumps.len() - 4
+            ));
+        }
         out
     }
 }
@@ -127,6 +145,7 @@ pub fn explore(
 ) -> Exploration {
     let mut fingerprints = HashSet::new();
     let mut violations = Vec::new();
+    let mut dumps = Vec::new();
     let ps = policies(n);
     for &policy in &ps {
         let outcome = run(policy);
@@ -138,12 +157,14 @@ pub fn explore(
                 detail,
             });
         }
+        dumps.extend(outcome.dumps);
     }
     Exploration {
         scenario,
         schedules_run: ps.len(),
         distinct_schedules: fingerprints.len(),
         violations,
+        dumps,
     }
 }
 
@@ -174,10 +195,13 @@ mod tests {
             } else {
                 vec![]
             },
+            dumps: if p == TieBreak::Lifo { vec!["dump".into()] } else { vec![] },
         });
         assert_eq!(e.schedules_run, 8);
         assert_eq!(e.distinct_schedules, 4);
         assert_eq!(e.violations.len(), 1);
+        assert_eq!(e.dumps.len(), 1);
         assert!(!e.clean());
+        assert!(e.render_human().contains("dump"));
     }
 }

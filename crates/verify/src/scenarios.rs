@@ -25,8 +25,9 @@ use std::rc::Rc;
 
 use slash_desim::{DetRng, Sim, SimTime, TieBreak};
 use slash_net::{create_channel, ChannelConfig, ChannelReceiver, ChannelSender, MsgFlags};
+use slash_obs::Obs;
 use slash_rdma::{Fabric, FabricConfig};
-use slash_state::backend::{build_cluster, SsbConfig, SsbNode};
+use slash_state::backend::{build_cluster_obs, SsbConfig, SsbNode};
 use slash_state::hash::{pack_key, partition_of};
 use slash_state::CounterCrdt;
 
@@ -101,12 +102,20 @@ struct ChanWorld {
     reordered: bool,
     violations: Vec<(Invariant, String)>,
     flagged: HashSet<(&'static str, usize)>,
+    obs: Obs,
+    cur_fp: u64,
 }
 
 impl ChanWorld {
-    /// Record a violation once per (invariant, channel) pair.
+    /// Record a violation once per (invariant, channel) pair, capturing a
+    /// flight-recorder dump (verb-event tail + schedule fingerprint) the
+    /// moment the invariant trips.
     fn flag(&mut self, inv: Invariant, ch: usize, detail: String) {
         if self.flagged.insert((inv.name(), ch)) {
+            self.obs.record_failure(
+                &format!("[{}] channel {ch}: {detail}", inv.name()),
+                &format!("schedule fingerprint={:#018x}", self.cur_fp),
+            );
             self.violations.push((inv, format!("channel {ch}: {detail}")));
         }
     }
@@ -136,6 +145,7 @@ impl ChanWorld {
     }
 
     fn producer_tick(&mut self, sim: &mut Sim) -> bool {
+        self.cur_fp = sim.schedule_fingerprint();
         for ch in 0..CHANNELS {
             // Bursty producer: each tick it offers more messages than the
             // credit window holds, so a healthy sender must stall on
@@ -205,6 +215,7 @@ impl ChanWorld {
     }
 
     fn consumer_tick(&mut self, sim: &mut Sim, ch: usize) -> bool {
+        self.cur_fp = sim.schedule_fingerprint();
         let mut batch: Vec<(MsgFlags, Vec<u8>)> = Vec::new();
         loop {
             match self.rxs[ch].try_recv(sim) {
@@ -306,12 +317,20 @@ impl ChannelScenario {
             credit_batch: 1,
         };
         let (mut tx0, mut rx0) = create_channel(&fabric, a, b, chan_cfg);
-        let (tx1, rx1) = create_channel(&fabric, a, c, chan_cfg);
+        let (mut tx1, mut rx1) = create_channel(&fabric, a, c, chan_cfg);
         match self.mutation {
             Some(Mutation::SkipCreditReturn) => rx0.fault_skip_credit_return(),
             Some(Mutation::IgnoreCreditWindow) => tx0.fault_ignore_credit_window(),
             _ => {}
         }
+        // The flight recorder rides along on every run: channel verb events
+        // stream into a bounded ring, and any invariant failure snapshots
+        // the tail together with the schedule fingerprint.
+        let obs = Obs::enabled(4096);
+        tx0.instrument(obs.clone(), 0, 1);
+        rx0.instrument(obs.clone(), 1, 0);
+        tx1.instrument(obs.clone(), 0, 2);
+        rx1.instrument(obs.clone(), 2, 0);
         let world = Rc::new(RefCell::new(ChanWorld {
             txs: vec![tx0, tx1],
             rxs: vec![rx0, rx1],
@@ -325,6 +344,8 @@ impl ChannelScenario {
             reordered: false,
             violations: Vec::new(),
             flagged: HashSet::new(),
+            obs: obs.clone(),
+            cur_fp: 0,
         }));
         // All three actors land on the same nanosecond every tick; the
         // tie-break policy decides who runs first.
@@ -349,10 +370,12 @@ impl ChannelScenario {
             }
         }
         let mut w = world.borrow_mut();
+        w.cur_fp = sim.schedule_fingerprint();
         w.quiescence();
         Outcome {
             fingerprint: sim.schedule_fingerprint(),
             violations: std::mem::take(&mut w.violations),
+            dumps: obs.take_failures().iter().map(|d| d.render()).collect(),
         }
     }
 }
@@ -400,11 +423,21 @@ struct CohWorld {
     final_closed: Vec<bool>,
     violations: Vec<(Invariant, String)>,
     flagged: HashSet<(&'static str, usize)>,
+    obs: Obs,
+    cur_fp: u64,
 }
 
 impl CohWorld {
+    /// Record a violation once per (invariant, node) pair, capturing a
+    /// flight-recorder dump with the schedule fingerprint and the failing
+    /// node's vector clock.
     fn flag(&mut self, inv: Invariant, node: usize, detail: String) {
         if self.flagged.insert((inv.name(), node)) {
+            let vc = self.ssb[node].vclock().snapshot();
+            self.obs.record_failure(
+                &format!("[{}] node {node}: {detail}", inv.name()),
+                &format!("schedule fingerprint={:#018x} vclock[{node}]={vc:?}", self.cur_fp),
+            );
             self.violations.push((inv, format!("node {node}: {detail}")));
         }
     }
@@ -426,6 +459,7 @@ impl CohWorld {
     }
 
     fn node_tick(&mut self, sim: &mut Sim, i: usize, tick: u64) -> bool {
+        self.cur_fp = sim.schedule_fingerprint();
         if tick < OP_TICKS {
             for _ in 0..OPS_PER_TICK {
                 let k = self.rngs[i].next_below(KEYS);
@@ -519,7 +553,10 @@ impl CoherenceScenario {
                 credit_batch: 1,
             },
         };
-        let ssb = build_cluster(&fabric, &nodes, CounterCrdt::descriptor(), cfg);
+        // Instrumented cluster: delta-channel verbs and epoch phase spans
+        // stream into the flight recorder's ring.
+        let obs = Obs::enabled(4096);
+        let ssb = build_cluster_obs(&fabric, &nodes, CounterCrdt::descriptor(), cfg, obs.clone());
         let world = Rc::new(RefCell::new(CohWorld {
             ssb,
             oracle: HashMap::new(),
@@ -533,6 +570,8 @@ impl CoherenceScenario {
             final_closed: vec![false; n],
             violations: Vec::new(),
             flagged: HashSet::new(),
+            obs: obs.clone(),
+            cur_fp: 0,
         }));
         let t0 = SimTime::from_nanos(C_TICK_NS);
         for i in 0..n {
@@ -558,10 +597,12 @@ impl CoherenceScenario {
             }
         }
         let mut w = world.borrow_mut();
+        w.cur_fp = sim.schedule_fingerprint();
         w.convergence();
         Outcome {
             fingerprint: sim.schedule_fingerprint(),
             violations: std::mem::take(&mut w.violations),
+            dumps: obs.take_failures().iter().map(|d| d.render()).collect(),
         }
     }
 }

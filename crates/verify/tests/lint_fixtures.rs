@@ -193,6 +193,36 @@ fn debug_prints_are_flagged_in_library_code_but_not_binaries() {
 }
 
 #[test]
+fn metric_field_writes_are_flagged_outside_the_facades() {
+    let src = "pub struct S { pub records: u64 }\n\
+               pub fn f(metrics: &mut S, n: u64) {\n    metrics.records += n;\n}\n";
+    let root = fixture(
+        "metrics-write",
+        &[
+            ("crates/baselines/src/partitioned.rs", src),
+            // Same write inside a facade file is the facade's own business.
+            ("crates/net/src/stats.rs", src),
+            // And out-of-scope crates are not policed.
+            ("crates/desim/src/sim.rs", src),
+        ],
+    );
+    let report = lint::run(&root).unwrap();
+    assert_eq!(
+        rules_of(&report),
+        vec![("crates/baselines/src/partitioned.rs".to_owned(), Rule::MetricsFacade)]
+    );
+}
+
+#[test]
+fn metric_reads_and_facade_calls_are_not_flagged() {
+    let src = "pub struct S { pub records: u64 }\n\
+               pub fn g(metrics: &S) -> u64 {\n    if metrics.records == 0 { 0 } else { metrics.records }\n}\n";
+    let root = fixture("metrics-read", &[("crates/core/src/worker.rs", src)]);
+    let report = lint::run(&root).unwrap();
+    assert!(report.clean(), "{:?}", report.new_violations);
+}
+
+#[test]
 fn allowlist_budget_grandfathers_exact_counts() {
     let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() + x.unwrap() }\n";
     let root = fixture(

@@ -103,6 +103,35 @@ fn mutations_are_caught_under_every_explored_schedule() {
 }
 
 #[test]
+fn violations_come_with_flight_recorder_dumps() {
+    // Every flagged invariant captures a dump: the reason, the schedule
+    // fingerprint, and the trailing verb/epoch trace events.
+    let out = ChannelScenario {
+        mutation: Some(Mutation::IgnoreCreditWindow),
+        ..ChannelScenario::default()
+    }
+    .run(TieBreak::Fifo);
+    assert!(!out.violations.is_empty());
+    assert_eq!(out.dumps.len(), out.violations.len(), "one dump per violation");
+    assert!(out.dumps[0].contains("flight-recorder dump"));
+    assert!(out.dumps[0].contains("schedule fingerprint=0x"));
+    assert!(out.dumps[0].contains("verb/"), "dump should show channel verb events");
+
+    let out = CoherenceScenario {
+        mutation: Some(Mutation::RegressVclock),
+        ..CoherenceScenario::default()
+    }
+    .run(TieBreak::Fifo);
+    assert!(!out.violations.is_empty());
+    assert!(!out.dumps.is_empty());
+    assert!(out.dumps[0].contains("vclock["), "dump should carry vector-clock context");
+
+    // Clean runs dump nothing.
+    let clean = ChannelScenario::default().run(TieBreak::Fifo);
+    assert!(clean.violations.is_empty() && clean.dumps.is_empty());
+}
+
+#[test]
 fn clean_scenarios_have_no_violations_under_a_small_sweep() {
     let chan = explore("channel", 8, |p| ChannelScenario::default().run(p));
     assert!(chan.clean(), "channel violations: {:?}", chan.violations);

@@ -9,6 +9,7 @@ pub use slash_baselines as baselines;
 pub use slash_core as core;
 pub use slash_desim as desim;
 pub use slash_net as net;
+pub use slash_obs as obs;
 pub use slash_perfmodel as perfmodel;
 pub use slash_rdma as rdma;
 pub use slash_state as state;

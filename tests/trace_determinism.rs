@@ -1,0 +1,78 @@
+//! Golden determinism test for the observability layer: the whole engine
+//! runs on virtual time with seeded randomness only, so two identical
+//! runs must produce *byte-identical* trace JSON and `slash-top`
+//! summaries — not merely equivalent ones. Any nondeterminism smuggled in
+//! (wall clock, hash-order iteration, address-keyed IDs) fails here.
+
+use slash::core::{RunConfig, SlashCluster};
+use slash::obs::Obs;
+use slash::workloads::{ysb, GenConfig};
+
+/// One traced YSB run on a small cluster; returns every observable
+/// artifact the obs layer can emit.
+fn traced_run() -> (String, String, u64, Vec<u64>) {
+    let nodes = 2;
+    let workers = 2;
+    let w = ysb(&GenConfig::new(nodes * workers, 4_000));
+    let obs = Obs::enabled(16_384);
+    let report =
+        SlashCluster::run_with_obs(w.plan, w.partitions, RunConfig::new(nodes, workers), obs.clone());
+    let quantiles = [0.5, 0.9, 0.99, 0.999]
+        .iter()
+        .filter_map(|&q| obs.quantile("record_latency_ns", "node0", q))
+        .collect();
+    (obs.chrome_trace_json(), obs.summary(), report.records, quantiles)
+}
+
+#[test]
+fn same_seed_produces_byte_identical_traces() {
+    let (json_a, top_a, records_a, q_a) = traced_run();
+    let (json_b, top_b, records_b, q_b) = traced_run();
+    assert_eq!(records_a, records_b);
+    assert_eq!(q_a, q_b);
+    assert_eq!(top_a, top_b, "slash-top summary must be byte-identical");
+    assert_eq!(json_a, json_b, "chrome trace must be byte-identical");
+}
+
+#[test]
+fn trace_json_has_events_and_monotone_timestamps() {
+    let (json, top, _, quantiles) = traced_run();
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"ph\":\"X\""), "at least one span event");
+    assert!(json.contains("\"cat\":\"operator\""));
+    assert!(json.contains("\"cat\":\"verb\""));
+    assert!(json.contains("\"cat\":\"epoch\""));
+    // `ts` values appear in non-decreasing file order (export sorts them).
+    let mut last = 0f64;
+    for chunk in json.split("\"ts\":").skip(1) {
+        let num: String = chunk
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        let ts: f64 = num.parse().expect("ts literal");
+        assert!(ts >= last, "ts went backwards: {ts} < {last}");
+        last = ts;
+    }
+    assert_eq!(quantiles.len(), 4, "record-latency quantiles all present");
+    assert!(top.contains("record_latency_ns"));
+    assert!(top.contains("epoch_merge_latency_ns"));
+    assert!(top.contains("p99.9"));
+}
+
+/// The disabled handle must not change engine results — tracing is an
+/// observer, never a participant.
+#[test]
+fn tracing_does_not_perturb_the_engine() {
+    let nodes = 2;
+    let workers = 2;
+    let run = |obs: Obs| {
+        let w = ysb(&GenConfig::new(nodes * workers, 4_000));
+        SlashCluster::run_with_obs(w.plan, w.partitions, RunConfig::new(nodes, workers), obs)
+    };
+    let traced = run(Obs::enabled(16_384));
+    let dark = run(Obs::disabled());
+    assert_eq!(traced.records, dark.records);
+    assert_eq!(traced.emitted, dark.emitted);
+    assert_eq!(traced.net_tx_bytes, dark.net_tx_bytes);
+    assert_eq!(traced.completion_time, dark.completion_time);
+}
