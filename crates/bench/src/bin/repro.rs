@@ -6,6 +6,7 @@
 //! repro fig7                 # COST analysis
 //! repro fig8a | fig8b | fig8c | fig8d
 //! repro fig9 | fig10 | table1
+//! repro recovery             # fault-injection recovery latency + exactness
 //! ```
 //!
 //! Scale knobs: `SLASH_WORKERS` (threads/node, default 4) and
@@ -13,7 +14,7 @@
 
 use std::path::PathBuf;
 
-use slash_bench::{ablation, fig6, fig7, fig8, fig9, Scale};
+use slash_bench::{ablation, fig6, fig7, fig8, fig9, recovery, Scale};
 use slash_perfmodel::{format_table, write_csv, Table};
 
 fn out_dir() -> PathBuf {
@@ -85,6 +86,14 @@ fn run_table1(scale: Scale) {
     emit(&fig9::table1_table(&rows), "table1_resources.csv");
 }
 
+fn run_recovery(scale: Scale) {
+    let points = recovery::run(scale);
+    emit(&recovery::table(&points), "recovery_latency.csv");
+    if points.iter().any(|p| !p.exact || p.records_lost != 0) {
+        eprintln!("warning: a fault run diverged from the no-fault baseline");
+    }
+}
+
 fn run_ablation(scale: Scale) {
     for (i, t) in ablation::run_all(scale).into_iter().enumerate() {
         emit(&t, &format!("ablation_{i}.csv"));
@@ -113,6 +122,7 @@ fn main() {
             run_fig10(scale);
             run_table1(scale);
             run_ablation(scale);
+            run_recovery(scale);
         }
         "fig6" => {
             let query = args
@@ -131,9 +141,10 @@ fn main() {
         "fig10" => run_fig10(scale),
         "table1" => run_table1(scale),
         "ablation" => run_ablation(scale),
+        "recovery" => run_recovery(scale),
         _ => {
             eprintln!(
-                "usage: repro <all|fig6 [--query ysb|cm|nb7|nb8|nb11]|fig7|fig8a|fig8b|fig8c|fig8d|fig9|fig10|table1|ablation>"
+                "usage: repro <all|fig6 [--query ysb|cm|nb7|nb8|nb11]|fig7|fig8a|fig8b|fig8c|fig8d|fig9|fig10|table1|ablation|recovery>"
             );
             std::process::exit(2);
         }

@@ -20,6 +20,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod harness;
 pub mod micro;
+pub mod recovery;
 pub mod scale;
 pub mod suts;
 

@@ -1,0 +1,69 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! # slash-chaos — deterministic fault injection
+//!
+//! The paper's epoch-aligned coherence protocol (§7) is the natural hook
+//! for fault tolerance: state is replicated as epoch-delta streams, and
+//! snapshots align with epoch boundaries. This crate supplies the *faults*
+//! that recovery machinery is tested against — entirely deterministically.
+//!
+//! A [`FaultPlan`] is a schedule of fault events on virtual [`SimTime`]:
+//! node crashes, NIC link flaps, link degradation, and delayed
+//! completions. Plans are built explicitly with the builder methods or
+//! generated from a [`DetRng`] seed ([`FaultPlan::seeded`]); either way the
+//! plan is pure data, so two runs with the same seed and the same plan
+//! execute byte-identically.
+//!
+//! [`Injector::arm`] schedules the fabric-level side of every event on the
+//! simulator (via the `slash-rdma` fault hooks) and emits `Cat::Fault`
+//! trace events so a Perfetto trace shows each outage window. Process-level
+//! consequences (stopping a crashed node's workers, running recovery) are
+//! the embedding engine's job — see `SlashCluster::run_chaos` in
+//! `slash-core`.
+
+pub mod inject;
+pub mod plan;
+
+pub use inject::Injector;
+pub use plan::{FaultEvent, FaultKind, FaultPlan};
+
+use slash_desim::SimTime;
+
+/// Tunables of the recovery machinery an engine layers over a fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FtConfig {
+    /// How long a node's progress token may stall (as seen by its peers)
+    /// before the driver diagnoses the node. Bounds detection latency,
+    /// and with it time-to-recover.
+    pub detect_timeout: SimTime,
+    /// Chunk size for checkpoint snapshots (delta-format chunks).
+    pub ckpt_max_chunk: usize,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            detect_timeout: SimTime::from_millis(5),
+            ckpt_max_chunk: 32 * 1024,
+        }
+    }
+}
+
+/// A fault plan plus the recovery tunables to run it against.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosConfig {
+    /// The faults to inject (empty = fault-tolerant no-fault baseline).
+    pub plan: FaultPlan,
+    /// Recovery tunables.
+    pub ft: FtConfig,
+}
+
+impl ChaosConfig {
+    /// Wrap a plan with default recovery tunables.
+    pub fn new(plan: FaultPlan) -> Self {
+        ChaosConfig {
+            plan,
+            ft: FtConfig::default(),
+        }
+    }
+}

@@ -176,43 +176,52 @@ impl SlashCluster {
             sim.run_until(horizon);
         }
         let completion_time = sim.now();
-
-        // Assemble the report.
-        let mut report = RunReport {
-            records: 0,
-            processing_time: SimTime::ZERO,
-            completion_time,
-            emitted: 0,
-            total_pairs: 0,
-            results: Vec::new(),
-            metrics: EngineMetrics::default(),
-            per_node: Vec::new(),
-            net_tx_bytes: fabric.total_tx_bytes(),
-        };
-        for (node, shared) in shareds.iter().enumerate() {
-            let sh = shared.borrow();
-            report.records += sh.records;
-            report.processing_time = report.processing_time.max(sh.last_ingest);
-            report.emitted += sh.sink.emitted;
-            report.total_pairs += sh.sink.total_pairs;
-            report.results.extend(sh.sink.results.iter().cloned());
-            report.metrics.absorb(&sh.metrics);
-            report.per_node.push(sh.metrics.clone());
-            if obs.is_enabled() {
-                let label = format!("node{node}");
-                obs.counter_add("records", &label, sh.records);
-                obs.counter_add("instructions", &label, sh.metrics.instructions);
-                obs.counter_add("mem_bytes", &label, sh.metrics.mem_bytes);
-                obs.gauge_set("ipc", &label, sh.metrics.ipc());
-                sh.ssb.publish_obs();
-            }
-        }
-        if obs.is_enabled() {
-            obs.counter_add("net_tx_bytes", "fabric", report.net_tx_bytes);
-        }
-        report.metrics.set_records(report.records);
-        report
+        assemble_report(&shareds, &fabric, &obs, completion_time)
     }
+}
+
+/// Assemble a [`RunReport`] from the per-node shared state (used by both
+/// the fault-free driver and the chaos driver in [`crate::recovery`]).
+pub(crate) fn assemble_report(
+    shareds: &[Rc<RefCell<NodeShared>>],
+    fabric: &Fabric,
+    obs: &Obs,
+    completion_time: SimTime,
+) -> RunReport {
+    let mut report = RunReport {
+        records: 0,
+        processing_time: SimTime::ZERO,
+        completion_time,
+        emitted: 0,
+        total_pairs: 0,
+        results: Vec::new(),
+        metrics: EngineMetrics::default(),
+        per_node: Vec::new(),
+        net_tx_bytes: fabric.total_tx_bytes(),
+    };
+    for (node, shared) in shareds.iter().enumerate() {
+        let sh = shared.borrow();
+        report.records += sh.records;
+        report.processing_time = report.processing_time.max(sh.last_ingest);
+        report.emitted += sh.sink.emitted;
+        report.total_pairs += sh.sink.total_pairs;
+        report.results.extend(sh.sink.results.iter().cloned());
+        report.metrics.absorb(&sh.metrics);
+        report.per_node.push(sh.metrics.clone());
+        if obs.is_enabled() {
+            let label = format!("node{node}");
+            obs.counter_add("records", &label, sh.records);
+            obs.counter_add("instructions", &label, sh.metrics.instructions);
+            obs.counter_add("mem_bytes", &label, sh.metrics.mem_bytes);
+            obs.gauge_set("ipc", &label, sh.metrics.ipc());
+            sh.ssb.publish_obs();
+        }
+    }
+    if obs.is_enabled() {
+        obs.counter_add("net_tx_bytes", "fabric", report.net_tx_bytes);
+    }
+    report.metrics.set_records(report.records);
+    report
 }
 
 #[cfg(test)]

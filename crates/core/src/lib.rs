@@ -24,6 +24,7 @@ pub mod join;
 pub mod metrics;
 pub mod query;
 pub mod record;
+pub mod recovery;
 pub mod sink;
 pub mod source;
 pub mod window;
@@ -35,6 +36,7 @@ pub use cost::{CacheModel, CostModel, TESTBED_CLOCK_GHZ};
 pub use metrics::{CostCategory, EngineMetrics};
 pub use query::{JoinSide, QueryPlan, StreamDef};
 pub use record::RecordSchema;
+pub use recovery::{results_digest, RecoveryAction, RecoveryEvent, RecoveryReport};
 pub use sink::{Sink, SinkResult};
 pub use source::MemorySource;
 pub use window::WindowAssigner;

@@ -1,0 +1,933 @@
+//! Fault-tolerant execution: checkpointing, failure detection, and
+//! epoch-aligned recovery.
+//!
+//! The fault-free engine ([`SlashCluster::run`]) assumes a perfect
+//! fabric. [`SlashCluster::run_chaos`] drops that assumption: it arms a
+//! deterministic [`FaultPlan`] against the simulated fabric and layers a
+//! recovery protocol on top of the epoch coherence machinery:
+//!
+//! * **Checkpoints.** At every epoch close a node captures its primary
+//!   partition snapshot, vector clock, per-channel commit horizons, the
+//!   retained (replayable) epochs it has shipped, per-worker source
+//!   positions and the sink — everything needed to resurrect the node at
+//!   that epoch boundary. The checkpoint is shipped to a buddy node over
+//!   the same fabric (paying transfer time) and only counts as *durable*
+//!   once it lands.
+//! * **Durability gate.** A leader merges epoch `e` from helper `h` only
+//!   once `h`'s durable checkpoint covers `e`
+//!   ([`slash_state::DeltaReceiver`]'s `durable_epochs` gate). Everything
+//!   merged anywhere is therefore replayable verbatim from stable
+//!   storage, which is what makes recovery *exact* rather than
+//!   best-effort: replayed epochs are deduplicated by epoch id, so even
+//!   non-idempotent CRDT merges (counters add!) are applied exactly once.
+//! * **Detection.** The driver watches, per node, the progress token its
+//!   peers have observed (the remote vector-clock entries). A token that
+//!   stalls past `detect_timeout` triggers a diagnosis: dead node →
+//!   promotion; link restored after a flap → channel reset + replay;
+//!   merely degraded → wait, the run completes on its own.
+//! * **Promotion.** A crashed node's partition is resurrected on a buddy
+//!   host from the durable checkpoint: snapshot restore, vector-clock
+//!   restore, fragment epoch fast-forward, channel re-establishment with
+//!   commit-horizon handshakes, retained-epoch replay, and worker respawn
+//!   from the checkpointed source positions.
+//!
+//! Exactness is validated by comparing window results and state digests
+//! against a same-seed fault-free run (`tests/chaos.rs`,
+//! `examples/failover.rs`, and `repro -- recovery`).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use slash_chaos::{ChaosConfig, FaultKind};
+use slash_chaos::Injector;
+use slash_desim::{Sim, SimTime};
+use slash_net::create_channel;
+use slash_obs::{Cat, Obs};
+use slash_rdma::{Fabric, NodeId};
+use slash_state::backend::{build_cluster_obs, SsbConfig, SsbNode};
+use slash_state::{DeltaReceiver, DeltaSender, RetainedEpoch};
+
+use crate::cluster::{assemble_report, RunConfig, RunReport, SlashCluster};
+use crate::query::QueryPlan;
+use crate::sink::{Sink, SinkResult};
+use crate::source::MemorySource;
+use crate::worker::{NodeShared, SlashWorker};
+
+/// Everything a node needs to be resurrected at an epoch boundary.
+#[derive(Debug, Clone)]
+pub(crate) struct Checkpoint {
+    /// Epochs this node had closed (fragment epoch high-water mark).
+    epochs_closed: u64,
+    /// Primary partition snapshot (delta-format chunks).
+    snapshot: Vec<Vec<u8>>,
+    /// Vector clock at the epoch boundary.
+    vclock: Vec<u64>,
+    /// Per-helper commit horizon: epochs `< receiver_next[h]` from helper
+    /// `h` are merged into [`Self::snapshot`].
+    receiver_next: Vec<u64>,
+    /// Per-leader retained epochs, replayable verbatim.
+    retained: Vec<Vec<RetainedEpoch>>,
+    /// Per-worker source byte positions at the boundary.
+    worker_pos: Vec<usize>,
+    /// Per-worker watermarks.
+    worker_wm: Vec<u64>,
+    /// Source records processed so far.
+    records: u64,
+    /// Sink contents (already-emitted results survive the crash).
+    sink: Sink,
+}
+
+impl Checkpoint {
+    fn payload_bytes(&self) -> u64 {
+        let snap: usize = self.snapshot.iter().map(Vec::len).sum();
+        let retained: usize = self
+            .retained
+            .iter()
+            .flatten()
+            .flat_map(|r| r.chunks.iter())
+            .map(Vec::len)
+            .sum();
+        (snap + retained) as u64 + 256
+    }
+}
+
+/// One node's checkpoint lifecycle.
+#[derive(Default)]
+pub(crate) struct CkptSlot {
+    latest: Option<Rc<Checkpoint>>,
+    durable: Option<Rc<Checkpoint>>,
+    in_flight: Option<(SimTime, Rc<Checkpoint>)>,
+}
+
+pub(crate) type CkptStore = Vec<CkptSlot>;
+
+/// Fault-tolerance hooks handed to each node's shared state; present
+/// only in [`SlashCluster::run_chaos`] runs.
+pub(crate) struct FtState {
+    pub(crate) store: Rc<RefCell<CkptStore>>,
+    pub(crate) node: usize,
+    pub(crate) max_chunk: usize,
+}
+
+/// Called by workers right after a successful epoch close: capture a
+/// checkpoint of this node at the fresh epoch boundary.
+pub(crate) fn on_epoch_closed(sh: &mut NodeShared) {
+    let Some(ft) = sh.ft.as_ref() else { return };
+    let n = ft.store.borrow().len();
+    let node = ft.node;
+    let ssb = &sh.ssb;
+    let ckpt = Checkpoint {
+        epochs_closed: ssb.epochs_closed(),
+        snapshot: ssb.snapshot_primary(ft.max_chunk),
+        vclock: ssb.vclock().snapshot(),
+        receiver_next: (0..n)
+            .map(|h| if h == node { 0 } else { ssb.receiver_next_epoch(h) })
+            .collect(),
+        retained: (0..n)
+            .map(|l| ssb.retained_for(l).map(<[_]>::to_vec).unwrap_or_default())
+            .collect(),
+        worker_pos: sh.worker_pos.clone(),
+        worker_wm: sh.worker_wm.clone(),
+        records: sh.records,
+        sink: sh.sink.clone(),
+    };
+    ft.store.borrow_mut()[node].latest = Some(Rc::new(ckpt));
+}
+
+/// What the driver did to bring a stalled node back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// The node was dead; its partition was promoted onto `host` from the
+    /// durable checkpoint.
+    Promoted {
+        /// Logical node now hosting the resurrected partition.
+        host: usize,
+    },
+    /// The node survived a link outage; `channels` errored channel
+    /// endpoints were reset and their uncommitted epochs replayed.
+    ChannelsReset {
+        /// Directed channels that needed a reset.
+        channels: usize,
+    },
+}
+
+/// One detected-and-repaired fault.
+#[derive(Debug, Clone)]
+pub struct RecoveryEvent {
+    /// Kebab-case fault name from the plan (e.g. `node-crash`).
+    pub fault: &'static str,
+    /// Logical node the fault hit.
+    pub node: usize,
+    /// When the plan injected the fault.
+    pub injected_at: SimTime,
+    /// When the driver noticed the stall.
+    pub detected_at: SimTime,
+    /// When the repair finished (virtual time; processing resumes here).
+    pub recovered_at: SimTime,
+    /// The repair performed.
+    pub action: RecoveryAction,
+}
+
+impl RecoveryEvent {
+    /// Injection-to-repair latency.
+    pub fn time_to_recover(&self) -> SimTime {
+        self.recovered_at - self.injected_at
+    }
+}
+
+/// Recovery-side outcome of a chaos run, alongside the [`RunReport`].
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Detected faults and their repairs, in detection order.
+    pub events: Vec<RecoveryEvent>,
+    /// Checkpoints that became durable during the run.
+    pub checkpoints_durable: u64,
+    /// Per-node primary-state digests at completion (exactness witness).
+    pub state_digests: Vec<u64>,
+    /// Order-independent digest of the emitted results.
+    pub results_digest: u64,
+}
+
+impl RecoveryReport {
+    /// Worst-case time-to-recover across all repaired faults.
+    pub fn max_time_to_recover(&self) -> Option<SimTime> {
+        self.events.iter().map(RecoveryEvent::time_to_recover).max()
+    }
+}
+
+fn splitmix_fold(h: &mut u64, v: u64) {
+    let mut z = h.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(v);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    *h = z ^ (z >> 31);
+}
+
+/// Order-independent digest of a result set: two runs emitting the same
+/// `(window, key, value)` multiset digest equal regardless of emission
+/// order or node placement.
+pub fn results_digest(results: &[SinkResult]) -> u64 {
+    let mut keyed: Vec<(u64, u64, u64)> = results
+        .iter()
+        .map(|r| match *r {
+            SinkResult::Agg {
+                window_id,
+                key,
+                value,
+            } => (window_id, key, value.to_bits()),
+            SinkResult::Join {
+                window_id,
+                key,
+                pairs,
+            } => (window_id, key, pairs),
+        })
+        .collect();
+    keyed.sort_unstable();
+    let mut h: u64 = 0xD16E_57ED_FA17_0000;
+    for (w, k, v) in keyed {
+        splitmix_fold(&mut h, w);
+        splitmix_fold(&mut h, k);
+        splitmix_fold(&mut h, v);
+    }
+    h
+}
+
+/// Trace pid used for driver-side recovery events (fault injection uses
+/// `slash_chaos::inject::FAULT_TID` on the victim's pid; repairs land on
+/// the victim's pid too, under this tid).
+const RECOVERY_TID: u32 = 901;
+
+impl SlashCluster {
+    /// Run `plan` under a deterministic fault plan with fault tolerance
+    /// enabled: epoch-boundary checkpoints shipped to a buddy node,
+    /// durability-gated delta commits, stall detection, and epoch-aligned
+    /// recovery (leader promotion or channel reset + replay).
+    ///
+    /// Returns the usual [`RunReport`] plus a [`RecoveryReport`]. With an
+    /// empty plan this is the fault-tolerant no-fault baseline: same
+    /// checkpoint and gating overheads, no faults — the reference for
+    /// exactness comparisons. When `cfg.collect_results` is set, results
+    /// are deduplicated by `(window, key)` in deterministic order.
+    pub fn run_chaos(
+        plan: QueryPlan,
+        partitions: Vec<Rc<Vec<u8>>>,
+        cfg: RunConfig,
+        chaos: &ChaosConfig,
+        obs: Obs,
+    ) -> (RunReport, RecoveryReport) {
+        let n = cfg.nodes;
+        assert_eq!(
+            partitions.len(),
+            n * cfg.workers_per_node,
+            "need one partition per worker"
+        );
+        let mut sim = Sim::new();
+        let fabric = Fabric::new(cfg.fabric);
+        let node_ids = fabric.add_nodes(n);
+        let ssb_cfg = SsbConfig {
+            nodes: n,
+            epoch_bytes: cfg.epoch_bytes,
+            channel: cfg.channel,
+        };
+        let desc = plan.descriptor();
+        let ssb_nodes = build_cluster_obs(&fabric, &node_ids, desc, ssb_cfg, obs.clone());
+
+        let store: Rc<RefCell<CkptStore>> =
+            Rc::new(RefCell::new((0..n).map(|_| CkptSlot::default()).collect()));
+        let plan = Rc::new(plan);
+        let schema = plan.input().schema;
+
+        // Shareds sit behind one more cell so crash closures and the
+        // detector see promotions (the slot is *replaced* on promotion).
+        let shareds: Rc<RefCell<Vec<Rc<RefCell<NodeShared>>>>> =
+            Rc::new(RefCell::new(Vec::with_capacity(n)));
+        for (node, ssb) in ssb_nodes.into_iter().enumerate() {
+            let shared = Rc::new(RefCell::new(NodeShared::new(
+                ssb,
+                cfg.workers_per_node,
+                cfg.cost.mem_bandwidth,
+                cfg.collect_results,
+            )));
+            {
+                let mut sh = shared.borrow_mut();
+                sh.metrics.set_clock_ghz(cfg.cost.clock_ghz);
+                if obs.is_enabled() {
+                    sh.instrument(obs.clone(), node);
+                }
+                sh.ssb.set_retention(true);
+                // Gate commits on durability: nothing from helper `h`
+                // merges until `h`'s checkpoint covering it has landed on
+                // the buddy.
+                for h in 0..n {
+                    if h != node {
+                        sh.ssb.set_durable_epochs(h, 0);
+                    }
+                }
+                sh.ft = Some(FtState {
+                    store: Rc::clone(&store),
+                    node,
+                    max_chunk: chaos.ft.ckpt_max_chunk,
+                });
+                // Seed checkpoint: an empty epoch-0 boundary, durable by
+                // fiat, so even a crash before the first real checkpoint
+                // recovers (to a from-scratch reprocess).
+                on_epoch_closed(&mut sh);
+            }
+            for w in 0..cfg.workers_per_node {
+                let part = Rc::clone(&partitions[node * cfg.workers_per_node + w]);
+                let source = MemorySource::new(part, schema, cfg.batch_records);
+                sim.spawn(SlashWorker::new(
+                    node,
+                    w,
+                    Rc::clone(&shared),
+                    source,
+                    Rc::clone(&plan),
+                    cfg.cost,
+                ));
+            }
+            shareds.borrow_mut().push(shared);
+        }
+        {
+            let mut st = store.borrow_mut();
+            for slot in st.iter_mut() {
+                slot.durable = slot.latest.clone();
+            }
+        }
+
+        // Arm the fault plan against the fabric, and mirror node crashes
+        // into the engine: the victim's workers observe the flag at their
+        // next step and die with the node.
+        Injector::arm(&mut sim, &fabric, &node_ids, &obs, &chaos.plan);
+        for ev in chaos.plan.events() {
+            if let FaultKind::NodeCrash { node } = ev.kind {
+                if node < n {
+                    let sh_vec = Rc::clone(&shareds);
+                    sim.schedule_at(ev.at, move |_| {
+                        sh_vec.borrow()[node].borrow_mut().crashed = true;
+                    });
+                }
+            }
+        }
+
+        // host[i] = logical node whose fabric port hosts partition i's
+        // current leader (identity until a promotion relocates one).
+        let mut host: Vec<usize> = (0..n).collect();
+        let mut last_token = vec![0u64; n];
+        let mut last_change = vec![SimTime::ZERO; n];
+        let mut rec = RecoveryReport::default();
+
+        // Drive in slices of a quarter detection timeout so stalls are
+        // noticed promptly without rescanning the cluster too often.
+        let slice =
+            SimTime::from_nanos((chaos.ft.detect_timeout.as_nanos() / 4).max(100_000));
+        loop {
+            if shareds.borrow().iter().all(|s| s.borrow().finished) {
+                break;
+            }
+            assert!(
+                sim.now() <= cfg.max_virtual_time,
+                "query did not complete within the virtual-time budget \
+                 (possible protocol livelock)"
+            );
+            assert!(
+                sim.pending_events() > 0,
+                "simulation quiesced before the query completed (deadlock)"
+            );
+            let horizon = sim.now() + slice;
+            sim.run_until(horizon);
+            let now = sim.now();
+
+            ft_tick(
+                now, n, &fabric, &node_ids, &host, &store, &shareds, &cfg, &obs, &mut rec,
+            );
+
+            if n < 2 {
+                continue; // nothing to detect against
+            }
+            // Stall detection: per node, the most advanced view any peer
+            // holds of its progress. Crashes and outages freeze it.
+            for i in 0..n {
+                let token = {
+                    let sh_vec = shareds.borrow();
+                    (0..n)
+                        .filter(|&j| j != i)
+                        .map(|j| sh_vec[j].borrow().ssb.vclock().get(i))
+                        .max()
+                        .unwrap_or(0)
+                };
+                if token != last_token[i] {
+                    last_token[i] = token;
+                    last_change[i] = now;
+                    continue;
+                }
+                if now - last_change[i] < chaos.ft.detect_timeout {
+                    continue;
+                }
+                last_change[i] = now; // re-arm the timer either way
+                let fab_i = node_ids[host[i]];
+                if !fabric.node_alive(fab_i) {
+                    let detected_at = now;
+                    promote(
+                        i, &mut sim, &fabric, &node_ids, &mut host, &shareds, &store,
+                        &partitions, &plan, schema, &cfg, chaos, &obs,
+                    );
+                    push_event(
+                        &mut rec,
+                        chaos,
+                        i,
+                        detected_at,
+                        sim.now(),
+                        RecoveryAction::Promoted { host: host[i] },
+                        &obs,
+                    );
+                } else if fabric.link_up(fab_i) {
+                    // Alive with a live link: if the outage errored any
+                    // channel endpoints, re-establish and replay; if the
+                    // node is merely slow (degraded link, lagging
+                    // completions), there is nothing to repair.
+                    let fixed = reset_errored_channels(i, n, &shareds, &fabric, &node_ids, &host);
+                    if fixed > 0 {
+                        push_event(
+                            &mut rec,
+                            chaos,
+                            i,
+                            now,
+                            sim.now(),
+                            RecoveryAction::ChannelsReset { channels: fixed },
+                            &obs,
+                        );
+                    }
+                }
+                // else: link still down — wait for it to come back.
+            }
+        }
+        let completion_time = sim.now();
+
+        let shareds_v = shareds.borrow();
+        let mut report = assemble_report(&shareds_v, &fabric, &obs, completion_time);
+        if cfg.collect_results {
+            // Deduplicate by (window, key) in deterministic order: a
+            // window triggered right around a checkpoint boundary may be
+            // re-fired by the resurrected leader.
+            let mut dedup: BTreeMap<(u64, u64), SinkResult> = BTreeMap::new();
+            for r in report.results.drain(..) {
+                let k = match r {
+                    SinkResult::Agg { window_id, key, .. }
+                    | SinkResult::Join { window_id, key, .. } => (window_id, key),
+                };
+                dedup.entry(k).or_insert(r);
+            }
+            report.results = dedup.into_values().collect();
+            report.emitted = report.results.len() as u64;
+            report.total_pairs = report
+                .results
+                .iter()
+                .map(|r| match r {
+                    SinkResult::Join { pairs, .. } => *pairs,
+                    SinkResult::Agg { .. } => 0,
+                })
+                .sum();
+        }
+        rec.results_digest = results_digest(&report.results);
+        rec.state_digests = shareds_v
+            .iter()
+            .map(|s| s.borrow().ssb.state_digest())
+            .collect();
+        (report, rec)
+    }
+}
+
+/// Record a repair, both in the report and as a Perfetto span covering
+/// the detected→repaired window.
+#[allow(clippy::too_many_arguments)]
+fn push_event(
+    rec: &mut RecoveryReport,
+    chaos: &ChaosConfig,
+    node: usize,
+    detected_at: SimTime,
+    recovered_at: SimTime,
+    action: RecoveryAction,
+    obs: &Obs,
+) {
+    let (injected_at, fault) = chaos
+        .plan
+        .events()
+        .iter()
+        .filter(|e| e.kind.node() == node && e.at <= detected_at)
+        .map(|e| (e.at, e.kind.name()))
+        .next_back()
+        .unwrap_or((SimTime::ZERO, "stall"));
+    obs.span(
+        Cat::Fault,
+        "recovery",
+        node as u32,
+        RECOVERY_TID,
+        detected_at,
+        recovered_at.max(detected_at + SimTime::from_nanos(1)),
+        &[("injected_ns", injected_at.as_nanos())],
+    );
+    rec.events.push(RecoveryEvent {
+        fault,
+        node,
+        injected_at,
+        detected_at,
+        recovered_at,
+        action,
+    });
+}
+
+/// Checkpoint lifecycle: complete in-flight transfers (durability +
+/// gate/prune propagation) and ship the newest boundary to the buddy.
+#[allow(clippy::too_many_arguments)]
+fn ft_tick(
+    now: SimTime,
+    n: usize,
+    fabric: &Fabric,
+    node_ids: &[NodeId],
+    host: &[usize],
+    store: &Rc<RefCell<CkptStore>>,
+    shareds: &Rc<RefCell<Vec<Rc<RefCell<NodeShared>>>>>,
+    cfg: &RunConfig,
+    obs: &Obs,
+    rec: &mut RecoveryReport,
+) {
+    let sh_vec = shareds.borrow();
+    let mut st = store.borrow_mut();
+    for i in 0..n {
+        let fab_i = node_ids[host[i]];
+        let buddy = (1..n)
+            .map(|k| (i + k) % n)
+            .find(|&j| fabric.node_alive(node_ids[host[j]]));
+        // Complete an in-flight transfer whose arrival time has passed.
+        if let Some((arrival, ckpt)) = st[i].in_flight.clone() {
+            if now >= arrival {
+                st[i].in_flight = None;
+                let landed = fabric.node_alive(fab_i)
+                    && buddy.is_some_and(|b| fabric.path_up(fab_i, node_ids[host[b]]));
+                if landed {
+                    st[i].durable = Some(Rc::clone(&ckpt));
+                    rec.checkpoints_durable += 1;
+                    obs.instant(
+                        Cat::Fault,
+                        "checkpoint-durable",
+                        i as u32,
+                        RECOVERY_TID,
+                        now,
+                        &[("epochs", ckpt.epochs_closed)],
+                    );
+                    for l in 0..n {
+                        if l != i {
+                            let mut sl = sh_vec[l].borrow_mut();
+                            // Leaders may now commit i's epochs below the
+                            // durable horizon...
+                            sl.ssb.set_durable_epochs(i, ckpt.epochs_closed);
+                            // ...and helpers may drop retained epochs i
+                            // has durably merged.
+                            sl.ssb.prune_retained(i, ckpt.receiver_next[l]);
+                        }
+                    }
+                }
+                // A transfer interrupted by a fault is simply dropped;
+                // the re-ship below retries once the path heals.
+            }
+        }
+        // Ship the newest boundary if it advances the durable horizon.
+        if st[i].in_flight.is_none() {
+            if let Some(latest) = st[i].latest.clone() {
+                let durable_epochs = st[i].durable.as_ref().map_or(0, |d| d.epochs_closed);
+                let advances = latest.epochs_closed > durable_epochs;
+                if advances && fabric.node_alive(fab_i) && fabric.link_up(fab_i) && buddy.is_some()
+                {
+                    let nic = &cfg.fabric.nic;
+                    let bytes = latest.payload_bytes();
+                    let xfer = nic.latency
+                        + SimTime::from_nanos(
+                            bytes.saturating_mul(1_000_000_000) / nic.bandwidth.max(1),
+                        );
+                    st[i].in_flight = Some((now + xfer, latest));
+                }
+            }
+        }
+    }
+}
+
+/// Re-establish every errored channel touching node `i` (both
+/// directions), then replay the epochs the receiving side never
+/// committed. Returns how many directed channels needed a reset.
+fn reset_errored_channels(
+    i: usize,
+    n: usize,
+    shareds: &Rc<RefCell<Vec<Rc<RefCell<NodeShared>>>>>,
+    fabric: &Fabric,
+    node_ids: &[NodeId],
+    host: &[usize],
+) -> usize {
+    let sh_vec = shareds.borrow();
+    let mut fixed = 0;
+    for s in 0..n {
+        if s == i || !fabric.node_alive(node_ids[host[s]]) {
+            continue;
+        }
+        let mut si = sh_vec[i].borrow_mut();
+        let mut ss = sh_vec[s].borrow_mut();
+        // i → s: i ships deltas of partition s.
+        if si.ssb.sender_error(s) || ss.ssb.receiver_error(i) {
+            si.ssb.reset_channel_to(s);
+            ss.ssb.reset_channel_from(i); // drops uncommitted stages
+            let resume = ss.ssb.receiver_next_epoch(i);
+            si.ssb.requeue_to(s, resume);
+            fixed += 1;
+        }
+        // s → i: s ships deltas of partition i.
+        if ss.ssb.sender_error(i) || si.ssb.receiver_error(s) {
+            ss.ssb.reset_channel_to(i);
+            si.ssb.reset_channel_from(s);
+            let resume = si.ssb.receiver_next_epoch(s);
+            ss.ssb.requeue_to(i, resume);
+            fixed += 1;
+        }
+    }
+    fixed
+}
+
+/// Resurrect dead logical node `d` on the next alive host from its
+/// durable checkpoint: epoch-aligned snapshot restore plus retained-epoch
+/// replay from (and to) every survivor.
+#[allow(clippy::too_many_arguments)]
+fn promote(
+    d: usize,
+    sim: &mut Sim,
+    fabric: &Fabric,
+    node_ids: &[NodeId],
+    host: &mut [usize],
+    shareds: &Rc<RefCell<Vec<Rc<RefCell<NodeShared>>>>>,
+    store: &Rc<RefCell<CkptStore>>,
+    partitions: &[Rc<Vec<u8>>],
+    plan: &Rc<QueryPlan>,
+    schema: crate::record::RecordSchema,
+    cfg: &RunConfig,
+    chaos: &ChaosConfig,
+    obs: &Obs,
+) {
+    let n = cfg.nodes;
+    let Some(b) = (1..n)
+        .map(|k| (d + k) % n)
+        .find(|&j| fabric.node_alive(node_ids[host[j]]))
+    else {
+        return; // no survivors; the run will hit the livelock guard
+    };
+    let ckpt = {
+        let mut st = store.borrow_mut();
+        // Whatever was newer than the durable boundary died with the
+        // node; in-flight transfers from it are void.
+        st[d].latest = st[d].durable.clone();
+        st[d].in_flight = None;
+        st[d].durable.clone()
+    };
+    let Some(ckpt) = ckpt else { return };
+    host[d] = b;
+    let host_fab = node_ids[b];
+
+    let ssb_cfg = SsbConfig {
+        nodes: n,
+        epoch_bytes: cfg.epoch_bytes,
+        channel: cfg.channel,
+    };
+    let mut ssb = SsbNode::detached(d, plan.descriptor(), ssb_cfg);
+    ssb.restore_primary(&ckpt.snapshot);
+    ssb.restore_vclock(&ckpt.vclock);
+    ssb.resume_fragments_at(ckpt.epochs_closed);
+    ssb.set_retention(true);
+
+    // Re-establish channels with every survivor, handshaking commit
+    // horizons so replay is exact and nothing is merged twice.
+    {
+        let sh_vec = shareds.borrow();
+        let st = store.borrow();
+        for s in 0..n {
+            if s == d || !fabric.node_alive(node_ids[host[s]]) {
+                continue;
+            }
+            let s_fab = node_ids[host[s]];
+            let mut sv = sh_vec[s].borrow_mut();
+
+            // d → s: the replacement re-ships the retained epochs the
+            // survivor's receiver has not committed.
+            let (tx, rx) = create_channel(fabric, host_fab, s_fab, cfg.channel);
+            let mut sender = DeltaSender::new(tx);
+            sender.restore_retained(ckpt.retained[s].clone());
+            let resume = sv.ssb.receiver_next_epoch(d);
+            sender.requeue_from(resume);
+            ssb.replace_sender(s, sender);
+            sv.ssb.replace_receiver(d, DeltaReceiver::new(rx, d));
+            sv.ssb.seed_receiver(d, resume);
+            sv.ssb.set_durable_epochs(d, ckpt.epochs_closed);
+
+            // s → d: the survivor re-ships from the checkpoint's commit
+            // horizon; its retained list still covers that suffix
+            // because pruning follows d's durable checkpoints.
+            let (tx2, rx2) = create_channel(fabric, s_fab, host_fab, cfg.channel);
+            let mut sender2 = DeltaSender::new(tx2);
+            sender2.restore_retained(
+                sv.ssb
+                    .retained_for(d)
+                    .map(<[_]>::to_vec)
+                    .unwrap_or_default(),
+            );
+            sender2.requeue_from(ckpt.receiver_next[s]);
+            sv.ssb.replace_sender(d, sender2);
+            ssb.replace_receiver(s, DeltaReceiver::new(rx2, s));
+            ssb.seed_receiver(s, ckpt.receiver_next[s]);
+            ssb.set_durable_epochs(s, st[s].durable.as_ref().map_or(0, |c| c.epochs_closed));
+
+            if obs.is_enabled() {
+                sv.ssb.instrument(obs.clone());
+            }
+        }
+    }
+
+    // Fresh shared state seeded from the checkpoint; the crashed slot's
+    // workers are already dead (crashed flag), replace it.
+    let mut shared = NodeShared::new(
+        ssb,
+        cfg.workers_per_node,
+        cfg.cost.mem_bandwidth,
+        cfg.collect_results,
+    );
+    shared.metrics.set_clock_ghz(cfg.cost.clock_ghz);
+    shared.sink = ckpt.sink.clone();
+    shared.records = ckpt.records;
+    shared.worker_wm = ckpt.worker_wm.clone();
+    shared.worker_pos = ckpt.worker_pos.clone();
+    shared.ft = Some(FtState {
+        store: Rc::clone(store),
+        node: d,
+        max_chunk: chaos.ft.ckpt_max_chunk,
+    });
+    if obs.is_enabled() {
+        shared.instrument(obs.clone(), d);
+    }
+    let shared = Rc::new(RefCell::new(shared));
+    shareds.borrow_mut()[d] = Rc::clone(&shared);
+
+    // Respawn the node's workers at the checkpointed source positions:
+    // everything past them was lost with the open fragments and is
+    // reprocessed; everything before them is in the snapshot or in
+    // replayable epochs.
+    for w in 0..cfg.workers_per_node {
+        let part = Rc::clone(&partitions[d * cfg.workers_per_node + w]);
+        let mut source = MemorySource::new(part, schema, cfg.batch_records);
+        source.seek(ckpt.worker_pos[w]);
+        sim.spawn(SlashWorker::new(
+            d,
+            w,
+            Rc::clone(&shared),
+            source,
+            Rc::clone(plan),
+            cfg.cost,
+        ));
+    }
+    obs.instant(
+        Cat::Fault,
+        "promoted",
+        d as u32,
+        RECOVERY_TID,
+        sim.now(),
+        &[("host", b as u64), ("epochs", ckpt.epochs_closed)],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggSpec;
+    use crate::query::StreamDef;
+    use crate::record::RecordSchema;
+    use crate::window::WindowAssigner;
+    use slash_chaos::{ChaosConfig, FaultPlan, FtConfig};
+
+    fn gen(n: u64, dt: u64, keys: u64) -> Rc<Vec<u8>> {
+        let mut buf = Vec::with_capacity((n * 16) as usize);
+        for i in 0..n {
+            buf.extend_from_slice(&(i * dt).to_le_bytes());
+            buf.extend_from_slice(&(i % keys).to_le_bytes());
+        }
+        Rc::new(buf)
+    }
+
+    fn count_plan(window: u64) -> QueryPlan {
+        QueryPlan::Aggregate {
+            input: StreamDef::new(RecordSchema::plain(16)),
+            window: WindowAssigner::Tumbling { size: window },
+            agg: AggSpec::Count,
+        }
+    }
+
+    fn cfg(nodes: usize) -> RunConfig {
+        let mut cfg = RunConfig::new(nodes, 1);
+        cfg.collect_results = true;
+        cfg.epoch_bytes = 16 * 1024;
+        cfg
+    }
+
+    fn chaos(plan: FaultPlan) -> ChaosConfig {
+        ChaosConfig {
+            plan,
+            ft: FtConfig {
+                detect_timeout: SimTime::from_micros(300),
+                ckpt_max_chunk: 16 * 1024,
+            },
+        }
+    }
+
+    fn run(faults: FaultPlan, nodes: usize) -> (RunReport, RecoveryReport) {
+        let parts: Vec<Rc<Vec<u8>>> = (0..nodes).map(|_| gen(60_000, 1, 32)).collect();
+        SlashCluster::run_chaos(
+            count_plan(4_000),
+            parts,
+            cfg(nodes),
+            &chaos(faults),
+            Obs::disabled(),
+        )
+    }
+
+    #[test]
+    fn ft_baseline_matches_fault_free_engine() {
+        let (ft, rec) = run(FaultPlan::new(), 2);
+        assert!(rec.events.is_empty(), "{:?}", rec.events);
+        assert!(rec.checkpoints_durable > 0, "checkpoints must ship");
+        let parts: Vec<Rc<Vec<u8>>> = (0..2).map(|_| gen(60_000, 1, 32)).collect();
+        let plain = SlashCluster::run(count_plan(4_000), parts, cfg(2));
+        assert_eq!(ft.records, plain.records);
+        assert_eq!(
+            results_digest(&ft.results),
+            results_digest(&plain.results),
+            "gating and checkpoints must not change query results"
+        );
+    }
+
+    #[test]
+    fn node_crash_promotes_and_recovers_exactly() {
+        let (base, base_rec) = run(FaultPlan::new(), 3);
+        let plan = FaultPlan::new().crash(SimTime::from_micros(200), 1);
+        let (faulted, rec) = run(plan, 3);
+        assert!(
+            rec.events
+                .iter()
+                .any(|e| matches!(e.action, RecoveryAction::Promoted { .. })
+                    && e.fault == "node-crash"),
+            "{:?}",
+            rec.events
+        );
+        assert_eq!(faulted.records, base.records, "every record exactly once");
+        assert_eq!(rec.results_digest, base_rec.results_digest);
+        assert_eq!(rec.state_digests, base_rec.state_digests);
+        let ttr = rec.max_time_to_recover();
+        assert!(ttr.is_some_and(|t| t > SimTime::ZERO), "{ttr:?}");
+    }
+
+    #[test]
+    fn link_flap_resets_channels_and_recovers_exactly() {
+        let (base, base_rec) = run(FaultPlan::new(), 2);
+        let plan =
+            FaultPlan::new().link_flap(SimTime::from_micros(200), 1, SimTime::from_micros(100));
+        let (faulted, rec) = run(plan, 2);
+        assert!(
+            rec.events
+                .iter()
+                .any(|e| matches!(e.action, RecoveryAction::ChannelsReset { .. })),
+            "{:?}",
+            rec.events
+        );
+        assert_eq!(faulted.records, base.records);
+        assert_eq!(rec.results_digest, base_rec.results_digest);
+        assert_eq!(rec.state_digests, base_rec.state_digests);
+    }
+
+    #[test]
+    fn degraded_fabric_completes_exactly_without_repairs() {
+        let (base, base_rec) = run(FaultPlan::new(), 2);
+        let plan = FaultPlan::new()
+            .degrade(
+                SimTime::from_micros(100),
+                0,
+                SimTime::from_micros(50),
+                SimTime::from_micros(400),
+            )
+            .delay_completions(
+                SimTime::from_micros(150),
+                1,
+                SimTime::from_micros(80),
+                SimTime::from_micros(400),
+            );
+        let (faulted, rec) = run(plan, 2);
+        // Slowdowns are not failures: nothing to promote or reset.
+        assert!(
+            !rec.events
+                .iter()
+                .any(|e| matches!(e.action, RecoveryAction::Promoted { .. })),
+            "{:?}",
+            rec.events
+        );
+        assert_eq!(faulted.records, base.records);
+        assert_eq!(rec.results_digest, base_rec.results_digest);
+        assert_eq!(rec.state_digests, base_rec.state_digests);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let go = || {
+            let plan = FaultPlan::new().crash(SimTime::from_micros(250), 0);
+            let (r, rec) = run(plan, 3);
+            (
+                r.records,
+                r.completion_time,
+                r.net_tx_bytes,
+                rec.results_digest,
+                rec.state_digests.clone(),
+                rec.events.len(),
+            )
+        };
+        assert_eq!(go(), go(), "same seed + same plan ⇒ identical run");
+    }
+}

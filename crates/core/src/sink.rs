@@ -27,7 +27,7 @@ pub enum SinkResult {
 }
 
 /// Collects or counts triggered results per node.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Sink {
     /// Whether to retain full results (tests) or only count (benchmarks).
     pub collect: bool,

@@ -57,6 +57,20 @@ impl MemorySource {
         self.pos >= self.data.len()
     }
 
+    /// Current read position in bytes (always a whole number of records).
+    /// Checkpoints record this so a replacement worker can resume ingest
+    /// exactly where the snapshot left off.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Resume reading at `pos` (a byte offset captured by [`Self::position`]).
+    pub fn seek(&mut self, pos: usize) {
+        assert_eq!(pos % self.schema.size, 0, "seek must land on a record");
+        assert!(pos <= self.data.len(), "seek past end of stream");
+        self.pos = pos;
+    }
+
     /// Take the next batch; returns the byte range within [`Self::data`].
     pub fn next_range(&mut self) -> Option<(usize, usize)> {
         if self.exhausted() {

@@ -62,8 +62,19 @@ pub struct NodeShared {
     pub mem: Link,
     /// Per-worker high-water event times (node watermark = min).
     pub worker_wm: Vec<u64>,
+    /// Per-worker source read positions (bytes), refreshed after every
+    /// batch; checkpoints capture them so a replacement node resumes
+    /// ingest exactly at the last epoch boundary.
+    pub worker_pos: Vec<usize>,
     /// Set by the trigger worker once the distributed query is complete.
     pub finished: bool,
+    /// Set by the chaos driver when this node's process is killed; every
+    /// worker observes it at its next step and terminates.
+    pub crashed: bool,
+    /// Fault-tolerance hooks (checkpoint store); `None` outside
+    /// [`crate::SlashCluster::run_chaos`] runs so the fault-free fast
+    /// path stays untouched.
+    pub(crate) ft: Option<crate::recovery::FtState>,
     /// Virtual time when this node consumed its last source record.
     pub last_ingest: SimTime,
     /// Source records fully processed on this node.
@@ -87,7 +98,10 @@ impl NodeShared {
             metrics: EngineMetrics::default(),
             mem: Link::new(mem_bandwidth),
             worker_wm: vec![0; workers],
+            worker_pos: vec![0; workers],
             finished: false,
+            crashed: false,
+            ft: None,
             last_ingest: SimTime::ZERO,
             records: 0,
             obs: Obs::disabled(),
@@ -104,7 +118,9 @@ impl NodeShared {
     }
 
     fn node_watermark(&self) -> u64 {
-        *self.worker_wm.iter().min().expect("workers > 0")
+        // Empty only if misconfigured with zero workers; MAX then means
+        // "no ingest pending", which is the inert interpretation.
+        self.worker_wm.iter().min().copied().unwrap_or(u64::MAX)
     }
 }
 
@@ -315,7 +331,7 @@ impl Process for SlashWorker {
     fn step(&mut self, sim: &mut Sim, _me: ProcId) -> Step {
         let shared = Rc::clone(&self.shared);
         let mut sh = shared.borrow_mut();
-        if sh.finished {
+        if sh.finished || sh.crashed {
             return Step::Done;
         }
         let mut cpu = 0.0;
@@ -323,10 +339,18 @@ impl Process for SlashWorker {
         let mut batch_records = 0u64;
 
         // (1) RDMA coroutine: ship/merge state deltas.
-        let (sent, merged) = sh
-            .ssb
-            .pump(sim)
-            .expect("delta channel failure is a protocol bug");
+        let (sent, merged) = match sh.ssb.pump(sim) {
+            Ok(v) => v,
+            Err(e) => {
+                // Faulted channels are already filtered inside the SSB;
+                // anything surfacing here is a decode bug. Flight-record
+                // it and keep the worker alive so the run stays
+                // inspectable instead of tearing down the simulation.
+                sh.obs
+                    .record_failure("delta channel failure", &format!("{e:?}"));
+                (0, 0)
+            }
+        };
         if sent + merged > 0 {
             cpu += sent as f64 * self.cost.post_wr_ns + merged as f64 * self.cost.merge_entry_ns;
             sh.metrics.instr(instr::MERGE * merged + instr::QUEUE_OP * sent);
@@ -355,16 +379,24 @@ impl Process for SlashWorker {
             batch_records = n;
             sh.records += n;
             sh.worker_wm[self.widx] = sh.worker_wm[self.widx].max(last_ts);
+            sh.worker_pos[self.widx] = self.source.position();
             let wm = sh.node_watermark();
             sh.ssb.note_progress(wm);
             // Epoch pacing: by update volume, plus ahead-of-time when the
             // node watermark crosses a window boundary (§7.2.2).
             let bucket = self.plan.window().assign(wm);
-            let closed_delta = if self.is_trigger && bucket > self.last_epoch_bucket {
+            let closed = if self.is_trigger && bucket > self.last_epoch_bucket {
                 self.last_epoch_bucket = bucket;
-                Some(sh.ssb.close_epoch(sim).expect("epoch close"))
+                sh.ssb.close_epoch(sim).map(Some)
             } else {
-                sh.ssb.maybe_close_epoch(sim).expect("epoch close")
+                sh.ssb.maybe_close_epoch(sim)
+            };
+            let closed_delta = match closed {
+                Ok(d) => d,
+                Err(e) => {
+                    sh.obs.record_failure("epoch close", &format!("{e:?}"));
+                    None
+                }
             };
             if let Some(delta) = closed_delta {
                 // Closing an epoch scans the fragments' delta regions and
@@ -373,6 +405,7 @@ impl Process for SlashWorker {
                 cpu += close_ns;
                 sh.metrics.charge(CostCategory::MemoryBound, close_ns);
                 mem_bytes_extra += delta;
+                crate::recovery::on_epoch_closed(&mut sh);
             }
             mem_bytes += mem_bytes_extra;
         } else if !self.source_done {
@@ -384,7 +417,10 @@ impl Process for SlashWorker {
             if wm == u64::MAX {
                 // Last worker of this node: final epoch releases all
                 // remaining windows.
-                sh.ssb.close_epoch(sim).expect("final epoch");
+                match sh.ssb.close_epoch(sim) {
+                    Ok(_) => crate::recovery::on_epoch_closed(&mut sh),
+                    Err(e) => sh.obs.record_failure("final epoch", &format!("{e:?}")),
+                }
             }
         }
 

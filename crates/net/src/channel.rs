@@ -251,6 +251,42 @@ mod tests {
     }
 
     #[test]
+    fn reset_reestablishes_channel_after_link_flap() {
+        let mut sim = Sim::new();
+        let fabric = Fabric::new(FabricConfig::default());
+        let a = fabric.add_node();
+        let b = fabric.add_node();
+        let (mut tx, mut rx) = create_channel(&fabric, a, b, ChannelConfig::default());
+
+        assert!(tx.try_send(&mut sim, MsgFlags::DATA, b"before").unwrap());
+        sim.run();
+        assert_eq!(rx.try_recv(&mut sim).unwrap().unwrap().1, b"before");
+        sim.run();
+
+        // Link goes down; the next send is flushed and errors the QP.
+        fabric.set_link_down(b, true);
+        let _ = tx.try_send(&mut sim, MsgFlags::DATA, b"lost");
+        sim.run();
+        assert!(tx.is_error(), "post over a dead link errors the QP");
+        assert!(matches!(
+            tx.try_send(&mut sim, MsgFlags::DATA, b"rejected"),
+            Err(slash_rdma::RdmaError::QpError)
+        ));
+
+        // Link restored: both endpoints reset, sequence + credit rewound.
+        fabric.set_link_down(b, false);
+        tx.reset();
+        rx.reset();
+        assert!(!tx.is_error());
+        assert_eq!(tx.next_seq(), 0);
+        assert_eq!(rx.next_seq(), 0);
+
+        assert!(tx.try_send(&mut sim, MsgFlags::DATA, b"after").unwrap());
+        sim.run();
+        assert_eq!(rx.try_recv(&mut sim).unwrap().unwrap().1, b"after");
+    }
+
+    #[test]
     #[should_panic(expected = "deadlocks")]
     fn overbatching_credits_is_rejected() {
         ChannelConfig {

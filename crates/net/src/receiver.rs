@@ -104,6 +104,33 @@ impl ChannelReceiver {
         self.fault_drop_credits = true;
     }
 
+    /// Whether the underlying QP is in the error state (a work request was
+    /// flushed by a fault). Credit writes are rejected until
+    /// [`ChannelReceiver::reset`].
+    pub fn is_error(&self) -> bool {
+        self.qp.is_error()
+    }
+
+    /// Re-establish this endpoint after a fault: reset the QP (bumping the
+    /// connection incarnation so stale in-flight writes are fenced), rewind
+    /// the expected footer sequence to zero, and clear every slot's
+    /// generation byte so half-written buffers from the previous incarnation
+    /// can never satisfy [`ChannelReceiver::ready`]. The peer sender must
+    /// call `ChannelSender::reset` for traffic to resume.
+    pub fn reset(&mut self) {
+        self.qp.reset();
+        self.next_seq = 0;
+        self.unreturned = 0;
+        self.eos_seen = false;
+        let m = self.cfg.buffer_size;
+        for slot in 0..self.cfg.credits {
+            let gen_off = footer_offset(slot, m) + FOOTER_SIZE - 1;
+            // The ring was sized by `create_channel`, so this cannot be out
+            // of bounds; ignore the Result to keep reset infallible.
+            let _ = self.ring.write(gen_off, &[0]);
+        }
+    }
+
     /// Whether a buffer is ready without consuming it.
     pub fn ready(&self) -> bool {
         let slot = (self.next_seq % self.cfg.credits as u64) as usize;

@@ -128,6 +128,25 @@ impl ChannelSender {
         self.eos_sent
     }
 
+    /// Whether the underlying QP is in the error state (a work request was
+    /// flushed by a fault). Sends are rejected until [`ChannelSender::reset`].
+    pub fn is_error(&self) -> bool {
+        self.qp.is_error()
+    }
+
+    /// Re-establish this endpoint after a fault: reset the QP (bumping the
+    /// connection incarnation so stale in-flight writes are fenced), reset
+    /// the footer sequence to zero, and zero the credit counter so the full
+    /// credit window is available again. The peer receiver must call
+    /// [`ChannelReceiver::reset`] for traffic to resume — and the engine
+    /// must re-enqueue whatever epochs the receiver had not committed.
+    pub fn reset(&mut self) {
+        self.qp.reset();
+        self.next_seq = 0;
+        self.eos_sent = false;
+        self.credit_mr.write_u64(0, 0);
+    }
+
     /// Try to send one buffer. `len` is the payload size and `fill` writes
     /// exactly that many bytes into the slot (in place, zero-copy).
     ///

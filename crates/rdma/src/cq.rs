@@ -21,6 +21,23 @@ pub enum CompletionKind {
     RecvImm,
 }
 
+/// Whether the work request succeeded or was flushed.
+///
+/// A real reliable connection that loses its peer (or whose link goes down
+/// past the retry budget) moves the QP to the error state and *flushes* all
+/// outstanding work requests: each signaled WR still produces a completion,
+/// but with an error status instead of silently succeeding. The simulator
+/// mirrors that so fault-injection runs can observe failures through the
+/// same completion path real protocol code uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionStatus {
+    /// The operation completed and its effects are visible.
+    Success,
+    /// The work request was flushed: the link or peer failed before the
+    /// operation could take effect. No remote memory was modified.
+    FlushErr,
+}
+
 /// A work completion.
 #[derive(Debug, Clone, Copy)]
 pub struct Completion {
@@ -32,6 +49,15 @@ pub struct Completion {
     pub byte_len: usize,
     /// Immediate data, for [`CompletionKind::RecvImm`].
     pub imm: Option<u32>,
+    /// Success or flush-error status.
+    pub status: CompletionStatus,
+}
+
+impl Completion {
+    /// Whether the work request completed successfully.
+    pub fn is_ok(&self) -> bool {
+        self.status == CompletionStatus::Success
+    }
 }
 
 /// A completion queue.
@@ -107,6 +133,7 @@ mod tests {
             kind: CompletionKind::Write,
             byte_len: 0,
             imm: None,
+            status: CompletionStatus::Success,
         }
     }
 

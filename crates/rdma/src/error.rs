@@ -41,6 +41,10 @@ pub enum RdmaError {
     /// The send queue has more outstanding unsignaled work than the queue
     /// depth allows.
     SendQueueFull,
+    /// The queue pair is in the error state (a prior work request was
+    /// flushed after a link or peer failure). Posts are rejected until the
+    /// QP is reset and the connection re-established.
+    QpError,
 }
 
 impl fmt::Display for RdmaError {
@@ -64,6 +68,7 @@ impl fmt::Display for RdmaError {
                 write!(f, "receive buffer too small: need {needed}, got {got}")
             }
             RdmaError::SendQueueFull => write!(f, "send queue full"),
+            RdmaError::QpError => write!(f, "queue pair in error state"),
         }
     }
 }

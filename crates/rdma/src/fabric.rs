@@ -43,9 +43,26 @@ pub struct FabricConfig {
     pub nic: NicConfig,
 }
 
+/// Injected fault state of one node (all clear in a healthy fabric).
+///
+/// Mutated only by the fault-injection layer (`slash-chaos`) through the
+/// [`Fabric`] fault hooks; the data path consults it at post and delivery
+/// time so failures surface as flushed completions, never as panics.
+#[derive(Debug, Clone, Copy, Default)]
+struct FaultState {
+    /// The node has crashed: its memory and NIC are gone for good.
+    dead: bool,
+    /// The node's link is administratively/physically down (flap window).
+    link_down: bool,
+    /// Extra per-message delay while the NIC is degraded or completions
+    /// are being delayed (zero when healthy).
+    extra_delay: SimTime,
+}
+
 struct NodeState {
     nic: Nic,
     mrs: Vec<Mr>, // indexed by rkey
+    fault: FaultState,
 }
 
 pub(crate) struct FabricInner {
@@ -78,6 +95,7 @@ impl Fabric {
         inner.nodes.push(NodeState {
             nic: Nic::new(nic_cfg),
             mrs: Vec::new(),
+            fault: FaultState::default(),
         });
         id
     }
@@ -144,6 +162,8 @@ impl Fabric {
     /// wire; verbs users should go through a queue pair.
     pub fn plan(&self, now: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> SimTime {
         let mut inner = self.inner.borrow_mut();
+        let extra =
+            inner.nodes[src.index()].fault.extra_delay + inner.nodes[dst.index()].fault.extra_delay;
         if src == dst {
             let overhead = inner.cfg.nic.per_message_overhead;
             let nic = &mut inner.nodes[src.index()].nic;
@@ -151,7 +171,7 @@ impl Fabric {
             nic.stats.tx_msgs += 1;
             nic.stats.rx_bytes += bytes;
             nic.stats.rx_msgs += 1;
-            return now + overhead;
+            return now + overhead + extra;
         }
         let (lo, hi) = if src.index() < dst.index() {
             (src.index(), dst.index())
@@ -165,12 +185,56 @@ impl Fabric {
         } else {
             (second, first)
         };
-        plan_transfer(now, &mut s.nic, &mut d.nic, bytes)
+        plan_transfer(now, &mut s.nic, &mut d.nic, bytes) + extra
     }
 
     /// One-way wire latency (used for ack scheduling).
     pub fn ack_latency(&self) -> SimTime {
         self.inner.borrow().cfg.nic.latency
+    }
+
+    // --- Fault-injection hooks (driven by `slash-chaos`) -----------------
+
+    /// Crash `node`: its NIC stops forever and every reliable connection
+    /// touching it flushes outstanding work. Irreversible — a recovered
+    /// workload re-homes the node's logical role elsewhere.
+    pub fn fail_node(&self, node: NodeId) {
+        self.inner.borrow_mut().nodes[node.index()].fault.dead = true;
+    }
+
+    /// Whether `node` is still alive (control-plane heartbeat view).
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        !self.inner.borrow().nodes[node.index()].fault.dead
+    }
+
+    /// Take `node`'s link down (`true`) or bring it back up (`false`) —
+    /// the link-flap fault. While down, deliveries to and from the node are
+    /// flushed; the node itself keeps running.
+    pub fn set_link_down(&self, node: NodeId, down: bool) {
+        self.inner.borrow_mut().nodes[node.index()].fault.link_down = down;
+    }
+
+    /// Whether `node`'s link is up and the node is alive (port state as a
+    /// real NIC would report it to the control plane).
+    pub fn link_up(&self, node: NodeId) -> bool {
+        let f = self.inner.borrow().nodes[node.index()].fault;
+        !f.dead && !f.link_down
+    }
+
+    /// Add `extra` delay to every message touching `node` (degraded link /
+    /// delayed completions). Pass [`SimTime::ZERO`] to clear.
+    pub fn set_extra_delay(&self, node: NodeId, extra: SimTime) {
+        self.inner.borrow_mut().nodes[node.index()].fault.extra_delay = extra;
+    }
+
+    /// Whether a message can currently travel between `a` and `b`: both
+    /// endpoints alive with their links up. Consulted at post *and*
+    /// delivery time, so a fault landing mid-flight flushes the transfer.
+    pub fn path_up(&self, a: NodeId, b: NodeId) -> bool {
+        let inner = self.inner.borrow();
+        let fa = inner.nodes[a.index()].fault;
+        let fb = inner.nodes[b.index()].fault;
+        !fa.dead && !fa.link_down && !fb.dead && !fb.link_down
     }
 
     /// NIC statistics of a node.

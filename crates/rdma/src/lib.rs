@@ -24,6 +24,17 @@
 //! phase only), MTU segmentation (bandwidth pacing subsumes it), and packet
 //! loss (reliable connections only, as in the paper).
 //!
+//! ## Fault injection
+//!
+//! The fabric exposes fault hooks ([`Fabric::fail_node`],
+//! [`Fabric::set_link_down`], [`Fabric::set_extra_delay`]) driven by the
+//! `slash-chaos` crate. A failed path flushes work requests instead of
+//! delivering them: signaled requests surface
+//! [`cq::CompletionStatus::FlushErr`] completions, the QP transitions to
+//! the error state ([`qp::Qp::is_error`]) and rejects further posts until
+//! [`qp::Qp::reset`] re-establishes the connection under a new incarnation
+//! (fencing any stale in-flight deliveries).
+//!
 //! ## Semantics notes
 //!
 //! A one-sided WRITE becomes visible in the target memory region atomically
@@ -41,7 +52,7 @@ pub mod nic;
 pub mod qp;
 pub mod verbs;
 
-pub use cq::{Completion, CompletionKind, Cq, CqHandle};
+pub use cq::{Completion, CompletionKind, CompletionStatus, Cq, CqHandle};
 pub use error::{RdmaError, Result};
 pub use fabric::{Fabric, FabricConfig, NodeId};
 pub use memory::{Mr, RemoteKey};

@@ -125,7 +125,9 @@ impl Mr {
     #[inline]
     pub fn read_u64(&self, offset: usize) -> u64 {
         let data = self.data.borrow();
-        u64::from_le_bytes(data[offset..offset + 8].try_into().unwrap())
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&data[offset..offset + 8]);
+        u64::from_le_bytes(bytes)
     }
 
     /// Write a little-endian u64 at `offset`.

@@ -162,7 +162,14 @@ impl SsbNode {
                 continue;
             };
             sender.enqueue_epoch(&mut self.fragments[p], wm, now);
-            sender.pump(sim)?;
+            // A faulted channel (QP in error state) is not a protocol
+            // error: the epoch stays queued (and retained, in
+            // fault-tolerant runs) until recovery re-establishes the
+            // channel. Anything else is a real bug and propagates.
+            match sender.pump(sim) {
+                Ok(_) | Err(slash_rdma::RdmaError::QpError) => {}
+                Err(e) => return Err(e.into()),
+            }
         }
         self.vclock.update(self.node, wm);
         self.bytes_since_epoch = 0;
@@ -172,19 +179,29 @@ impl SsbNode {
     /// Make progress on delta shipping and merging. Returns
     /// `(chunks_sent, entries_merged)`; the engine calls this from its
     /// RDMA coroutines.
+    ///
+    /// Channels whose QP sits in the error state (fault window, awaiting
+    /// recovery) are skipped rather than surfaced: the recovery
+    /// orchestrator detects them via [`SsbNode::sender_error`] /
+    /// [`SsbNode::receiver_error`] and the stalled epoch token.
     pub fn pump(&mut self, sim: &mut Sim) -> Result<(u64, u64), StateError> {
         let mut sent = 0;
         for s in self.senders.iter_mut().flatten() {
-            sent += s.pump(sim)? as u64;
+            match s.pump(sim) {
+                Ok(n) => sent += n as u64,
+                Err(slash_rdma::RdmaError::QpError) => {}
+                Err(e) => return Err(StateError::Rdma(e)),
+            }
         }
         let mut merged = 0;
         let primary_idx = self.node;
         for i in 0..self.receivers.len() {
-            merged += self.receivers[i].pump(
-                sim,
-                &mut self.fragments[primary_idx],
-                &mut self.vclock,
-            )?;
+            match self.receivers[i].pump(sim, &mut self.fragments[primary_idx], &mut self.vclock)
+            {
+                Ok(n) => merged += n,
+                Err(StateError::Rdma(slash_rdma::RdmaError::QpError)) => {}
+                Err(e) => return Err(e),
+            }
         }
         Ok((sent, merged))
     }
@@ -266,6 +283,202 @@ impl SsbNode {
         self.fragments[self.node] = part;
         self.note_progress(wm);
         self.vclock.update(self.node, wm);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-tolerance surface (used by the recovery orchestrator in
+    // `slash-core` and by the `slash-verify` recovery scenarios).
+    // ------------------------------------------------------------------
+
+    /// Build a node with fragments and vector clock but **no channels** —
+    /// the replacement instance a promotion creates for a crashed
+    /// executor's logical id. Channels are wired afterwards with
+    /// [`SsbNode::replace_sender`] / [`SsbNode::replace_receiver`].
+    pub fn detached(node: usize, desc: StateDescriptor, cfg: SsbConfig) -> SsbNode {
+        SsbNode {
+            node,
+            cfg,
+            fragments: (0..cfg.nodes).map(|p| Partition::new(p, desc)).collect(),
+            senders: (0..cfg.nodes).map(|_| None).collect(),
+            receivers: Vec::new(),
+            vclock: VectorClock::new(cfg.nodes),
+            bytes_since_epoch: 0,
+            local_watermark: 0,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Epochs this node has closed so far (all remote fragments advance in
+    /// lockstep; single-node clusters close no shippable epochs).
+    pub fn epochs_closed(&self) -> u64 {
+        self.fragments
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| *p != self.node)
+            .map(|(_, f)| f.epoch())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Enable epoch retention on every outbound sender (fault-tolerant
+    /// runs call this before any epoch closes).
+    pub fn set_retention(&mut self, retain: bool) {
+        for s in self.senders.iter_mut().flatten() {
+            s.set_retention(retain);
+        }
+    }
+
+    /// Retained epochs queued toward `leader`, if a sender exists.
+    pub fn retained_for(&self, leader: usize) -> Option<&[crate::coherence::RetainedEpoch]> {
+        self.senders[leader].as_ref().map(|s| s.retained())
+    }
+
+    /// Prune retained epochs toward `leader` below `epoch` (covered by the
+    /// leader's durable checkpoint).
+    pub fn prune_retained(&mut self, leader: usize, epoch: u64) {
+        if let Some(s) = self.senders[leader].as_mut() {
+            s.prune_retained_below(epoch);
+        }
+    }
+
+    /// Re-queue retained epochs `≥ from_epoch` toward `leader` (channel
+    /// re-establishment). Returns epochs queued.
+    pub fn requeue_to(&mut self, leader: usize, from_epoch: u64) -> usize {
+        self.senders[leader]
+            .as_mut()
+            .map_or(0, |s| s.requeue_from(from_epoch))
+    }
+
+    /// Whether the outbound channel toward `leader` is in the error state.
+    pub fn sender_error(&self, leader: usize) -> bool {
+        self.senders[leader].as_ref().is_some_and(|s| s.is_error())
+    }
+
+    /// Whether the inbound channel from `helper` is in the error state.
+    pub fn receiver_error(&self, helper: usize) -> bool {
+        self.receivers
+            .iter()
+            .any(|r| r.helper() == helper && r.is_error())
+    }
+
+    /// Reset the outbound channel endpoint toward `leader` after a fault.
+    pub fn reset_channel_to(&mut self, leader: usize) {
+        if let Some(s) = self.senders[leader].as_mut() {
+            s.reset_channel();
+        }
+    }
+
+    /// Reset the inbound channel endpoint from `helper` after a fault,
+    /// discarding uncommitted epochs (the helper replays them).
+    pub fn reset_channel_from(&mut self, helper: usize) {
+        if let Some(r) = self.receivers.iter_mut().find(|r| r.helper() == helper) {
+            r.reset_channel();
+        }
+    }
+
+    /// Committed-epoch horizon of the inbound channel from `helper`.
+    pub fn receiver_next_epoch(&self, helper: usize) -> u64 {
+        self.receivers
+            .iter()
+            .find(|r| r.helper() == helper)
+            .map_or(0, |r| r.next_epoch())
+    }
+
+    /// Seed the committed-epoch horizon for the inbound channel from
+    /// `helper` (recovery: the restored primary already contains these).
+    pub fn seed_receiver(&mut self, helper: usize, next_epoch: u64) {
+        if let Some(r) = self.receivers.iter_mut().find(|r| r.helper() == helper) {
+            r.seed_next_epoch(next_epoch);
+        }
+    }
+
+    /// Advance the durability gate for epochs from `helper`.
+    pub fn set_durable_epochs(&mut self, helper: usize, durable_epochs: u64) {
+        if let Some(r) = self.receivers.iter_mut().find(|r| r.helper() == helper) {
+            r.set_durable_epochs(durable_epochs);
+        }
+    }
+
+    /// Discard uncommitted (staged or gated) epochs from `helper`.
+    pub fn abort_uncommitted_from(&mut self, helper: usize) {
+        if let Some(r) = self.receivers.iter_mut().find(|r| r.helper() == helper) {
+            r.abort_uncommitted();
+        }
+    }
+
+    /// Install (or replace) the outbound delta sender toward `leader` —
+    /// channel re-establishment toward a promoted replacement node.
+    pub fn replace_sender(&mut self, leader: usize, sender: DeltaSender) {
+        self.senders[leader] = Some(sender);
+    }
+
+    /// Install (or replace) the inbound delta receiver from `helper`.
+    pub fn replace_receiver(&mut self, helper: usize, receiver: DeltaReceiver) {
+        if let Some(slot) = self.receivers.iter_mut().find(|r| r.helper() == helper) {
+            *slot = receiver;
+        } else {
+            self.receivers.push(receiver);
+        }
+    }
+
+    /// Overwrite the vector clock from a checkpoint snapshot.
+    pub fn restore_vclock(&mut self, entries: &[u64]) {
+        for (i, &wm) in entries.iter().enumerate() {
+            self.vclock.fault_force_set(i, wm);
+        }
+    }
+
+    /// Fast-forward every remote fragment's epoch counter (promotion: the
+    /// replacement must not reuse epoch ids its predecessor shipped).
+    pub fn resume_fragments_at(&mut self, epoch: u64) {
+        for (p, f) in self.fragments.iter_mut().enumerate() {
+            if p != self.node {
+                f.resume_at_epoch(epoch);
+            }
+        }
+    }
+
+    /// Deterministic digest of this node's primary partition content
+    /// (keys, values, element multisets — not timing). Two runs that
+    /// converge to the same state digest equal; used by the exactness
+    /// checks of chaos runs and the golden determinism tests.
+    pub fn state_digest(&self) -> u64 {
+        let primary = &self.fragments[self.node];
+        let mut keys = Vec::new();
+        primary.for_each_key(|k, _| keys.push(k));
+        keys.sort_unstable();
+        let mut h: u64 = 0x51A5_4D16_E57A_7E00;
+        let mut fold = |v: u64| {
+            let mut z = h.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(v);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h = z ^ (z >> 31);
+        };
+        let fold_bytes = |fold: &mut dyn FnMut(u64), b: &[u8]| {
+            fold(b.len() as u64);
+            for chunk in b.chunks(8) {
+                let mut w = [0u8; 8];
+                w[..chunk.len()].copy_from_slice(chunk);
+                fold(u64::from_le_bytes(w));
+            }
+        };
+        let appended = primary.descriptor().is_appended();
+        for key in keys {
+            fold(key as u64);
+            fold((key >> 64) as u64);
+            if appended {
+                let mut elems: Vec<Vec<u8>> = Vec::new();
+                primary.for_each_element(key, |e| elems.push(e.to_vec()));
+                elems.sort();
+                fold(elems.len() as u64);
+                for e in &elems {
+                    fold_bytes(&mut fold, e);
+                }
+            } else if let Some(v) = primary.get(key) {
+                fold_bytes(&mut fold, v);
+            }
+        }
+        h
     }
 
     /// Aggregate operation counters across fragments.

@@ -49,10 +49,30 @@ impl std::fmt::Display for StateError {
     }
 }
 
+/// One closed epoch retained for possible replay (fault tolerance).
+///
+/// Recovery resends the *original* encoded chunks rather than regenerating
+/// them: the fragment's log was invalidated at epoch close, and replaying
+/// verbatim is what makes a recovered run bit-identical to the no-fault
+/// run. Retention is opt-in (see [`DeltaSender::set_retention`]) and
+/// pruned once the epoch is covered by the leader's durable checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetainedEpoch {
+    /// Epoch id (the fragment's epoch counter when it closed).
+    pub epoch: u64,
+    /// Helper watermark shipped with the epoch.
+    pub watermark: u64,
+    /// The exact encoded chunks, final chunk carrying the `fin` marker.
+    pub chunks: Vec<Vec<u8>>,
+}
+
 /// Helper-side shipping endpoint for one (helper, leader) pair.
 pub struct DeltaSender {
     chan: ChannelSender,
     outbox: std::collections::VecDeque<Vec<u8>>,
+    /// Retain closed epochs for replay (fault-tolerant runs only).
+    retain: bool,
+    retained: Vec<RetainedEpoch>,
     /// Chunks shipped (stats).
     pub chunks_sent: u64,
     obs: Obs,
@@ -66,6 +86,8 @@ impl DeltaSender {
         DeltaSender {
             chan,
             outbox: std::collections::VecDeque::new(),
+            retain: false,
+            retained: Vec::new(),
             chunks_sent: 0,
             obs: Obs::disabled(),
             obs_pid: 0,
@@ -109,7 +131,69 @@ impl DeltaSender {
                 ("chunks", chunks.len() as u64),
             ],
         );
+        if self.retain {
+            self.retained.push(RetainedEpoch {
+                epoch,
+                watermark,
+                chunks: chunks.clone(),
+            });
+        }
         self.outbox.extend(chunks);
+    }
+
+    /// Enable (or disable) epoch retention for replay-based recovery.
+    /// Fault-tolerant runs enable this before any epoch closes; the
+    /// default path keeps the zero-copy, zero-retention behavior.
+    pub fn set_retention(&mut self, retain: bool) {
+        self.retain = retain;
+    }
+
+    /// Epochs retained for replay, oldest first.
+    pub fn retained(&self) -> &[RetainedEpoch] {
+        &self.retained
+    }
+
+    /// Install a retained-epoch list recovered from a checkpoint (the
+    /// promoted replacement of a crashed helper starts from here). Enables
+    /// retention as a side effect.
+    pub fn restore_retained(&mut self, retained: Vec<RetainedEpoch>) {
+        self.retain = true;
+        self.retained = retained;
+    }
+
+    /// Drop retained epochs with id below `epoch` — they are covered by
+    /// the leader's durable checkpoint and can never be asked for again.
+    /// This is what bounds retention memory.
+    pub fn prune_retained_below(&mut self, epoch: u64) {
+        self.retained.retain(|r| r.epoch >= epoch);
+    }
+
+    /// Discard the outbox and re-queue the original chunks of every
+    /// retained epoch with id ≥ `from_epoch` (channel re-establishment:
+    /// resend exactly what the receiver has not committed). Returns the
+    /// number of epochs queued.
+    pub fn requeue_from(&mut self, from_epoch: u64) -> usize {
+        self.outbox.clear();
+        let mut n = 0;
+        for r in &self.retained {
+            if r.epoch >= from_epoch {
+                self.outbox.extend(r.chunks.iter().cloned());
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Whether the underlying channel's QP is in the error state.
+    pub fn is_error(&self) -> bool {
+        self.chan.is_error()
+    }
+
+    /// Reset the underlying channel endpoint after a fault (the peer
+    /// receiver must reset too). The outbox is kept: pumping resumes once
+    /// both ends are re-established.
+    pub fn reset_channel(&mut self) {
+        self.chan.reset();
     }
 
     /// Push queued chunks while channel credits allow. Returns the number
@@ -138,11 +222,38 @@ impl DeltaSender {
     }
 }
 
+/// A fully-received epoch staged until its source's checkpoint makes it
+/// durable (commit gating, see [`DeltaReceiver::set_durable_epochs`]).
+struct PendingEpoch {
+    epoch: u64,
+    watermark: u64,
+    sent_us: u64,
+    entries: Vec<(u128, EntryKind, Vec<u8>)>,
+}
+
 /// Leader-side merge endpoint for one inbound helper.
+///
+/// Merging is *epoch-atomic*: chunks are staged until the epoch's final
+/// chunk arrives, then the whole epoch is applied at once. A partially
+/// received epoch from a crashed or flapped helper is simply discarded and
+/// replayed — and because every epoch carries its fragment's epoch id,
+/// replayed epochs the receiver already committed are deduplicated, which
+/// is what makes non-idempotent CRDT merges (counters *add*) safe to
+/// replay at epoch granularity.
 pub struct DeltaReceiver {
     chan: ChannelReceiver,
     /// Which executor the deltas come from (vector-clock slot).
     helper: usize,
+    /// Entries of the in-progress (not yet `fin`) epoch.
+    staged: Vec<(u128, EntryKind, Vec<u8>)>,
+    /// Fully received epochs awaiting the durability gate, oldest first.
+    pending: std::collections::VecDeque<PendingEpoch>,
+    /// Next epoch id expected to commit (epochs `< next_epoch` are
+    /// committed; replays of them are discarded).
+    next_epoch: u64,
+    /// Commit gate: only epochs `< durable_epochs` may merge. `u64::MAX`
+    /// (the default) disables gating for non-fault-tolerant runs.
+    durable_epochs: u64,
     /// Entries merged (stats).
     pub entries_merged: u64,
     obs: Obs,
@@ -157,6 +268,10 @@ impl DeltaReceiver {
         DeltaReceiver {
             chan,
             helper,
+            staged: Vec::new(),
+            pending: std::collections::VecDeque::new(),
+            next_epoch: 0,
+            durable_epochs: u64::MAX,
             entries_merged: 0,
             obs: Obs::disabled(),
             obs_pid: 0,
@@ -188,8 +303,59 @@ impl DeltaReceiver {
         &self.obs_label
     }
 
-    /// Drain and merge every delivered chunk into `primary`, advancing
-    /// `vclock` on epoch-final chunks. Returns entries merged this call.
+    /// Next epoch id this receiver expects to commit (== number of epochs
+    /// from its helper already merged into the primary, counting from 0).
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Seed the committed-epoch horizon (recovery: a restored primary
+    /// already contains the helper's epochs `< next_epoch`, so replays of
+    /// them must be discarded, not re-merged).
+    pub fn seed_next_epoch(&mut self, next_epoch: u64) {
+        self.next_epoch = next_epoch;
+    }
+
+    /// Set the commit gate: epochs with id `< durable_epochs` may merge.
+    ///
+    /// Fault-tolerant runs advance this as the helper's checkpoints become
+    /// durable, guaranteeing that every committed epoch is replayable from
+    /// a checkpoint if *this* node later crashes. `u64::MAX` disables the
+    /// gate.
+    pub fn set_durable_epochs(&mut self, durable_epochs: u64) {
+        self.durable_epochs = durable_epochs;
+    }
+
+    /// Fully received epochs currently blocked on the durability gate.
+    pub fn pending_epochs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Discard everything not yet committed: the in-progress epoch's
+    /// staged entries and all gated pending epochs. Called when the
+    /// channel is torn down — the helper (or its replacement) will replay
+    /// these epochs verbatim.
+    pub fn abort_uncommitted(&mut self) {
+        self.staged.clear();
+        self.pending.clear();
+    }
+
+    /// Whether the underlying channel's QP is in the error state.
+    pub fn is_error(&self) -> bool {
+        self.chan.is_error()
+    }
+
+    /// Reset the underlying channel endpoint after a fault and discard
+    /// uncommitted epochs (the peer sender must reset and requeue).
+    pub fn reset_channel(&mut self) {
+        self.chan.reset();
+        self.abort_uncommitted();
+    }
+
+    /// Drain every delivered chunk, staging entries until an epoch's final
+    /// chunk arrives, then commit complete epochs (in order) as far as the
+    /// durability gate allows: merge into `primary` and advance `vclock`.
+    /// Returns entries merged this call.
     ///
     /// A malformed chunk (strict wire validation) captures a
     /// flight-recorder dump with vector-clock context and surfaces
@@ -200,19 +366,15 @@ impl DeltaReceiver {
         primary: &mut Partition,
         vclock: &mut VectorClock,
     ) -> Result<u64, StateError> {
-        let mut merged = 0;
         loop {
             let polled = self.chan.poll_with(sim, |flags, payload| {
                 debug_assert!(flags.contains(MsgFlags::STATE_DELTA));
                 payload.to_vec()
             })?;
             let Some(payload) = polled else { break };
+            let staged = &mut self.staged;
             let parsed = try_parse_chunk(&payload, |key, kind, value| {
-                match kind {
-                    EntryKind::Fixed => primary.merge_fixed(key, value),
-                    EntryKind::Appended => primary.append(key, value),
-                }
-                merged += 1;
+                staged.push((key, kind, value.to_vec()));
             });
             let header = match parsed {
                 Ok(h) => h,
@@ -226,43 +388,97 @@ impl DeltaReceiver {
                             vclock.snapshot()
                         ),
                     );
-                    self.entries_merged += merged;
                     return Err(e.into());
                 }
             };
             debug_assert_eq!(header.partition as usize, primary.id);
             if header.fin {
-                // Epoch "merge" completes here; the vclock update below is
-                // the "install" phase the rest of the node observes.
-                let now = sim.now();
-                let sent = SimTime::from_nanos(header.sent_us.saturating_mul(1_000));
-                self.obs.span(
-                    Cat::Epoch,
-                    "epoch-merge",
-                    self.obs_pid,
-                    self.helper as u32,
-                    sent.min(now),
-                    now,
-                    &[("epoch", header.epoch), ("watermark", header.watermark)],
-                );
-                if header.sent_us > 0 {
-                    let lat = now.as_nanos().saturating_sub(sent.as_nanos());
-                    self.obs
-                        .hist_record("epoch_merge_latency_ns", &self.obs_label, lat);
+                let entries = std::mem::take(&mut self.staged);
+                if header.epoch < self.next_epoch {
+                    // Replay of an epoch already merged into the primary:
+                    // discard whole (epoch-granularity idempotence).
+                    self.obs.instant(
+                        Cat::Epoch,
+                        "epoch-dup-discard",
+                        self.obs_pid,
+                        self.helper as u32,
+                        sim.now(),
+                        &[("epoch", header.epoch), ("committed", self.next_epoch)],
+                    );
+                } else {
+                    debug_assert!(
+                        self.pending
+                            .back()
+                            .is_none_or(|p| header.epoch > p.epoch),
+                        "epochs arrive in order on a FIFO channel"
+                    );
+                    self.pending.push_back(PendingEpoch {
+                        epoch: header.epoch,
+                        watermark: header.watermark,
+                        sent_us: header.sent_us,
+                        entries,
+                    });
                 }
-                vclock.update(self.helper, header.watermark);
-                self.obs.instant(
-                    Cat::Epoch,
-                    "epoch-install",
-                    self.obs_pid,
-                    self.helper as u32,
-                    now,
-                    &[("epoch", header.epoch), ("watermark", header.watermark)],
-                );
             }
         }
+        let merged = self.commit_ready(sim, primary, vclock);
         self.entries_merged += merged;
         Ok(merged)
+    }
+
+    /// Commit pending epochs allowed by the durability gate, in order.
+    fn commit_ready(
+        &mut self,
+        sim: &mut Sim,
+        primary: &mut Partition,
+        vclock: &mut VectorClock,
+    ) -> u64 {
+        let mut merged = 0;
+        while self
+            .pending
+            .front()
+            .is_some_and(|p| p.epoch < self.durable_epochs)
+        {
+            let Some(ep) = self.pending.pop_front() else {
+                break;
+            };
+            for (key, kind, value) in &ep.entries {
+                match kind {
+                    EntryKind::Fixed => primary.merge_fixed(*key, value),
+                    EntryKind::Appended => primary.append(*key, value),
+                }
+                merged += 1;
+            }
+            // Epoch "merge" completes here; the vclock update below is
+            // the "install" phase the rest of the node observes.
+            let now = sim.now();
+            let sent = SimTime::from_nanos(ep.sent_us.saturating_mul(1_000));
+            self.obs.span(
+                Cat::Epoch,
+                "epoch-merge",
+                self.obs_pid,
+                self.helper as u32,
+                sent.min(now),
+                now,
+                &[("epoch", ep.epoch), ("watermark", ep.watermark)],
+            );
+            if ep.sent_us > 0 {
+                let lat = now.as_nanos().saturating_sub(sent.as_nanos());
+                self.obs
+                    .hist_record("epoch_merge_latency_ns", &self.obs_label, lat);
+            }
+            vclock.update(self.helper, ep.watermark);
+            self.next_epoch = ep.epoch + 1;
+            self.obs.instant(
+                Cat::Epoch,
+                "epoch-install",
+                self.obs_pid,
+                self.helper as u32,
+                now,
+                &[("epoch", ep.epoch), ("watermark", ep.watermark)],
+            );
+        }
+        merged
     }
 }
 
@@ -356,6 +572,135 @@ mod tests {
             assert_eq!(primary.get(k).map(CounterCrdt::get), Some(1));
         }
         assert_eq!(rx.entries_merged, 50);
+    }
+
+    #[test]
+    fn durability_gate_defers_commits() {
+        let (mut sim, mut tx, mut rx) = pair(ChannelConfig::default());
+        let desc = CounterCrdt::descriptor();
+        let mut fragment = Partition::new(0, desc);
+        let mut primary = Partition::new(0, desc);
+        let mut vclock = VectorClock::new(2);
+
+        rx.set_durable_epochs(0); // nothing durable yet
+        fragment.rmw(3, |v| CounterCrdt::add(v, 9));
+        tx.enqueue_epoch(&mut fragment, 10, sim.now());
+        tx.pump(&mut sim).unwrap();
+        sim.run();
+        assert_eq!(rx.pump(&mut sim, &mut primary, &mut vclock).unwrap(), 0);
+        assert_eq!(rx.pending_epochs(), 1, "epoch staged, not committed");
+        assert_eq!(primary.get(3), None);
+        assert_eq!(vclock.get(1), 0, "clock must not advance early");
+
+        rx.set_durable_epochs(1); // helper's checkpoint covers epoch 0
+        assert_eq!(rx.pump(&mut sim, &mut primary, &mut vclock).unwrap(), 1);
+        assert_eq!(primary.get(3).map(CounterCrdt::get), Some(9));
+        assert_eq!(vclock.get(1), 10);
+        assert_eq!(rx.next_epoch(), 1);
+    }
+
+    #[test]
+    fn replayed_epochs_are_discarded_not_remerged() {
+        let (mut sim, mut tx, mut rx) = pair(ChannelConfig::default());
+        let desc = CounterCrdt::descriptor();
+        let mut fragment = Partition::new(0, desc);
+        let mut primary = Partition::new(0, desc);
+        let mut vclock = VectorClock::new(2);
+
+        tx.set_retention(true);
+        fragment.rmw(1, |v| CounterCrdt::add(v, 5));
+        tx.enqueue_epoch(&mut fragment, 10, sim.now());
+        fragment.rmw(1, |v| CounterCrdt::add(v, 7));
+        tx.enqueue_epoch(&mut fragment, 20, sim.now());
+        while tx.backlog() > 0 {
+            tx.pump(&mut sim).unwrap();
+            sim.run();
+            rx.pump(&mut sim, &mut primary, &mut vclock).unwrap();
+        }
+        sim.run();
+        rx.pump(&mut sim, &mut primary, &mut vclock).unwrap();
+        assert_eq!(primary.get(1).map(CounterCrdt::get), Some(12));
+        assert_eq!(rx.next_epoch(), 2);
+
+        // Replay everything (as channel re-establishment would after the
+        // receiver reported nothing committed-since): counters must NOT
+        // double — epoch ids 0 and 1 are already committed.
+        assert_eq!(tx.requeue_from(0), 2);
+        while tx.backlog() > 0 {
+            tx.pump(&mut sim).unwrap();
+            sim.run();
+            rx.pump(&mut sim, &mut primary, &mut vclock).unwrap();
+        }
+        sim.run();
+        rx.pump(&mut sim, &mut primary, &mut vclock).unwrap();
+        assert_eq!(
+            primary.get(1).map(CounterCrdt::get),
+            Some(12),
+            "replayed epochs deduplicated"
+        );
+        // Pruning below the committed horizon bounds retention memory.
+        tx.prune_retained_below(rx.next_epoch());
+        assert!(tx.retained().is_empty());
+    }
+
+    #[test]
+    fn partial_epoch_is_aborted_and_replayed_after_reset() {
+        // Tiny buffers force one epoch across many chunks so a link flap
+        // can strand a *partial* epoch at the receiver.
+        let cfg = ChannelConfig {
+            credits: 2,
+            buffer_size: 128,
+            credit_batch: 1,
+        };
+        let mut sim = Sim::new();
+        let fabric = slash_rdma::Fabric::new(FabricConfig::default());
+        let helper = fabric.add_node();
+        let leader = fabric.add_node();
+        let (ctx, crx) = create_channel(&fabric, helper, leader, cfg);
+        let mut tx = DeltaSender::new(ctx);
+        let mut rx = DeltaReceiver::new(crx, 1);
+        tx.set_retention(true);
+
+        let desc = CounterCrdt::descriptor();
+        let mut fragment = Partition::new(0, desc);
+        let mut primary = Partition::new(0, desc);
+        let mut vclock = VectorClock::new(2);
+        for k in 0..40u128 {
+            fragment.rmw(k, |v| CounterCrdt::add(v, 1));
+        }
+        tx.enqueue_epoch(&mut fragment, 10, sim.now());
+        assert!(tx.backlog() > 2);
+
+        // Ship a couple of chunks, then the link goes down mid-epoch.
+        tx.pump(&mut sim).unwrap();
+        sim.run();
+        rx.pump(&mut sim, &mut primary, &mut vclock).unwrap();
+        sim.run(); // deliver the credit return
+        fabric.set_link_down(leader, true);
+        let _ = tx.pump(&mut sim); // flushed; QP errors
+        sim.run();
+        assert!(tx.is_error());
+        assert_eq!(primary.key_count(), 0, "no partial merge");
+
+        // Recovery: link back, both endpoints reset, replay from the
+        // receiver's committed horizon.
+        fabric.set_link_down(leader, false);
+        tx.reset_channel();
+        rx.reset_channel();
+        assert_eq!(tx.requeue_from(rx.next_epoch()), 1);
+        let mut spins = 0;
+        while tx.backlog() > 0 || vclock.get(1) < 10 {
+            spins += 1;
+            assert!(spins < 10_000, "recovery deadlocked");
+            tx.pump(&mut sim).unwrap();
+            sim.run();
+            rx.pump(&mut sim, &mut primary, &mut vclock).unwrap();
+            sim.run();
+        }
+        for k in 0..40u128 {
+            assert_eq!(primary.get(k).map(CounterCrdt::get), Some(1), "key {k}");
+        }
+        assert_eq!(vclock.get(1), 10);
     }
 
     #[test]

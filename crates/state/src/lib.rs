@@ -42,7 +42,7 @@ pub mod snapshot;
 pub mod vclock;
 
 pub use backend::{SsbConfig, SsbNode, TriggeredValue};
-pub use coherence::{DeltaReceiver, DeltaSender, StateError};
+pub use coherence::{DeltaReceiver, DeltaSender, RetainedEpoch, StateError};
 pub use delta::DeltaDecodeError;
 pub use crdts::{CounterCrdt, MaxCrdt, MeanCrdt, MinCrdt, SumF64Crdt};
 pub use crdts_hll::HllCrdt;

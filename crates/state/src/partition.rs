@@ -207,6 +207,18 @@ impl Partition {
         closed
     }
 
+    /// Fast-forward the epoch counter to at least `epoch` (crash recovery).
+    ///
+    /// A promoted replacement node restarts with fresh fragments but must
+    /// not reuse epoch ids its predecessor already shipped: receivers
+    /// deduplicate replayed epochs by id, so a reused id would be silently
+    /// discarded. Called once after restore, before any new epoch closes.
+    pub fn resume_at_epoch(&mut self, epoch: u64) {
+        if epoch > self.epoch {
+            self.epoch = epoch;
+        }
+    }
+
     /// Whether this fragment has accumulated updates in the open epoch.
     pub fn is_dirty(&self) -> bool {
         self.log.tail() > self.epoch_begin

@@ -4,15 +4,17 @@
 //! slash-race [--seeds N] [--mutation NAME]
 //! ```
 //!
-//! Runs the channel and coherence scenarios under `N` tie-break policies
-//! (FIFO, LIFO, and seeded permutations; default 128), printing how many
-//! distinct schedules were explored and any invariant violations. On a
-//! violation the flight recorder's dump — the last trace events with the
-//! schedule fingerprint and vector-clock context — is printed alongside.
+//! Runs the channel, multi-port fabric, coherence, and crash-recovery
+//! scenarios under `N` tie-break policies (FIFO, LIFO, and seeded
+//! permutations; default 128), printing how many distinct schedules were
+//! explored and any invariant violations. On a violation the flight
+//! recorder's dump — the last trace events with the schedule fingerprint
+//! and vector-clock context — is printed alongside.
 //!
 //! `--mutation NAME` injects a known protocol bug (one of
 //! `skip-credit-return`, `ignore-credit-window`, `reorder-delivered`,
-//! `regress-vclock`, `drop-update`) into the owning scenario and *expects*
+//! `regress-vclock`, `drop-update`, `skip-replay`) into the owning
+//! scenario and *expects*
 //! the invariant checks to fire and the flight recorder to dump: exit 0
 //! when the bug is detected with a dump, 1 when it slips through.
 //!
@@ -22,7 +24,7 @@
 use std::process::ExitCode;
 
 use slash_verify::race::{explore, Exploration};
-use slash_verify::scenarios::{ChannelScenario, CoherenceScenario, Mutation};
+use slash_verify::scenarios::{ChannelScenario, CoherenceScenario, Mutation, RecoveryScenario};
 
 /// Minimum distinct schedules per scenario for a full-size sweep.
 const MIN_DISTINCT: usize = 100;
@@ -44,6 +46,7 @@ fn parse_mutation(name: &str) -> Option<Mutation> {
         "reorder-delivered" => Some(Mutation::ReorderDelivered),
         "regress-vclock" => Some(Mutation::RegressVclock),
         "drop-update" => Some(Mutation::DropUpdate),
+        "skip-replay" => Some(Mutation::SkipReplay),
         _ => None,
     }
 }
@@ -61,6 +64,12 @@ fn run_mutation(m: Mutation, seeds: u64) -> ExitCode {
             ..ChannelScenario::default()
         };
         explore("channel-protocol (mutated)", seeds, |p| s.run(p))
+    } else if m == Mutation::SkipReplay {
+        let s = RecoveryScenario {
+            mutation: Some(m),
+            ..RecoveryScenario::default()
+        };
+        explore("crash-recovery (mutated)", seeds, |p| s.run(p))
     } else {
         let s = CoherenceScenario {
             mutation: Some(m),
@@ -100,7 +109,8 @@ fn main() -> ExitCode {
                 None => {
                     eprintln!(
                         "slash-race: --mutation requires one of skip-credit-return, \
-                         ignore-credit-window, reorder-delivered, regress-vclock, drop-update"
+                         ignore-credit-window, reorder-delivered, regress-vclock, \
+                         drop-update, skip-replay"
                     );
                     return ExitCode::from(2);
                 }
@@ -124,10 +134,14 @@ fn main() -> ExitCode {
 
     let chan = explore("channel-protocol", seeds, |p| ChannelScenario::default().run(p));
     print!("{}", chan.render_human());
+    let multi = explore("multiport-fabric", seeds, |p| ChannelScenario::multi_port().run(p));
+    print!("{}", multi.render_human());
     let coh = explore("epoch-coherence", seeds, |p| CoherenceScenario::default().run(p));
     print!("{}", coh.render_human());
+    let rec = explore("crash-recovery", seeds, |p| RecoveryScenario::default().run(p));
+    print!("{}", rec.render_human());
 
-    let ok = gate(&chan, seeds) && gate(&coh, seeds);
+    let ok = gate(&chan, seeds) && gate(&multi, seeds) && gate(&coh, seeds) && gate(&rec, seeds);
     if ok {
         println!("slash-race: PASS");
         ExitCode::SUCCESS

@@ -19,11 +19,14 @@
 //!    bounded schedule explorer layered on `slash-desim`'s pluggable
 //!    [`slash_desim::TieBreak`] policy. The simulation's default FIFO
 //!    tie-break picks *one* legal order among same-timestamp events; the
-//!    checker replays channel and coherence scenarios under many seeded
-//!    permutations of exactly those ties (a DPOR-lite exploration) and
-//!    asserts the protocol invariants under every explored schedule: FIFO
-//!    delivery, credit conservation, no slot overwritten before
-//!    consumption, vector-clock monotonicity, and epoch convergence.
+//!    checker replays channel, multi-port fabric, coherence, and
+//!    crash-recovery scenarios under many seeded permutations of exactly
+//!    those ties (a DPOR-lite exploration) and asserts the protocol
+//!    invariants under every explored schedule: FIFO delivery, credit
+//!    conservation, no slot overwritten before consumption, vector-clock
+//!    monotonicity, epoch convergence, and recovery convergence (a
+//!    crashed node restored from an epoch-aligned checkpoint ends in
+//!    exactly the no-fault state).
 //!
 //! Both run in CI via `scripts/ci.sh` (`slash-lint`, `slash-race`).
 

@@ -31,6 +31,10 @@ pub enum Invariant {
     /// At quiescence, every leader's merged state equals the sequential
     /// oracle and all vector clocks agree on the final watermark.
     EpochConvergence,
+    /// After an injected fault and its recovery (channel reset + replay,
+    /// or snapshot restore + replay), the cluster converges to exactly
+    /// the no-fault state: same oracle counts, no epoch applied twice.
+    RecoveryConvergence,
 }
 
 impl Invariant {
@@ -42,6 +46,7 @@ impl Invariant {
             Invariant::NoOverwrite => "no-slot-overwrite",
             Invariant::VclockMonotonic => "vclock-monotonic",
             Invariant::EpochConvergence => "epoch-convergence",
+            Invariant::RecoveryConvergence => "recovery-convergence",
         }
     }
 }

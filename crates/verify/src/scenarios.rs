@@ -9,11 +9,22 @@
 //! [`DetRng`]s, so across policies only the *interleaving* varies, never
 //! the workload.
 //!
-//! Scenarios use the default single-port NIC configuration on purpose:
-//! with one port per direction, two WRITEs on the same queue pair always
-//! serialize on the link and can never land on the same nanosecond, so
-//! permuting same-timestamp events cannot violate RC ordering — every
-//! explored schedule is one real hardware could produce.
+//! Most scenarios use the default single-port NIC configuration on
+//! purpose: with one port per direction, two WRITEs on the same queue
+//! pair always serialize on the link and can never land on the same
+//! nanosecond, so permuting same-timestamp events cannot violate RC
+//! ordering — every explored schedule is one real hardware could produce.
+//! The **multi-port family** ([`ChannelScenario::multi_port`]) flips that
+//! deliberately: with two rails per node, messages striped across ports
+//! genuinely tie at the receiver, and the tie-break policy decides which
+//! delivery lands first — the multi-rail races a bonded NIC would expose.
+//!
+//! The **recovery family** ([`RecoveryScenario`]) crashes a node in the
+//! middle of epoch traffic, restores it from an epoch-aligned checkpoint
+//! (snapshot + vector clock + receiver horizons + retained epochs), replays
+//! its deterministic op stream, and asserts
+//! [`Invariant::RecoveryConvergence`]: the cluster ends in exactly the
+//! no-fault state, with no epoch applied twice.
 //!
 //! [`Mutation`]s inject protocol bugs (via `#[doc(hidden)]` fault hooks in
 //! `slash-net`/`slash-state`, or scenario-level tampering) so tests can
@@ -26,10 +37,10 @@ use std::rc::Rc;
 use slash_desim::{DetRng, Sim, SimTime, TieBreak};
 use slash_net::{create_channel, ChannelConfig, ChannelReceiver, ChannelSender, MsgFlags};
 use slash_obs::Obs;
-use slash_rdma::{Fabric, FabricConfig};
+use slash_rdma::{Fabric, FabricConfig, NicConfig, NodeId};
 use slash_state::backend::{build_cluster_obs, SsbConfig, SsbNode};
 use slash_state::hash::{pack_key, partition_of};
-use slash_state::CounterCrdt;
+use slash_state::{CounterCrdt, DeltaReceiver, DeltaSender, RetainedEpoch};
 
 use crate::race::{Invariant, Outcome};
 
@@ -51,6 +62,10 @@ pub enum Mutation {
     /// One update is counted in the sequential oracle but never applied
     /// to the backend → epoch convergence must fire.
     DropUpdate,
+    /// The restored node skips requeueing retained epochs from one helper
+    /// after its crash, losing the replay range → recovery convergence
+    /// must fire.
+    SkipReplay,
 }
 
 // ---------------------------------------------------------------------------
@@ -71,6 +86,9 @@ pub struct ChannelScenario {
     pub messages: u64,
     /// Channel credit budget (small, to stress the window).
     pub credits: usize,
+    /// Full-duplex NIC ports per node (1 = the paper's testbed; 2 =
+    /// multi-rail striping, where deliveries can genuinely tie).
+    pub ports: usize,
     /// Optional injected bug.
     pub mutation: Option<Mutation>,
 }
@@ -80,7 +98,24 @@ impl Default for ChannelScenario {
         ChannelScenario {
             messages: 24,
             credits: 4,
+            ports: 1,
             mutation: None,
+        }
+    }
+}
+
+impl ChannelScenario {
+    /// The multi-port fabric family: two full-duplex ports per node, so
+    /// the producer's channels stripe across rails and deliveries to the
+    /// two consumers can land on the same nanosecond — ties the
+    /// single-port configuration can never produce. The tie-break policy
+    /// then decides which delivery is processed first; FIFO-per-channel,
+    /// credit conservation and no-overwrite must hold under every
+    /// resolution.
+    pub fn multi_port() -> Self {
+        ChannelScenario {
+            ports: 2,
+            ..ChannelScenario::default()
         }
     }
 }
@@ -307,7 +342,12 @@ impl ChannelScenario {
     /// Run the scenario under one tie-break policy.
     pub fn run(&self, policy: TieBreak) -> Outcome {
         let mut sim = Sim::with_tie_break(policy);
-        let fabric = Fabric::new(FabricConfig::default());
+        let fabric = Fabric::new(FabricConfig {
+            nic: NicConfig {
+                ports: self.ports.max(1),
+                ..NicConfig::default()
+            },
+        });
         let a = fabric.add_node();
         let b = fabric.add_node();
         let c = fabric.add_node();
@@ -607,6 +647,379 @@ impl CoherenceScenario {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Recovery scenario
+// ---------------------------------------------------------------------------
+
+const R_OP_TICKS: u64 = 16;
+const R_CRASH_TICK: u64 = 9;
+const VICTIM: usize = 1;
+
+/// Configuration of the snapshot/restore-during-epoch-traffic scenario:
+/// a 3-node SSB cluster runs the coherence workload with epoch retention
+/// on; node [`VICTIM`] checkpoints at every epoch close (primary snapshot,
+/// vector clock, per-helper receiver horizons, retained epochs, op-stream
+/// RNG). At [`R_CRASH_TICK`] the node crashes and is rebuilt in place from
+/// the last checkpoint — channels torn down and re-established, retained
+/// epochs requeued from the survivors' committed horizons, the victim's
+/// deterministic op stream replayed — all while the survivors keep closing
+/// and shipping epochs. At quiescence [`Invariant::RecoveryConvergence`]
+/// requires the merged state to equal the sequential oracle exactly:
+/// nothing lost, no epoch applied twice.
+#[derive(Debug, Clone)]
+pub struct RecoveryScenario {
+    /// Cluster size (must be ≥ 2 so the victim has surviving helpers).
+    pub nodes: usize,
+    /// Optional injected bug.
+    pub mutation: Option<Mutation>,
+}
+
+impl Default for RecoveryScenario {
+    fn default() -> Self {
+        RecoveryScenario {
+            nodes: 3,
+            mutation: None,
+        }
+    }
+}
+
+/// The victim's epoch-aligned checkpoint, captured at every epoch close
+/// before the crash — exactly the state a durable buddy copy would hold.
+struct RecCkpt {
+    snapshot: Vec<Vec<u8>>,
+    vclock: Vec<u64>,
+    /// Committed-epoch horizon of the victim's receiver from each helper.
+    receiver_next: Vec<u64>,
+    /// The victim's own retained epochs toward each leader (its sender
+    /// memory, lost in the crash unless checkpointed).
+    retained: Vec<Vec<RetainedEpoch>>,
+    epochs_closed: u64,
+    /// Clone of the victim's op-stream RNG: replaying from here
+    /// regenerates the exact same updates and epoch contents.
+    rng: DetRng,
+    resume_tick: u64,
+}
+
+struct RecWorld {
+    ssb: Vec<SsbNode>,
+    fabric: Fabric,
+    fab: Vec<NodeId>,
+    cfg: SsbConfig,
+    oracle: HashMap<u64, u64>,
+    rngs: Vec<DetRng>,
+    prev_vc: Vec<Vec<u64>>,
+    mutation: Option<Mutation>,
+    ckpt: Option<RecCkpt>,
+    recovered: bool,
+    final_closed: Vec<bool>,
+    violations: Vec<(Invariant, String)>,
+    flagged: HashSet<(&'static str, usize)>,
+    obs: Obs,
+    cur_fp: u64,
+}
+
+impl RecWorld {
+    fn flag(&mut self, inv: Invariant, node: usize, detail: String) {
+        if self.flagged.insert((inv.name(), node)) {
+            let vc = self.ssb[node].vclock().snapshot();
+            self.obs.record_failure(
+                &format!("[{}] node {node}: {detail}", inv.name()),
+                &format!("schedule fingerprint={:#018x} vclock[{node}]={vc:?}", self.cur_fp),
+            );
+            self.violations.push((inv, format!("node {node}: {detail}")));
+        }
+    }
+
+    fn check_vclock(&mut self, i: usize) {
+        let n = self.ssb.len();
+        for j in 0..n {
+            let cur = self.ssb[i].vclock().get(j);
+            let prev = self.prev_vc[i][j];
+            if cur < prev {
+                self.flag(
+                    Invariant::VclockMonotonic,
+                    i,
+                    format!("vclock slot {j} regressed from {prev} to {cur}"),
+                );
+            }
+            self.prev_vc[i][j] = cur;
+        }
+    }
+
+    /// One tick of workload for node `i`. Replayed ops skip the oracle:
+    /// they were counted in their first life, and the RNG clone makes the
+    /// replayed stream identical.
+    fn do_ops(&mut self, i: usize, count_oracle: bool) {
+        for _ in 0..OPS_PER_TICK {
+            let k = self.rngs[i].next_below(KEYS);
+            let v = 1 + self.rngs[i].next_below(5);
+            if count_oracle {
+                *self.oracle.entry(k).or_insert(0) += v;
+            }
+            self.ssb[i].rmw(pack_key(1, k), |buf| CounterCrdt::add(buf, v));
+        }
+    }
+
+    fn close_if_due(&mut self, sim: &mut Sim, i: usize, tick: u64) -> bool {
+        if (tick + 1).is_multiple_of(EPOCH_EVERY) {
+            self.ssb[i].note_progress((tick + 1) * 100);
+            if let Err(e) = self.ssb[i].close_epoch(sim) {
+                self.flag(
+                    Invariant::RecoveryConvergence,
+                    i,
+                    format!("close_epoch failed: {e:?}"),
+                );
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Checkpoint the victim at an epoch close — the epoch-aligned
+    /// consistency point: primary snapshot, vector clock, receiver
+    /// horizons and retained sender memory all from the same instant.
+    fn capture(&mut self, tick: u64) {
+        let n = self.ssb.len();
+        let v = &self.ssb[VICTIM];
+        self.ckpt = Some(RecCkpt {
+            snapshot: v.snapshot_primary(4096),
+            vclock: v.vclock().snapshot(),
+            receiver_next: (0..n)
+                .map(|h| if h == VICTIM { 0 } else { v.receiver_next_epoch(h) })
+                .collect(),
+            retained: (0..n)
+                .map(|l| {
+                    v.retained_for(l).map(<[_]>::to_vec).unwrap_or_default()
+                })
+                .collect(),
+            epochs_closed: v.epochs_closed(),
+            rng: self.rngs[VICTIM].clone(),
+            resume_tick: tick + 1,
+        });
+    }
+
+    /// Crash the victim and rebuild it from the last checkpoint while the
+    /// survivors' epoch traffic is still in flight: fresh detached node,
+    /// snapshot + vclock restore, channel teardown/re-establishment with
+    /// retained-epoch requeue from each side's committed horizon, then a
+    /// deterministic replay of the op stream lost since the checkpoint.
+    fn crash_restore(&mut self, sim: &mut Sim) {
+        let Some(ckpt) = self.ckpt.take() else {
+            self.flag(
+                Invariant::RecoveryConvergence,
+                VICTIM,
+                "no checkpoint captured before crash".into(),
+            );
+            return;
+        };
+        let n = self.ssb.len();
+        let mut repl = SsbNode::detached(VICTIM, CounterCrdt::descriptor(), self.cfg);
+        repl.restore_primary(&ckpt.snapshot);
+        repl.restore_vclock(&ckpt.vclock);
+        // The replacement must not reuse epoch ids its predecessor
+        // shipped with different content; replayed closes regenerate the
+        // same ids with the same content, which the survivors dedup.
+        repl.resume_fragments_at(ckpt.epochs_closed);
+        let mut skip_used = false;
+        for s in 0..n {
+            if s == VICTIM {
+                continue;
+            }
+            // victim → survivor: new channel, sender memory from the
+            // checkpoint, resend from the survivor's committed horizon.
+            let (tx, rx) = create_channel(&self.fabric, self.fab[VICTIM], self.fab[s], self.cfg.channel);
+            let mut sender = DeltaSender::new(tx);
+            sender.restore_retained(ckpt.retained[s].clone());
+            let resume = self.ssb[s].receiver_next_epoch(VICTIM);
+            sender.requeue_from(resume);
+            repl.replace_sender(s, sender);
+            self.ssb[s].replace_receiver(VICTIM, DeltaReceiver::new(rx, VICTIM));
+            self.ssb[s].seed_receiver(VICTIM, resume);
+            // survivor → victim: the helper is alive, so its live retained
+            // list replays everything the restored primary is missing.
+            let (tx2, rx2) = create_channel(&self.fabric, self.fab[s], self.fab[VICTIM], self.cfg.channel);
+            let mut sender2 = DeltaSender::new(tx2);
+            sender2.restore_retained(
+                self.ssb[s].retained_for(VICTIM).map(<[_]>::to_vec).unwrap_or_default(),
+            );
+            if self.mutation == Some(Mutation::SkipReplay) && !skip_used {
+                // Injected bug: the replay range from this helper is lost.
+                skip_used = true;
+            } else {
+                sender2.requeue_from(ckpt.receiver_next[s]);
+            }
+            self.ssb[s].replace_sender(VICTIM, sender2);
+            repl.replace_receiver(s, DeltaReceiver::new(rx2, s));
+            repl.seed_receiver(s, ckpt.receiver_next[s]);
+            self.ssb[s].instrument(self.obs.clone());
+        }
+        repl.set_retention(true);
+        repl.instrument(self.obs.clone());
+        self.ssb[VICTIM] = repl;
+        // Monotonicity restarts with the new incarnation: the restored
+        // vector clock legitimately sits behind the crashed one's.
+        self.prev_vc[VICTIM] = vec![0; n];
+        // Deterministic replay of the lost op stream.
+        self.rngs[VICTIM] = ckpt.rng.clone();
+        for t in ckpt.resume_tick..R_CRASH_TICK {
+            self.do_ops(VICTIM, false);
+            self.close_if_due(sim, VICTIM, t);
+        }
+        self.recovered = true;
+    }
+
+    fn node_tick(&mut self, sim: &mut Sim, i: usize, tick: u64) -> bool {
+        self.cur_fp = sim.schedule_fingerprint();
+        if i == VICTIM && tick == R_CRASH_TICK && !self.recovered {
+            self.crash_restore(sim);
+        }
+        if tick < R_OP_TICKS {
+            self.do_ops(i, true);
+            let closed = self.close_if_due(sim, i, tick);
+            if closed && i == VICTIM && !self.recovered {
+                self.capture(tick);
+            }
+        } else if !self.final_closed[i] {
+            self.ssb[i].note_progress(FINAL_WM);
+            if let Err(e) = self.ssb[i].close_epoch(sim) {
+                self.flag(
+                    Invariant::RecoveryConvergence,
+                    i,
+                    format!("final close_epoch failed: {e:?}"),
+                );
+            }
+            self.final_closed[i] = true;
+        }
+        if let Err(e) = self.ssb[i].pump(sim) {
+            self.flag(Invariant::RecoveryConvergence, i, format!("pump failed: {e:?}"));
+        }
+        self.check_vclock(i);
+        tick >= R_OP_TICKS + SETTLE_TICKS
+    }
+
+    fn convergence(&mut self) {
+        if !self.recovered {
+            self.flag(
+                Invariant::RecoveryConvergence,
+                VICTIM,
+                "crash/restore never executed".into(),
+            );
+        }
+        let n = self.ssb.len();
+        let oracle: Vec<(u64, u64)> = self.oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        for (k, total) in oracle {
+            let key = pack_key(1, k);
+            let leader = partition_of(key, n);
+            let got = self.ssb[leader].local_get(key).map(CounterCrdt::get);
+            if got != Some(total) {
+                self.flag(
+                    Invariant::RecoveryConvergence,
+                    leader,
+                    format!(
+                        "key {k}: leader holds {got:?}, no-fault oracle says {total} \
+                         (lost or double-applied epoch)"
+                    ),
+                );
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let got = self.ssb[i].vclock().get(j);
+                if got != FINAL_WM {
+                    self.flag(
+                        Invariant::RecoveryConvergence,
+                        i,
+                        format!("vclock slot {j} = {got} ≠ final watermark {FINAL_WM}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn schedule_rec_actor(sim: &mut Sim, world: Rc<RefCell<RecWorld>>, node: usize, at: SimTime, tick: u64) {
+    sim.schedule_at(at, move |sim| {
+        let done = world.borrow_mut().node_tick(sim, node, tick);
+        if !done {
+            let next = sim.now() + SimTime::from_nanos(C_TICK_NS);
+            schedule_rec_actor(sim, world, node, next, tick + 1);
+        }
+    });
+}
+
+impl RecoveryScenario {
+    /// Run the scenario under one tie-break policy.
+    pub fn run(&self, policy: TieBreak) -> Outcome {
+        let n = self.nodes.max(2);
+        let mut sim = Sim::with_tie_break(policy);
+        let fabric = Fabric::new(FabricConfig::default());
+        let nodes = fabric.add_nodes(n);
+        let cfg = SsbConfig {
+            nodes: n,
+            epoch_bytes: u64::MAX, // epochs closed explicitly by the actors
+            channel: ChannelConfig {
+                credits: 8,
+                buffer_size: 4096,
+                credit_batch: 1,
+            },
+        };
+        let obs = Obs::enabled(4096);
+        let mut ssb = build_cluster_obs(&fabric, &nodes, CounterCrdt::descriptor(), cfg, obs.clone());
+        // Fault-tolerant run: every sender retains closed epochs so the
+        // recovery can replay them.
+        for node in &mut ssb {
+            node.set_retention(true);
+        }
+        let world = Rc::new(RefCell::new(RecWorld {
+            ssb,
+            fabric: fabric.clone(),
+            fab: nodes,
+            cfg,
+            oracle: HashMap::new(),
+            rngs: (0..n).map(|i| DetRng::new(0xFA11 ^ (i as u64) << 8)).collect(),
+            prev_vc: vec![vec![0; n]; n],
+            mutation: self.mutation,
+            ckpt: None,
+            recovered: false,
+            final_closed: vec![false; n],
+            violations: Vec::new(),
+            flagged: HashSet::new(),
+            obs: obs.clone(),
+            cur_fp: 0,
+        }));
+        let t0 = SimTime::from_nanos(C_TICK_NS);
+        for i in 0..n {
+            schedule_rec_actor(&mut sim, Rc::clone(&world), i, t0, 0);
+        }
+        sim.run();
+        // Settle: pump everything until fully quiescent (bounded).
+        for _ in 0..10_000 {
+            let mut progress = 0u64;
+            {
+                let mut w = world.borrow_mut();
+                for i in 0..n {
+                    if let Ok((s, m)) = w.ssb[i].pump(&mut sim) {
+                        progress += s + m;
+                    }
+                }
+            }
+            sim.run();
+            let flushed = world.borrow().ssb.iter().all(|nd| nd.flushed());
+            if progress == 0 && flushed {
+                break;
+            }
+        }
+        let mut w = world.borrow_mut();
+        w.cur_fp = sim.schedule_fingerprint();
+        w.convergence();
+        Outcome {
+            fingerprint: sim.schedule_fingerprint(),
+            violations: std::mem::take(&mut w.violations),
+            dumps: obs.take_failures().iter().map(|d| d.render()).collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -634,6 +1047,47 @@ mod tests {
                 out.violations
             );
         }
+    }
+
+    #[test]
+    fn multi_port_scenario_clean_under_policies() {
+        for policy in [TieBreak::Fifo, TieBreak::Lifo, TieBreak::Seeded(7)] {
+            let out = ChannelScenario::multi_port().run(policy);
+            assert!(
+                out.violations.is_empty(),
+                "unexpected violations under {policy:?}: {:?}",
+                out.violations
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_scenario_clean_under_policies() {
+        for policy in [TieBreak::Fifo, TieBreak::Lifo, TieBreak::Seeded(7)] {
+            let out = RecoveryScenario::default().run(policy);
+            assert!(
+                out.violations.is_empty(),
+                "unexpected violations under {policy:?}: {:?}",
+                out.violations
+            );
+        }
+    }
+
+    #[test]
+    fn skip_replay_mutation_trips_recovery_convergence() {
+        let s = RecoveryScenario {
+            mutation: Some(Mutation::SkipReplay),
+            ..RecoveryScenario::default()
+        };
+        let out = s.run(TieBreak::Fifo);
+        assert!(
+            out.violations
+                .iter()
+                .any(|(inv, _)| *inv == Invariant::RecoveryConvergence),
+            "skip-replay mutation not detected: {:?}",
+            out.violations
+        );
+        assert!(!out.dumps.is_empty(), "flight recorder did not dump");
     }
 
     #[test]

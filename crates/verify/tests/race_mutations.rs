@@ -5,7 +5,7 @@
 
 use slash_desim::TieBreak;
 use slash_verify::race::{explore, Invariant};
-use slash_verify::scenarios::{ChannelScenario, CoherenceScenario, Mutation};
+use slash_verify::scenarios::{ChannelScenario, CoherenceScenario, Mutation, RecoveryScenario};
 
 /// Invariants flagged by the channel scenario under `m`, FIFO schedule.
 fn channel_flags(m: Mutation) -> Vec<Invariant> {
@@ -70,6 +70,21 @@ fn dropping_an_update_breaks_epoch_convergence() {
         flags.contains(&Invariant::EpochConvergence),
         "expected epoch-convergence violation, got {flags:?}"
     );
+}
+
+#[test]
+fn skipping_the_post_crash_replay_breaks_recovery_convergence() {
+    let out = RecoveryScenario {
+        mutation: Some(Mutation::SkipReplay),
+        ..RecoveryScenario::default()
+    }
+    .run(TieBreak::Fifo);
+    let flags: Vec<Invariant> = out.violations.iter().map(|(i, _)| *i).collect();
+    assert!(
+        flags.contains(&Invariant::RecoveryConvergence),
+        "expected recovery-convergence violation, got {flags:?}"
+    );
+    assert!(!out.dumps.is_empty(), "violation must dump the flight recorder");
 }
 
 #[test]

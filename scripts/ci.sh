@@ -5,27 +5,27 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/7] build (release, all targets)"
+echo "==> [1/9] build (release, all targets)"
 cargo build --release --workspace
 
-echo "==> [2/7] tests (unit + integration + fixtures + mutations)"
+echo "==> [2/9] tests (unit + integration + fixtures + mutations)"
 cargo test --workspace -q
 
-echo "==> [3/7] clippy (all targets, warnings are errors)"
+echo "==> [3/9] clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/7] slash-lint (custom static analysis, burn-down allowlist)"
+echo "==> [4/9] slash-lint (custom static analysis, burn-down allowlist)"
 cargo run --release -p slash-verify --bin slash-lint
 
-echo "==> [5/7] slash-race (schedule exploration smoke: 128 tie-breaks)"
+echo "==> [5/9] slash-race (schedule exploration smoke: 128 tie-breaks)"
 cargo run --release -p slash-verify --bin slash-race -- --seeds 128
 
-echo "==> [6/7] flight recorder (planted bug must be caught and dumped)"
+echo "==> [6/9] flight recorder (planted bug must be caught and dumped)"
 cargo run --release -p slash-verify --bin slash-race -- --mutation ignore-credit-window >/dev/null
 cargo run --release -p slash-verify --bin slash-race -- --mutation regress-vclock >/dev/null
 echo "flight recorder: both planted bugs caught with dumps"
 
-echo "==> [7/7] traced example (deterministic trace, validated JSON)"
+echo "==> [7/9] traced example (deterministic trace, validated JSON)"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT
 SLASH_TRACE_OUT="$trace_dir/a.json" cargo run --release --example ysb_pipeline >/dev/null
@@ -33,5 +33,15 @@ SLASH_TRACE_OUT="$trace_dir/b.json" cargo run --release --example ysb_pipeline >
 cmp "$trace_dir/a.json" "$trace_dir/b.json"
 echo "trace: two same-seed runs byte-identical"
 cargo run --release -p slash-verify --bin slash-trace-check -- "$trace_dir/a.json"
+
+echo "==> [8/9] chaos suite (every fault type recovers to the no-fault state)"
+cargo run --release --bin chaos-suite
+
+echo "==> [9/9] recovery golden trace (failover example, byte-identical + validated)"
+SLASH_TRACE_OUT="$trace_dir/f_a.json" cargo run --release --example failover >/dev/null
+SLASH_TRACE_OUT="$trace_dir/f_b.json" cargo run --release --example failover >/dev/null
+cmp "$trace_dir/f_a.json" "$trace_dir/f_b.json"
+echo "recovery trace: two same-seed chaos runs byte-identical"
+cargo run --release -p slash-verify --bin slash-trace-check -- "$trace_dir/f_a.json"
 
 echo "ci: all gates green"

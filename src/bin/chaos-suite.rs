@@ -1,0 +1,138 @@
+//! `chaos-suite` — the CI fault-injection gate.
+//!
+//! Runs the YSB pipeline under fault tolerance with every built-in fault
+//! type injected mid-run — node crash, link flap, link degradation,
+//! delayed completions — plus seeded multi-fault plans over fixed seeds,
+//! and requires each run to *recover and verify*: the processed-record
+//! count, the per-window results digest, and every node's final
+//! primary-state digest must match the same-seed no-fault run bit-exactly.
+//! Crashes must additionally be detected and repaired by promotion.
+//!
+//! Everything is virtual-time deterministic; exit 0 when every case
+//! verifies, 1 otherwise.
+
+use std::process::ExitCode;
+
+use slash::chaos::{ChaosConfig, FaultPlan, FtConfig};
+use slash::core::{RecoveryAction, RecoveryReport, RunConfig, RunReport, SlashCluster};
+use slash::desim::SimTime;
+use slash::obs::Obs;
+use slash::workloads::{ysb, GenConfig};
+
+const NODES: usize = 3;
+const RECORDS_PER_PARTITION: u64 = 20_000;
+/// Seeds for the multi-fault plans; fixed so CI is reproducible.
+const SEEDS: [u64; 3] = [11, 23, 47];
+
+fn run(plan: &FaultPlan) -> (RunReport, RecoveryReport) {
+    let mut cfg = RunConfig::new(NODES, 1);
+    cfg.collect_results = true;
+    cfg.epoch_bytes = 16 * 1024;
+    let w = ysb(&GenConfig::new(NODES, RECORDS_PER_PARTITION));
+    let chaos = ChaosConfig {
+        plan: plan.clone(),
+        ft: FtConfig {
+            detect_timeout: SimTime::from_micros(300),
+            ckpt_max_chunk: 16 * 1024,
+        },
+    };
+    SlashCluster::run_chaos(w.plan, w.partitions, cfg, &chaos, Obs::disabled())
+}
+
+/// One case: run the plan, compare against the baseline, print a verdict
+/// line. Returns whether the case verified.
+fn case(
+    name: &str,
+    plan: &FaultPlan,
+    base: &(RunReport, RecoveryReport),
+    require_promotion: bool,
+) -> bool {
+    let (report, rec) = run(plan);
+    let exact = report.records == base.0.records
+        && rec.results_digest == base.1.results_digest
+        && rec.state_digests == base.1.state_digests;
+    let promoted = rec
+        .events
+        .iter()
+        .any(|e| matches!(e.action, RecoveryAction::Promoted { .. }));
+    let ok = exact && (!require_promotion || promoted);
+    let ttr = rec
+        .max_time_to_recover()
+        .map(|t| format!("{:.1} us", t.as_nanos() as f64 / 1_000.0))
+        .unwrap_or_else(|| "-".to_string());
+    println!(
+        "  {:<28} faults={} repaired={} ttr={:<10} exact={} {}",
+        name,
+        plan.events().len(),
+        rec.events.len(),
+        ttr,
+        if exact { "yes" } else { "NO" },
+        if ok { "PASS" } else { "FAIL" }
+    );
+    if !ok && require_promotion && !promoted {
+        println!("    crash was never detected/promoted");
+    }
+    ok
+}
+
+fn main() -> ExitCode {
+    println!(
+        "chaos-suite: YSB, {NODES} nodes, {RECORDS_PER_PARTITION} records/partition, \
+         exactness vs the no-fault fault-tolerant baseline"
+    );
+    let base = run(&FaultPlan::new());
+    if !base.1.events.is_empty() || base.1.checkpoints_durable == 0 {
+        println!("  baseline unhealthy: events={}, durable ckpts={}", base.1.events.len(), base.1.checkpoints_durable);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "  baseline: {} records, {} durable checkpoints, completion {:.1} us",
+        base.0.records,
+        base.1.checkpoints_durable,
+        base.0.completion_time.as_nanos() as f64 / 1_000.0
+    );
+
+    let at = SimTime::from_micros(200);
+    let down = SimTime::from_micros(60);
+    let extra = SimTime::from_micros(2);
+    let span = SimTime::from_micros(120);
+    let mut ok = true;
+    ok &= case(
+        "node-crash",
+        &FaultPlan::new().crash(at, 1),
+        &base,
+        true,
+    );
+    ok &= case(
+        "link-flap",
+        &FaultPlan::new().link_flap(at, 1, down),
+        &base,
+        false,
+    );
+    ok &= case(
+        "link-degrade",
+        &FaultPlan::new().degrade(at, 1, extra, span),
+        &base,
+        false,
+    );
+    ok &= case(
+        "delayed-completions",
+        &FaultPlan::new().delay_completions(at, 1, extra, span),
+        &base,
+        false,
+    );
+    for seed in SEEDS {
+        let plan = FaultPlan::seeded(seed, NODES, 3, SimTime::from_micros(500));
+        ok &= case(&format!("seeded({seed}) x3"), &plan, &base, false);
+        let with_crash = plan.crash(SimTime::from_micros(250), 1);
+        ok &= case(&format!("seeded({seed}) x3 + crash"), &with_crash, &base, true);
+    }
+
+    if ok {
+        println!("chaos-suite: PASS (every fault recovered to the no-fault state)");
+        ExitCode::SUCCESS
+    } else {
+        println!("chaos-suite: FAIL");
+        ExitCode::FAILURE
+    }
+}

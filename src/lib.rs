@@ -6,6 +6,7 @@
 //! See the README and DESIGN.md at the repository root.
 
 pub use slash_baselines as baselines;
+pub use slash_chaos as chaos;
 pub use slash_core as core;
 pub use slash_desim as desim;
 pub use slash_net as net;

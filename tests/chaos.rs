@@ -1,0 +1,114 @@
+//! Chaos golden tests: fault injection and recovery must be exactly as
+//! deterministic as the healthy engine. Two runs with the same seed and
+//! the same [`FaultPlan`] share every virtual-time decision — injection,
+//! detection, promotion, replay — so their exported traces must be
+//! *byte-identical* and their post-recovery state digests equal. And a
+//! crash–restore–replay run must converge to exactly the state of the
+//! fault-free run: the CRDT merges plus epoch-id dedup make replayed
+//! deltas idempotent, so recovery is exact, not best-effort.
+
+use slash::chaos::{ChaosConfig, FaultPlan, FtConfig};
+use slash::core::{RecoveryAction, RecoveryReport, RunConfig, RunReport, SlashCluster};
+use slash::desim::SimTime;
+use slash::obs::Obs;
+use slash::workloads::{ysb, GenConfig};
+
+const NODES: usize = 3;
+
+fn run_config() -> RunConfig {
+    let mut cfg = RunConfig::new(NODES, 1);
+    cfg.collect_results = true;
+    cfg.epoch_bytes = 16 * 1024;
+    cfg
+}
+
+fn chaos_config(plan: FaultPlan) -> ChaosConfig {
+    ChaosConfig {
+        plan,
+        ft: FtConfig {
+            detect_timeout: SimTime::from_micros(300),
+            ckpt_max_chunk: 16 * 1024,
+        },
+    }
+}
+
+fn chaos_run(plan: &FaultPlan, obs: Obs) -> (RunReport, RecoveryReport) {
+    let w = ysb(&GenConfig::new(NODES, 20_000));
+    SlashCluster::run_chaos(w.plan, w.partitions, run_config(), &chaos_config(plan.clone()), obs)
+}
+
+#[test]
+fn same_seed_same_fault_plan_is_byte_identical() {
+    let plan = FaultPlan::new().crash(SimTime::from_micros(200), 1);
+    let run = || {
+        let obs = Obs::enabled(16_384);
+        let (report, rec) = chaos_run(&plan, obs.clone());
+        (obs.chrome_trace_json(), report.records, rec)
+    };
+    let (json_a, records_a, rec_a) = run();
+    let (json_b, records_b, rec_b) = run();
+    assert_eq!(records_a, records_b);
+    assert_eq!(
+        rec_a.state_digests, rec_b.state_digests,
+        "post-recovery state digests must be identical"
+    );
+    assert_eq!(rec_a.results_digest, rec_b.results_digest);
+    assert_eq!(rec_a.events.len(), rec_b.events.len());
+    assert_eq!(json_a, json_b, "chaos trace must be byte-identical");
+    // The outage window is visible in the trace: injected fault events and
+    // the recovery span both ride the fault category.
+    assert!(json_a.contains("\"cat\":\"fault\""), "fault events traced");
+    assert!(json_a.contains("\"name\":\"recovery\""), "recovery span traced");
+}
+
+#[test]
+fn seeded_fault_plans_are_reproducible() {
+    let within = SimTime::from_millis(2);
+    let a = FaultPlan::seeded(42, NODES, 4, within);
+    let b = FaultPlan::seeded(42, NODES, 4, within);
+    assert_eq!(a, b, "same seed must build the same plan");
+    assert_eq!(a.digest(), b.digest());
+    let c = FaultPlan::seeded(43, NODES, 4, within);
+    assert_ne!(a.digest(), c.digest(), "different seeds must diverge");
+    assert_eq!(a.events().len(), 4);
+}
+
+/// The epoch-convergence-style exactness check: crash a leader mid-run,
+/// restore from the durable epoch-aligned checkpoint, replay deltas from
+/// the surviving helpers — and end bit-exactly where the no-fault run
+/// ends. Replayed epochs are deduplicated by id and merged through CRDTs,
+/// so nothing is lost and nothing is double-counted.
+#[test]
+fn crash_restore_replay_converges_to_no_fault_state() {
+    let (base_report, base_rec) = chaos_run(&FaultPlan::new(), Obs::disabled());
+    assert!(base_rec.events.is_empty(), "no-fault baseline repairs nothing");
+    assert!(base_rec.checkpoints_durable > 0, "checkpoints must ship");
+    let crash_at = SimTime::from_micros(200);
+    assert!(
+        base_report.completion_time > crash_at,
+        "fault must land mid-run, not after completion"
+    );
+
+    let plan = FaultPlan::new().crash(crash_at, 1);
+    let (report, rec) = chaos_run(&plan, Obs::disabled());
+    let promoted = rec
+        .events
+        .iter()
+        .find(|e| matches!(e.action, RecoveryAction::Promoted { .. }))
+        .expect("the crash must be detected and repaired by promotion");
+    assert_eq!(promoted.fault, "node-crash");
+    assert_eq!(promoted.node, 1);
+    assert!(promoted.time_to_recover() > SimTime::ZERO);
+
+    // Exactness: same records processed, same per-window results, same
+    // final primary state on every logical node.
+    assert_eq!(report.records, base_report.records, "records lost or duplicated");
+    assert_eq!(
+        rec.results_digest, base_rec.results_digest,
+        "window results diverged from the no-fault run"
+    );
+    assert_eq!(
+        rec.state_digests, base_rec.state_digests,
+        "post-recovery state diverged from the no-fault run"
+    );
+}
