@@ -34,6 +34,14 @@ pub struct RunConfig {
     pub epoch_bytes: u64,
     /// Records per scheduling batch.
     pub batch_records: usize,
+    /// Enable the batch-vectorized hot path: write-combining
+    /// pre-aggregation for combinable CRDTs and batched join appends.
+    /// Results are identical either way (the combiner only activates for
+    /// exactly-associative states); off reproduces the per-record path.
+    pub combine: bool,
+    /// Write-combiner capacity in slots (rounded up to a power of two;
+    /// 1024 × 8-byte values stays comfortably L1-resident).
+    pub combiner_slots: usize,
     /// Retain full results (tests) or just count them (benchmarks).
     pub collect_results: bool,
     /// Safety valve: abort if virtual time exceeds this.
@@ -51,6 +59,8 @@ impl RunConfig {
             channel: ChannelConfig::default(),
             epoch_bytes: 64 * 1024 * 1024,
             batch_records: 512,
+            combine: true,
+            combiner_slots: 1024,
             collect_results: false,
             max_virtual_time: SimTime::from_secs(3600),
         }
@@ -76,6 +86,10 @@ pub struct RunReport {
     pub metrics: EngineMetrics,
     /// Per-node engine counters.
     pub per_node: Vec<EngineMetrics>,
+    /// Per-node primary-partition state digests (order-independent fold
+    /// over sorted keys) — lets tests compare end state across runs
+    /// without draining it.
+    pub state_digests: Vec<u64>,
     /// Bytes the fabric moved (all nodes, TX side).
     pub net_tx_bytes: u64,
 }
@@ -153,6 +167,8 @@ impl SlashCluster {
                     source,
                     Rc::clone(&plan),
                     cfg.cost,
+                    cfg.combine,
+                    cfg.combiner_slots,
                 ));
             }
             shareds.push(shared);
@@ -197,6 +213,7 @@ pub(crate) fn assemble_report(
         results: Vec::new(),
         metrics: EngineMetrics::default(),
         per_node: Vec::new(),
+        state_digests: Vec::new(),
         net_tx_bytes: fabric.total_tx_bytes(),
     };
     for (node, shared) in shareds.iter().enumerate() {
@@ -208,11 +225,14 @@ pub(crate) fn assemble_report(
         report.results.extend(sh.sink.results.iter().cloned());
         report.metrics.absorb(&sh.metrics);
         report.per_node.push(sh.metrics.clone());
+        report.state_digests.push(sh.ssb.state_digest());
         if obs.is_enabled() {
             let label = format!("node{node}");
             obs.counter_add("records", &label, sh.records);
             obs.counter_add("instructions", &label, sh.metrics.instructions);
             obs.counter_add("mem_bytes", &label, sh.metrics.mem_bytes);
+            obs.counter_add("combiner_folds", &label, sh.metrics.combiner_folds);
+            obs.counter_add("combiner_flushes", &label, sh.metrics.combiner_flushes);
             obs.gauge_set("ipc", &label, sh.metrics.ipc());
             sh.ssb.publish_obs();
         }

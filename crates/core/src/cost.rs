@@ -116,6 +116,10 @@ pub struct CostModel {
     pub rmw_base_ns: f64,
     /// Log append (holistic state), before cache penalties.
     pub append_base_ns: f64,
+    /// One write-combiner fold: probe + in-place CRDT update of an
+    /// L1-resident table. No cache penalty applies — the table is sized
+    /// to stay within L1d, which is the whole point of combining.
+    pub combine_hit_ns: f64,
     /// Merging one delta entry on a leader.
     pub merge_entry_ns: f64,
     /// Hash-partitioning one record (hash + destination select + branch
@@ -156,6 +160,7 @@ impl Default for CostModel {
             record_pipeline_ns: 6.0,
             rmw_base_ns: 14.0,
             append_base_ns: 20.0,
+            combine_hit_ns: 4.0,
             merge_entry_ns: 18.0,
             partition_ns: 55.0,
             copy_per_byte_ns: 0.1,

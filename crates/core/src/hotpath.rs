@@ -1,0 +1,345 @@
+//! The batch-vectorized record hot path.
+//!
+//! Splits record processing out of [`crate::worker::SlashWorker`] so the
+//! same loop the simulator charges virtual costs for can also be driven
+//! raw by the wall-clock harness (`hotpath-bench`). Two data-path
+//! optimizations live here:
+//!
+//! * **Write-combining pre-aggregation** — an L1-resident
+//!   [`WriteCombiner`] folds a batch's updates into per-key partials and
+//!   flushes once per batch via [`SsbNode::rmw_batch`], collapsing N
+//!   index probes into one per *distinct* key per batch. Enabled only for
+//!   states whose CRDT merge is exactly associative
+//!   ([`StateDescriptor::combinable`]); float-summing aggregations keep
+//!   the per-record path so results stay bit-identical.
+//! * **Batched appends** — join retention batches a whole input chunk's
+//!   elements into one [`SsbNode::append_batch`] call, memoizing hashes
+//!   and chain heads per distinct key.
+//!
+//! Both optimizations are **adaptive**: when a streak of batches shows
+//! (almost) no key reuse — wide uniform key domains, where dedup is pure
+//! overhead — the hot path reverts to the per-record loop for the rest of
+//! the run. The decision depends only on the data, so runs stay
+//! deterministic, and both paths produce bit-identical state either way.
+//!
+//! The hot path does *no* metrics or cost accounting — it returns a
+//! [`BatchOutcome`] and the worker converts that into vectorized charges
+//! (one `instr`/`charge` call per batch instead of per record).
+
+use std::rc::Rc;
+
+use slash_state::backend::SsbNode;
+use slash_state::{pack_key, StateKey, WriteCombiner};
+
+use crate::query::QueryPlan;
+use crate::window::WindowMemo;
+
+/// What one batch did, for vectorized cost accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchOutcome {
+    /// Records scanned (pipeline cost applies to all of them).
+    pub records: u64,
+    /// Records that survived the filter and touched state.
+    pub survivors: u64,
+    /// Distinct-key partials flushed from the combiner into the SSB
+    /// (zero when the combiner is off; then survivors hit the SSB
+    /// directly).
+    pub flushed: u64,
+    /// State value bytes written (join element payloads).
+    pub value_bytes: u64,
+    /// Timestamp of the last record scanned (timestamps are monotone
+    /// per flow, so this is the batch's high-water mark).
+    pub last_ts: u64,
+}
+
+impl BatchOutcome {
+    /// Record the batch-level facts that don't need the per-record loop:
+    /// the record count and the last record's timestamp. Hoisting these
+    /// keeps the loops free of per-record bookkeeping stores.
+    #[inline]
+    fn note_batch(&mut self, schema: &crate::record::RecordSchema, batch: &[u8]) {
+        let n = batch.len() / schema.size;
+        self.records = n as u64;
+        if n > 0 {
+            self.last_ts = schema.ts(&batch[(n - 1) * schema.size..]);
+        }
+    }
+}
+
+/// Batches with too little key reuse before the hot path concludes
+/// batching cannot pay and reverts to the per-record loop for the rest of
+/// the run. Purely data-driven, so runs stay deterministic.
+const COLD_BATCH_LIMIT: u32 = 1;
+/// "Too little reuse": distinct keys ≥ 1/2 of survivors. Wall-clock
+/// breakeven sits near 50% reuse — below it, the dedup pass costs more
+/// than the saved index probes.
+const COLD_NUM: u64 = 1;
+const COLD_DEN: u64 = 2;
+/// Batches smaller than this don't update the cold counter (too noisy).
+const MIN_ADAPT_SURVIVORS: u64 = 64;
+
+/// Reusable per-worker record-processing state.
+pub struct HotPath {
+    plan: Rc<QueryPlan>,
+    /// `Some` iff this plan is a combinable aggregation and combining is
+    /// enabled.
+    combiner: Option<WriteCombiner>,
+    /// Batch the join append path (always safe — byte-identical log).
+    batch_join: bool,
+    /// Scratch: record-order keys for `append_batch`.
+    join_keys: Vec<StateKey>,
+    /// Scratch: packed join elements, `1 + take` bytes each.
+    join_elems: Vec<u8>,
+    /// Consecutive batches with (almost) no key reuse; at
+    /// [`COLD_BATCH_LIMIT`] the batched path turns itself off.
+    cold_batches: u32,
+    /// Division-free window assignment (timestamps are monotone per flow).
+    memo: WindowMemo,
+}
+
+impl HotPath {
+    /// Build the hot path for a plan. `combine` gates both optimizations;
+    /// the combiner additionally requires the aggregation's CRDT to be
+    /// exactly associative under regrouping.
+    pub fn new(plan: Rc<QueryPlan>, combine: bool, combiner_slots: usize) -> Self {
+        let combiner = match &*plan {
+            QueryPlan::Aggregate { agg, .. } if combine => {
+                let desc = agg.descriptor();
+                if desc.combinable && !desc.is_appended() {
+                    Some(WriteCombiner::new(desc, combiner_slots))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        let batch_join = combine && matches!(&*plan, QueryPlan::Join { .. });
+        let memo = WindowMemo::new(plan.window());
+        HotPath {
+            plan,
+            combiner,
+            batch_join,
+            join_keys: Vec::new(),
+            join_elems: Vec::new(),
+            cold_batches: 0,
+            memo,
+        }
+    }
+
+    /// Track key reuse: `unique` distinct keys out of `survivors` state
+    /// touches this batch. A streak of reuse-free batches disables the
+    /// batched path — on wide uniform key domains the dedup work is pure
+    /// overhead, and these workloads' distributions are stationary.
+    fn note_reuse(&mut self, survivors: u64, unique: u64) {
+        if survivors < MIN_ADAPT_SURVIVORS {
+            return;
+        }
+        if unique * COLD_DEN >= survivors * COLD_NUM {
+            self.cold_batches += 1;
+        } else {
+            self.cold_batches = 0;
+        }
+    }
+
+    /// Whether the write combiner is active for this plan.
+    pub fn combined(&self) -> bool {
+        self.combiner.is_some()
+    }
+
+    /// Process one batch of raw records against `ssb`.
+    pub fn process(&mut self, ssb: &mut SsbNode, batch: &[u8]) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        match &*self.plan {
+            QueryPlan::Aggregate {
+                input,
+                window: _,
+                agg,
+            } => {
+                let schema = input.schema;
+                let memo = &mut self.memo;
+                out.note_batch(&schema, batch);
+                if self.cold_batches >= COLD_BATCH_LIMIT {
+                    self.combiner = None;
+                }
+                if let Some(comb) = self.combiner.as_mut() {
+                    for rec in batch.chunks_exact(schema.size) {
+                        if !input.keep(rec) {
+                            continue;
+                        }
+                        let key = pack_key(memo.assign(schema.ts(rec)), schema.key(rec));
+                        if !comb.fold(key, |v| agg.update(&schema, rec, v)) {
+                            // Table at its fill limit: drain it and retry —
+                            // the retry always lands (table now empty).
+                            out.flushed += ssb.rmw_batch(comb);
+                            comb.fold(key, |v| agg.update(&schema, rec, v));
+                        }
+                        out.survivors += 1;
+                    }
+                    out.flushed += ssb.rmw_batch(comb);
+                    self.note_reuse(out.survivors, out.flushed);
+                } else {
+                    for rec in batch.chunks_exact(schema.size) {
+                        if !input.keep(rec) {
+                            continue;
+                        }
+                        let key = pack_key(memo.assign(schema.ts(rec)), schema.key(rec));
+                        ssb.rmw(key, |v| agg.update(&schema, rec, v));
+                        out.survivors += 1;
+                    }
+                }
+            }
+            QueryPlan::Join {
+                input,
+                side_off,
+                window: _,
+                retain_bytes,
+            } => {
+                let schema = input.schema;
+                let take = (*retain_bytes).min(schema.size);
+                let stride = 1 + take;
+                let memo = &mut self.memo;
+                out.note_batch(&schema, batch);
+                if self.cold_batches >= COLD_BATCH_LIMIT {
+                    self.batch_join = false;
+                }
+                if self.batch_join {
+                    self.join_keys.clear();
+                    self.join_elems.clear();
+                    for rec in batch.chunks_exact(schema.size) {
+                        if !input.keep(rec) {
+                            continue;
+                        }
+                        let side = schema.field_u64(rec, *side_off);
+                        self.join_keys
+                            .push(pack_key(memo.assign(schema.ts(rec)), schema.key(rec)));
+                        self.join_elems.push(side as u8);
+                        self.join_elems.extend_from_slice(&rec[..take]);
+                    }
+                    let unique = ssb.append_batch(&self.join_keys, &self.join_elems, stride);
+                    out.survivors = self.join_keys.len() as u64;
+                    out.value_bytes = self.join_elems.len() as u64;
+                    self.note_reuse(out.survivors, unique);
+                } else {
+                    let mut elem = vec![0u8; stride];
+                    for rec in batch.chunks_exact(schema.size) {
+                        if !input.keep(rec) {
+                            continue;
+                        }
+                        let side = schema.field_u64(rec, *side_off);
+                        elem[0] = side as u8;
+                        elem[1..stride].copy_from_slice(&rec[..take]);
+                        ssb.append(pack_key(memo.assign(schema.ts(rec)), schema.key(rec)), &elem);
+                        out.survivors += 1;
+                        out.value_bytes += stride as u64;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::StreamDef;
+    use crate::record::RecordSchema;
+    use crate::window::WindowAssigner;
+    use crate::AggSpec;
+    use slash_state::backend::{SsbConfig, SsbNode};
+
+    const SCHEMA: RecordSchema = RecordSchema::plain(32);
+
+    fn agg_plan(agg: AggSpec) -> Rc<QueryPlan> {
+        Rc::new(QueryPlan::Aggregate {
+            input: StreamDef::new(SCHEMA),
+            window: WindowAssigner::Tumbling { size: 1_000_000 },
+            agg,
+        })
+    }
+
+    fn records(n: usize, key_domain: u64) -> Vec<u8> {
+        let mut data = vec![0u8; n * SCHEMA.size];
+        for (i, rec) in data.chunks_exact_mut(SCHEMA.size).enumerate() {
+            let ts = i as u64 * 10;
+            rec[SCHEMA.ts_off..SCHEMA.ts_off + 8].copy_from_slice(&ts.to_le_bytes());
+            let key = (i as u64 * 7) % key_domain;
+            rec[SCHEMA.key_off..SCHEMA.key_off + 8].copy_from_slice(&key.to_le_bytes());
+        }
+        data
+    }
+
+    fn detached(agg: &AggSpec) -> SsbNode {
+        SsbNode::detached(0, agg.descriptor(), SsbConfig::new(1))
+    }
+
+    #[test]
+    fn combiner_activates_only_for_combinable_aggregations() {
+        assert!(HotPath::new(agg_plan(AggSpec::Count), true, 64).combined());
+        assert!(!HotPath::new(agg_plan(AggSpec::Count), false, 64).combined());
+        // Float mean is not exactly associative under regrouping.
+        assert!(!HotPath::new(agg_plan(AggSpec::MeanF64 { off: 0 }), true, 64).combined());
+    }
+
+    #[test]
+    fn combined_and_per_record_paths_agree_bitwise() {
+        let plan = agg_plan(AggSpec::Count);
+        let data = records(1000, 13);
+
+        let mut on = HotPath::new(Rc::clone(&plan), true, 64);
+        let mut off = HotPath::new(Rc::clone(&plan), false, 64);
+        assert!(on.combined() && !off.combined());
+        let mut ssb_on = detached(&AggSpec::Count);
+        let mut ssb_off = detached(&AggSpec::Count);
+
+        let mut sum = (0u64, 0u64);
+        for chunk in data.chunks(SCHEMA.size * 128) {
+            let a = on.process(&mut ssb_on, chunk);
+            let b = off.process(&mut ssb_off, chunk);
+            assert_eq!(a.records, b.records);
+            assert_eq!(a.survivors, b.survivors);
+            assert_eq!(a.last_ts, b.last_ts);
+            sum.0 += a.flushed;
+            sum.1 += b.flushed;
+        }
+        // Combiner flushed at most one partial per distinct key per batch;
+        // the per-record path never flushes.
+        assert!(sum.0 > 0 && sum.0 < 1000);
+        assert_eq!(sum.1, 0);
+        assert_eq!(ssb_on.state_digest(), ssb_off.state_digest());
+    }
+
+    #[test]
+    fn reuse_free_streams_turn_the_combiner_off() {
+        let plan = agg_plan(AggSpec::Count);
+        // Key domain far wider than the record count: every key distinct.
+        let data = records(2048, u64::MAX / 7);
+        let mut hp = HotPath::new(Rc::clone(&plan), true, 4096);
+        let mut ssb_a = detached(&AggSpec::Count);
+        assert!(hp.combined());
+        for chunk in data.chunks(SCHEMA.size * 256) {
+            hp.process(&mut ssb_a, chunk);
+        }
+        assert!(!hp.combined(), "cold batches must disable the combiner");
+        // Bit-identical to the never-combined run regardless.
+        let mut off = HotPath::new(plan, false, 4096);
+        let mut ssb_b = detached(&AggSpec::Count);
+        off.process(&mut ssb_b, &data);
+        assert_eq!(ssb_a.state_digest(), ssb_b.state_digest());
+    }
+
+    #[test]
+    fn combiner_flush_retry_survives_tiny_tables() {
+        // Eight slots at a 3/4 fill limit force mid-batch flushes.
+        let plan = agg_plan(AggSpec::Count);
+        let data = records(500, 101);
+        let mut tiny = HotPath::new(Rc::clone(&plan), true, 8);
+        let mut off = HotPath::new(plan, false, 8);
+        let mut ssb_a = detached(&AggSpec::Count);
+        let mut ssb_b = detached(&AggSpec::Count);
+        let a = tiny.process(&mut ssb_a, &data);
+        let b = off.process(&mut ssb_b, &data);
+        assert_eq!(a.survivors, b.survivors);
+        assert_eq!(ssb_a.state_digest(), ssb_b.state_digest());
+    }
+}

@@ -20,6 +20,7 @@
 pub mod agg;
 pub mod cluster;
 pub mod cost;
+pub mod hotpath;
 pub mod join;
 pub mod metrics;
 pub mod query;
@@ -33,10 +34,11 @@ pub mod worker;
 pub use agg::AggSpec;
 pub use cluster::{RunConfig, RunReport, SlashCluster};
 pub use cost::{CacheModel, CostModel, TESTBED_CLOCK_GHZ};
+pub use hotpath::{BatchOutcome, HotPath};
 pub use metrics::{CostCategory, EngineMetrics};
 pub use query::{JoinSide, QueryPlan, StreamDef};
 pub use record::RecordSchema;
 pub use recovery::{results_digest, RecoveryAction, RecoveryEvent, RecoveryReport};
 pub use sink::{Sink, SinkResult};
 pub use source::MemorySource;
-pub use window::WindowAssigner;
+pub use window::{WindowAssigner, WindowMemo};

@@ -61,6 +61,11 @@ pub struct EngineMetrics {
     pub mem_bytes: u64,
     /// Bytes sent over the network by this engine.
     pub net_bytes: u64,
+    /// Updates folded into per-worker write combiners (batch-local
+    /// pre-aggregation hits that never reached the SSB index).
+    pub combiner_folds: u64,
+    /// Distinct-key partials flushed from write combiners into the SSB.
+    pub combiner_flushes: u64,
     /// Clock used for ns↔cycle conversion, GHz.
     clock_ghz: f64,
 }
@@ -76,6 +81,8 @@ impl Default for EngineMetrics {
             llc_misses: 0.0,
             mem_bytes: 0,
             net_bytes: 0,
+            combiner_folds: 0,
+            combiner_flushes: 0,
             clock_ghz: TESTBED_CLOCK_GHZ,
         }
     }
@@ -148,6 +155,14 @@ impl EngineMetrics {
         self.llc_misses += llc;
     }
 
+    /// Count write-combiner activity: `folds` batch-local update
+    /// absorptions, of which `flushes` distinct partials reached the SSB.
+    #[inline]
+    pub fn add_combiner_ops(&mut self, folds: u64, flushes: u64) {
+        self.combiner_folds += folds;
+        self.combiner_flushes += flushes;
+    }
+
     /// Nanoseconds charged to a category.
     pub fn ns_of(&self, cat: CostCategory) -> f64 {
         self.ns[idx(cat)]
@@ -215,6 +230,8 @@ impl EngineMetrics {
         self.llc_misses += other.llc_misses;
         self.mem_bytes += other.mem_bytes;
         self.net_bytes += other.net_bytes;
+        self.combiner_folds += other.combiner_folds;
+        self.combiner_flushes += other.combiner_flushes;
     }
 }
 

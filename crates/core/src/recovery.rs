@@ -323,6 +323,8 @@ impl SlashCluster {
                     source,
                     Rc::clone(&plan),
                     cfg.cost,
+                    cfg.combine,
+                    cfg.combiner_slots,
                 ));
             }
             shareds.borrow_mut().push(shared);
@@ -765,6 +767,8 @@ fn promote(
             source,
             Rc::clone(plan),
             cfg.cost,
+            cfg.combine,
+            cfg.combiner_slots,
         ));
     }
     obs.instant(

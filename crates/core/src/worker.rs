@@ -24,6 +24,7 @@ use slash_state::backend::{SsbNode, TriggeredData, TriggeredValue};
 use slash_state::pack_key;
 
 use crate::cost::CostModel;
+use crate::hotpath::HotPath;
 use crate::metrics::{CostCategory, EngineMetrics};
 use crate::query::QueryPlan;
 use crate::sink::{Sink, SinkResult};
@@ -36,6 +37,10 @@ pub mod instr {
     pub const PIPELINE: u64 = 18;
     /// Hash-index probe + in-place RMW.
     pub const RMW: u64 = 24;
+    /// Write-combiner fold: L1-resident probe + in-place CRDT update.
+    /// Much cheaper than [`RMW`] — no full index walk, no key-compare
+    /// chain, the table fits in one cache level.
+    pub const COMBINE: u64 = 6;
     /// Log append.
     pub const APPEND: u64 = 30;
     /// Hash partitioning, destination select, staging-buffer management
@@ -132,6 +137,8 @@ pub struct SlashWorker {
     source: MemorySource,
     plan: Rc<QueryPlan>,
     cost: CostModel,
+    /// Batch-vectorized record loop (write combining, batched appends).
+    hotpath: HotPath,
     source_done: bool,
     is_trigger: bool,
     /// Last window bucket for which an ahead-of-time epoch was signalled.
@@ -153,7 +160,10 @@ impl SlashWorker {
         source: MemorySource,
         plan: Rc<QueryPlan>,
         cost: CostModel,
+        combine: bool,
+        combiner_slots: usize,
     ) -> Self {
+        let hotpath = HotPath::new(Rc::clone(&plan), combine, combiner_slots);
         SlashWorker {
             node,
             widx,
@@ -161,6 +171,7 @@ impl SlashWorker {
             source,
             plan,
             cost,
+            hotpath,
             source_done: false,
             is_trigger: widx == 0,
             last_epoch_bucket: 0,
@@ -180,62 +191,41 @@ impl SlashWorker {
         let ws = sh.ssb.resident_bytes() as u64;
         let access = cost.cache.random_access(ws);
 
-        let mut cpu = 0.0;
-        let mut mem = batch.len() as u64; // streaming the records
-        let mut n = 0u64;
-        let mut last_ts = 0u64;
-        let mut state_ops = 0u64;
+        // Run the record loop, then convert its outcome into vectorized
+        // charges — one `instr`/`charge` call per batch, not per record.
+        let out = self.hotpath.process(&mut sh.ssb, batch);
+        let n = out.records;
+        let mut cpu = cost.record_pipeline_ns * n as f64;
+        sh.metrics.instr(instr::PIPELINE * n);
+        let mut mem = batch.len() as u64 + out.value_bytes; // streaming + state writes
 
-        match &*self.plan {
-            QueryPlan::Aggregate { input, window, agg } => {
-                let schema = input.schema;
-                for rec in batch.chunks_exact(schema.size) {
-                    n += 1;
-                    cpu += cost.record_pipeline_ns;
-                    sh.metrics.instr(instr::PIPELINE);
-                    let ts = schema.ts(rec);
-                    last_ts = ts; // timestamps are monotone per flow
-                    if !input.keep(rec) {
-                        continue;
-                    }
-                    let key = pack_key(window.assign(ts), schema.key(rec));
-                    sh.ssb.rmw(key, |v| agg.update(&schema, rec, v));
-                    cpu += cost.rmw_base_ns + access.penalty_ns;
-                    sh.metrics.instr(instr::RMW);
-                    state_ops += 1;
+        let state_ops = if self.hotpath.combined() {
+            // Every survivor folds into the L1-resident combiner; only the
+            // flushed distinct-key partials walk the SSB index.
+            cpu += cost.combine_hit_ns * out.survivors as f64
+                + (cost.rmw_base_ns + access.penalty_ns) * out.flushed as f64;
+            sh.metrics
+                .instr(instr::COMBINE * out.survivors + instr::RMW * out.flushed);
+            sh.metrics.charge(
+                CostCategory::Retiring,
+                cost.combine_hit_ns * out.survivors as f64,
+            );
+            sh.metrics.add_combiner_ops(out.survivors, out.flushed);
+            out.flushed
+        } else {
+            match &*self.plan {
+                QueryPlan::Aggregate { .. } => {
+                    cpu += (cost.rmw_base_ns + access.penalty_ns) * out.survivors as f64;
+                    sh.metrics.instr(instr::RMW * out.survivors);
+                }
+                QueryPlan::Join { .. } => {
+                    cpu += (cost.append_base_ns + access.penalty_ns) * out.survivors as f64;
+                    sh.metrics.instr(instr::APPEND * out.survivors);
                 }
             }
-            QueryPlan::Join {
-                input,
-                side_off,
-                window,
-                retain_bytes,
-            } => {
-                let schema = input.schema;
-                let mut elem = vec![0u8; 1 + retain_bytes];
-                for rec in batch.chunks_exact(schema.size) {
-                    n += 1;
-                    cpu += cost.record_pipeline_ns;
-                    sh.metrics.instr(instr::PIPELINE);
-                    let ts = schema.ts(rec);
-                    last_ts = ts;
-                    if !input.keep(rec) {
-                        continue;
-                    }
-                    let side = schema.field_u64(rec, *side_off);
-                    elem[0] = side as u8;
-                    let take = (*retain_bytes).min(schema.size);
-                    elem[1..1 + take].copy_from_slice(&rec[..take]);
-                    let key = pack_key(window.assign(ts), schema.key(rec));
-                    sh.ssb.append(key, &elem[..1 + take]);
-                    // Appends write state: charge the value bytes too.
-                    cpu += cost.append_base_ns + access.penalty_ns;
-                    mem += 1 + take as u64;
-                    sh.metrics.instr(instr::APPEND);
-                    state_ops += 1;
-                }
-            }
-        }
+            out.survivors
+        };
+        let last_ts = out.last_ts;
         // Cache-miss accounting for the state accesses of this batch.
         sh.metrics.add_cache_misses(
             access.l1_miss * state_ops as f64,

@@ -78,6 +78,36 @@ pub fn predict_slash_agg(cost: &CostModel, shape: &AggWorkloadShape) -> NodePred
     }
 }
 
+/// Predict a Slash node's aggregation throughput with the write-combining
+/// hot path: every survivor folds into the L1-resident combiner at
+/// `combine_hit_ns`, and only `flush_fraction` of them (distinct keys per
+/// batch ÷ survivors per batch) pay the full SSB probe with its cache
+/// penalty. `flush_fraction = 1` degenerates to the per-record path plus
+/// the (small) combiner overhead; hot key domains drive it toward
+/// `distinct_keys / batch_records`.
+pub fn predict_slash_agg_combined(
+    cost: &CostModel,
+    shape: &AggWorkloadShape,
+    flush_fraction: f64,
+) -> NodePrediction {
+    let f = flush_fraction.clamp(0.0, 1.0);
+    let access = cost.cache.random_access(shape.working_set);
+    let ssb_ns = f * (cost.rmw_base_ns + access.penalty_ns);
+    let per_rec_cpu_ns =
+        cost.record_pipeline_ns + shape.selectivity * (cost.combine_hit_ns + ssb_ns);
+    let cpu_bound = shape.workers as f64 / (per_rec_cpu_ns * 1e-9);
+    // Only flushed probes walk the index, so state cache misses scale by
+    // the flush fraction too; the stream itself still streams.
+    let per_rec_mem_bytes =
+        shape.record_size as f64 + shape.selectivity * f * access.mem_bytes();
+    let mem_bound = cost.mem_bandwidth as f64 / per_rec_mem_bytes;
+    NodePrediction {
+        cpu_bound,
+        mem_bound,
+        memory_stall_fraction: shape.selectivity * ssb_ns / per_rec_cpu_ns,
+    }
+}
+
 /// Predict the partitioned engine's sender-side per-node throughput:
 /// `senders` threads each paying pipeline + selectivity × (partition +
 /// queue + copy) per record.
@@ -140,6 +170,19 @@ mod tests {
         let huge = predict_slash_agg(&cost, &shape(8 << 30));
         assert!(small.throughput() > huge.throughput());
         assert_eq!(huge.bottleneck(), CostCategory::MemoryBound);
+    }
+
+    #[test]
+    fn combining_helps_most_when_flushes_are_rare() {
+        let cost = CostModel::default();
+        let s = shape(1 << 30);
+        let plain = predict_slash_agg(&cost, &s).throughput();
+        let hot = predict_slash_agg_combined(&cost, &s, 0.05).throughput();
+        let cold = predict_slash_agg_combined(&cost, &s, 1.0).throughput();
+        assert!(hot > 2.0 * plain, "hot keys {hot:.3e} vs plain {plain:.3e}");
+        // With every survivor flushing, combining only adds its fold cost.
+        assert!(cold < plain);
+        assert!(cold > 0.8 * plain, "cold {cold:.3e} vs plain {plain:.3e}");
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub mod analytic;
 pub mod report;
 pub mod uarch;
 
-pub use analytic::{predict_micro_direct, predict_partitioned_receiver, predict_partitioned_sender, predict_slash_agg, AggWorkloadShape, NodePrediction};
+pub use analytic::{predict_micro_direct, predict_partitioned_receiver, predict_partitioned_sender, predict_slash_agg, predict_slash_agg_combined, AggWorkloadShape, NodePrediction};
 pub use report::{format_table, write_csv, Table};
 pub use slash_core::TESTBED_CLOCK_GHZ;
 pub use uarch::{breakdown_row, table1_row, BreakdownRow, Table1Row};

@@ -6,6 +6,7 @@ use slash_obs::Obs;
 use slash_rdma::{Fabric, NodeId};
 
 use crate::coherence::{DeltaReceiver, DeltaSender, StateError};
+use crate::combiner::WriteCombiner;
 use crate::descriptor::StateDescriptor;
 use crate::hash::{partition_of, unpack_key, StateKey};
 use crate::partition::Partition;
@@ -117,6 +118,81 @@ impl SsbNode {
         let p = self.partition_of(key);
         self.fragments[p].append(key, elem);
         self.bytes_since_epoch += elem.len() as u64 + 32;
+    }
+
+    /// Flush a worker's [`WriteCombiner`] — the batched counterpart of
+    /// per-record [`Self::rmw`]: every distinct `(window, key)` partial is
+    /// routed to its partition fragment and merged in one batched
+    /// index-probe pass per fragment ([`Partition::merge_batch`]). Clears
+    /// the combiner and returns how many distinct entries flushed. Epoch
+    /// byte-accounting advances per flushed entry, not per folded record:
+    /// the open delta really is that much smaller — write combining is
+    /// also coalescing the coherence traffic.
+    pub fn rmw_batch(&mut self, comb: &mut WriteCombiner) -> u64 {
+        let n = comb.len();
+        if n == 0 {
+            return 0;
+        }
+        if self.cfg.nodes == 1 {
+            // Single-node fast path: everything routes to the one fragment.
+            let sel: Vec<u32> = (0..n as u32).collect();
+            self.fragments[0].merge_batch(comb, &sel);
+        } else {
+            // Group combiner entries by destination partition, preserving
+            // insertion order within each group (stable bucket scan).
+            let mut sel: Vec<u32> = Vec::with_capacity(n);
+            for p in 0..self.cfg.nodes {
+                sel.clear();
+                for i in 0..n {
+                    if self.partition_of(comb.entry(i).0) == p {
+                        sel.push(i as u32);
+                    }
+                }
+                if !sel.is_empty() {
+                    self.fragments[p].merge_batch(comb, &sel);
+                }
+            }
+        }
+        let per_entry = self.fragments[0].descriptor().fixed_size() as u64 + 32;
+        self.bytes_since_epoch += per_entry * n as u64;
+        comb.clear();
+        n as u64
+    }
+
+    /// Append a batch of holistic elements (the batched counterpart of
+    /// [`Self::append`]): elements stay in record order per fragment, with
+    /// one index probe and one upsert per distinct key
+    /// ([`Partition::append_batch`]). `keys[i]`'s element is
+    /// `elems[i*stride..(i+1)*stride]`. Returns the number of distinct
+    /// keys the batch touched (keys route to exactly one partition, so
+    /// per-fragment counts sum to the global count).
+    pub fn append_batch(&mut self, keys: &[StateKey], elems: &[u8], stride: usize) -> u64 {
+        if keys.is_empty() {
+            return 0;
+        }
+        let mut distinct = 0u64;
+        if self.cfg.nodes == 1 {
+            distinct += self.fragments[0].append_batch(keys, elems, stride);
+        } else {
+            // Split by destination, keeping record order within each.
+            let mut part_keys: Vec<StateKey> = Vec::with_capacity(keys.len());
+            let mut part_elems: Vec<u8> = Vec::with_capacity(elems.len());
+            for p in 0..self.cfg.nodes {
+                part_keys.clear();
+                part_elems.clear();
+                for (i, &key) in keys.iter().enumerate() {
+                    if self.partition_of(key) == p {
+                        part_keys.push(key);
+                        part_elems.extend_from_slice(&elems[i * stride..(i + 1) * stride]);
+                    }
+                }
+                if !part_keys.is_empty() {
+                    distinct += self.fragments[p].append_batch(&part_keys, &part_elems, stride);
+                }
+            }
+        }
+        self.bytes_since_epoch += (stride as u64 + 32) * keys.len() as u64;
+        distinct
     }
 
     /// Read fixed state from the local fragment (diagnostics; consistent
@@ -670,6 +746,85 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn rmw_batch_routes_and_converges_like_per_record_rmw() {
+        let run = |combined: bool| {
+            let (mut sim, mut ssb) = cluster(3);
+            for node in ssb.iter_mut() {
+                if combined {
+                    let mut comb = WriteCombiner::new(CounterCrdt::descriptor(), 64);
+                    for rec in 0..200u64 {
+                        let key = pack_key(1, rec % 20);
+                        assert!(comb.fold(key, |v| CounterCrdt::add(v, 1)));
+                    }
+                    assert_eq!(node.rmw_batch(&mut comb), 20);
+                    assert!(comb.is_empty());
+                } else {
+                    for rec in 0..200u64 {
+                        node.rmw(pack_key(1, rec % 20), |v| CounterCrdt::add(v, 1));
+                    }
+                }
+                node.note_progress(100);
+            }
+            for node in ssb.iter_mut() {
+                node.close_epoch(&mut sim).unwrap();
+            }
+            settle(&mut sim, &mut ssb);
+            ssb.iter().map(|n| n.state_digest()).collect::<Vec<u64>>()
+        };
+        assert_eq!(
+            run(true),
+            run(false),
+            "combined and per-record runs must converge bit-identically"
+        );
+    }
+
+    #[test]
+    fn append_batch_matches_per_record_appends_across_partitions() {
+        use crate::descriptor::appended_descriptor;
+        let build = || {
+            let sim = Sim::new();
+            let fabric = Fabric::new(FabricConfig::default());
+            let nodes = fabric.add_nodes(2);
+            let cfg = SsbConfig {
+                nodes: 2,
+                epoch_bytes: u64::MAX,
+                channel: ChannelConfig {
+                    credits: 8,
+                    buffer_size: 4096,
+                    credit_batch: 1,
+                },
+            };
+            (sim, build_cluster(&fabric, &nodes, appended_descriptor(), cfg))
+        };
+        let stride = 3usize;
+        let keys: Vec<StateKey> = (0..40u64).map(|i| pack_key(1, i % 7)).collect();
+        let elems: Vec<u8> = (0..keys.len() * stride).map(|b| b as u8).collect();
+
+        let (_sim_a, mut a) = build();
+        a[0].append_batch(&keys, &elems, stride);
+        let (_sim_b, mut b) = build();
+        for (i, &k) in keys.iter().enumerate() {
+            b[0].append(k, &elems[i * stride..(i + 1) * stride]);
+        }
+        // Every fragment (primary and remote) must hold byte-identical
+        // chains, and the open-epoch accounting must agree.
+        for p in 0..2 {
+            for &key in &keys {
+                let mut ea = Vec::new();
+                let mut eb = Vec::new();
+                a[0].fragments[p].for_each_element(key, |e| ea.push(e.to_vec()));
+                b[0].fragments[p].for_each_element(key, |e| eb.push(e.to_vec()));
+                assert_eq!(ea, eb, "fragment {p} chain for key {key} diverged");
+            }
+            assert_eq!(
+                a[0].fragments[p].dirty_bytes(),
+                b[0].fragments[p].dirty_bytes()
+            );
+        }
+        assert_eq!(a[0].bytes_since_epoch, b[0].bytes_since_epoch);
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Per-worker write-combining pre-aggregation (the batch-local half of
+//! the Slash thesis: eager partial aggregation, lazy CRDT merge).
+//!
+//! A [`WriteCombiner`] is a small open-addressing hash table, sized to
+//! stay L1-resident, keyed on the packed `(window, key)` state key. A
+//! worker folds every surviving record of a batch into it with the
+//! operator's update function, then flushes the *distinct* partials once
+//! per batch through [`crate::backend::SsbNode::rmw_batch`], which merges
+//! them into the SSB with the descriptor's CRDT merge. N per-record index
+//! probes collapse into one probe per distinct key per batch.
+//!
+//! This regroups updates as `merge(state, fold(batch))` instead of
+//! `fold(state, batch)` — semantics-preserving exactly when the CRDT's
+//! update/merge pair is associative over the regrouping (see
+//! [`crate::descriptor::StateDescriptor::combinable`]; float-summing
+//! CRDTs opt out to keep combiner-on/off runs bit-identical).
+//!
+//! The table memoizes each key's [`crate::hash::hash_key`] with the MSB
+//! forced on as the occupancy marker (a stored hash of 0 means "empty
+//! slot"). The forced bit is harmless downstream: the index derives the
+//! bucket from the *low* bits and its tag already ORs in the same top
+//! bit, so the memoized hash probes identically to the raw one.
+
+use crate::descriptor::StateDescriptor;
+use crate::hash::{hash_key, StateKey};
+
+/// Occupancy marker: stored hashes always carry the MSB, raw zero = empty.
+const OCCUPIED: u64 = 1 << 63;
+
+/// Fill beyond this fraction forces a flush before the next insert, keeping
+/// probe chains short (the table never grows — it is sized once, for L1).
+const MAX_FILL_NUM: usize = 3;
+/// Denominator of the max-fill fraction.
+const MAX_FILL_DEN: usize = 4;
+
+/// A small, fixed-capacity open-addressing map from state key to a
+/// batch-local partial CRDT value. See the module docs for the protocol.
+pub struct WriteCombiner {
+    desc: StateDescriptor,
+    size: usize,
+    mask: usize,
+    /// Memoized `hash_key | OCCUPIED` per slot; 0 = empty.
+    hashes: Vec<u64>,
+    keys: Vec<StateKey>,
+    /// Slot-major value storage, `capacity × size` bytes.
+    values: Vec<u8>,
+    /// Slots in insertion order — flush order is first-touch order, the
+    /// same order the per-record path would first insert each key.
+    order: Vec<u32>,
+    folds: u64,
+    inserts: u64,
+}
+
+impl WriteCombiner {
+    /// Build a combiner with at least `slots` capacity (rounded up to a
+    /// power of two) for fixed-size state described by `desc`.
+    pub fn new(desc: StateDescriptor, slots: usize) -> Self {
+        let cap = slots.max(8).next_power_of_two();
+        let size = desc.fixed_size().max(1);
+        WriteCombiner {
+            desc,
+            size,
+            mask: cap - 1,
+            hashes: vec![0; cap],
+            keys: vec![0; cap],
+            values: vec![0; cap * size],
+            order: Vec::with_capacity(cap),
+            folds: 0,
+            inserts: 0,
+        }
+    }
+
+    /// Number of distinct keys currently held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when no partials are buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Total updates folded since construction (hits + inserts).
+    pub fn folds(&self) -> u64 {
+        self.folds
+    }
+
+    /// Distinct-key insertions since construction (== flushed entries).
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Fold one update into the batch-local partial for `key`. Returns
+    /// `false` — without touching anything — when the table is at its fill
+    /// limit and `key` is absent: the caller must flush and retry.
+    #[inline]
+    pub fn fold(&mut self, key: StateKey, update: impl FnOnce(&mut [u8])) -> bool {
+        let hash = hash_key(key) | OCCUPIED;
+        let mut slot = (hash as usize) & self.mask;
+        loop {
+            let stored = self.hashes[slot];
+            if stored == 0 {
+                if self.order.len() * MAX_FILL_DEN >= (self.mask + 1) * MAX_FILL_NUM {
+                    return false;
+                }
+                self.hashes[slot] = hash;
+                self.keys[slot] = key;
+                let value = &mut self.values[slot * self.size..(slot + 1) * self.size];
+                (self.desc.init)(value);
+                update(value);
+                self.order.push(slot as u32);
+                self.folds += 1;
+                self.inserts += 1;
+                return true;
+            }
+            if stored == hash && self.keys[slot] == key {
+                update(&mut self.values[slot * self.size..(slot + 1) * self.size]);
+                self.folds += 1;
+                return true;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// The `i`-th buffered partial in insertion order: `(key, memoized
+    /// hash, value)`. `i` must be below [`Self::len`]; out-of-range reads
+    /// return the last slot's view of an empty table guard — callers
+    /// iterate `0..len()`.
+    #[inline]
+    pub fn entry(&self, i: usize) -> (StateKey, u64, &[u8]) {
+        let slot = self.order.get(i).copied().unwrap_or_default() as usize;
+        (
+            self.keys[slot],
+            self.hashes[slot],
+            &self.values[slot * self.size..(slot + 1) * self.size],
+        )
+    }
+
+    /// Drop all buffered partials (after a flush). Only occupied slots are
+    /// touched, so clearing a lightly-used table is cheap.
+    pub fn clear(&mut self) {
+        for &slot in &self.order {
+            self.hashes[slot as usize] = 0;
+        }
+        self.order.clear();
+    }
+}
+
+impl std::fmt::Debug for WriteCombiner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteCombiner")
+            .field("capacity", &(self.mask + 1))
+            .field("len", &self.order.len())
+            .field("folds", &self.folds)
+            .field("inserts", &self.inserts)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crdts::CounterCrdt;
+    use crate::hash::pack_key;
+
+    #[test]
+    fn folds_dedupe_within_a_batch() {
+        let mut c = WriteCombiner::new(CounterCrdt::descriptor(), 64);
+        for i in 0..100u64 {
+            assert!(c.fold(pack_key(1, i % 10), |v| CounterCrdt::add(v, 1)));
+        }
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.folds(), 100);
+        assert_eq!(c.inserts(), 10);
+        for i in 0..c.len() {
+            let (_, h, v) = c.entry(i);
+            assert_ne!(h, 0);
+            assert_eq!(CounterCrdt::get(v), 10);
+        }
+    }
+
+    #[test]
+    fn insertion_order_is_first_touch_order() {
+        let mut c = WriteCombiner::new(CounterCrdt::descriptor(), 64);
+        for k in [7u64, 3, 7, 9, 3, 1] {
+            assert!(c.fold(pack_key(0, k), |v| CounterCrdt::add(v, 1)));
+        }
+        let keys: Vec<StateKey> = (0..c.len()).map(|i| c.entry(i).0).collect();
+        assert_eq!(
+            keys,
+            vec![pack_key(0, 7), pack_key(0, 3), pack_key(0, 9), pack_key(0, 1)]
+        );
+    }
+
+    #[test]
+    fn full_table_rejects_new_keys_but_takes_hits() {
+        let mut c = WriteCombiner::new(CounterCrdt::descriptor(), 8);
+        let mut k = 0u64;
+        while c.fold(pack_key(0, k), |v| CounterCrdt::add(v, 1)) {
+            k += 1;
+        }
+        // Capacity 8 at a 3/4 fill limit: six distinct keys fit.
+        assert_eq!(c.len(), 6);
+        // At the fill limit: existing keys still fold, new keys bounce.
+        assert!(c.fold(pack_key(0, 0), |v| CounterCrdt::add(v, 1)));
+        assert!(!c.fold(pack_key(0, k), |v| CounterCrdt::add(v, 1)));
+        let len = c.len();
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
+        // Cleared table accepts the bounced key again.
+        assert!(c.fold(pack_key(0, k), |v| CounterCrdt::add(v, 1)));
+        assert_eq!(c.len(), 1);
+        assert!(len > 0);
+    }
+
+    #[test]
+    fn memoized_hash_carries_the_occupancy_bit() {
+        let mut c = WriteCombiner::new(CounterCrdt::descriptor(), 8);
+        let key = pack_key(4, 2);
+        assert!(c.fold(key, |v| CounterCrdt::add(v, 1)));
+        let (k, h, _) = c.entry(0);
+        assert_eq!(k, key);
+        assert_eq!(h, hash_key(key) | OCCUPIED);
+    }
+}

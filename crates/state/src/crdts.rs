@@ -25,17 +25,20 @@ impl CounterCrdt {
     /// Encoded size.
     pub const SIZE: usize = 8;
 
-    /// Add `n` to the encoded counter.
+    /// Add `n` to the encoded counter. Short buffers (never produced by
+    /// the backend, which sizes values from the descriptor) are left as-is.
     #[inline]
     pub fn add(value: &mut [u8], n: u64) {
-        let v = u64::from_le_bytes(value[..8].try_into().unwrap());
-        value[..8].copy_from_slice(&(v + n).to_le_bytes());
+        let Some(chunk) = value.first_chunk_mut::<8>() else {
+            return;
+        };
+        *chunk = u64::from_le_bytes(*chunk).wrapping_add(n).to_le_bytes();
     }
 
-    /// Read the counter.
+    /// Read the counter (the identity, 0, on a short buffer).
     #[inline]
     pub fn get(value: &[u8]) -> u64 {
-        u64::from_le_bytes(value[..8].try_into().unwrap())
+        value.first_chunk::<8>().map_or(0, |c| u64::from_le_bytes(*c))
     }
 
     fn init(value: &mut [u8]) {
@@ -52,6 +55,7 @@ impl CounterCrdt {
             kind: ValueKind::Fixed { size: Self::SIZE },
             init: Self::init,
             merge: Self::merge,
+            combinable: true,
         }
     }
 }
@@ -64,17 +68,19 @@ impl SumF64Crdt {
     /// Encoded size.
     pub const SIZE: usize = 8;
 
-    /// Add `x` to the encoded sum.
+    /// Add `x` to the encoded sum. Short buffers are left as-is.
     #[inline]
     pub fn add(value: &mut [u8], x: f64) {
-        let v = f64::from_le_bytes(value[..8].try_into().unwrap());
-        value[..8].copy_from_slice(&(v + x).to_le_bytes());
+        let Some(chunk) = value.first_chunk_mut::<8>() else {
+            return;
+        };
+        *chunk = (f64::from_le_bytes(*chunk) + x).to_le_bytes();
     }
 
-    /// Read the sum.
+    /// Read the sum (the identity, 0.0, on a short buffer).
     #[inline]
     pub fn get(value: &[u8]) -> f64 {
-        f64::from_le_bytes(value[..8].try_into().unwrap())
+        value.first_chunk::<8>().map_or(0.0, |c| f64::from_le_bytes(*c))
     }
 
     fn init(value: &mut [u8]) {
@@ -91,6 +97,7 @@ impl SumF64Crdt {
             kind: ValueKind::Fixed { size: Self::SIZE },
             init: Self::init,
             merge: Self::merge,
+            combinable: false,
         }
     }
 }
@@ -104,19 +111,21 @@ impl MaxCrdt {
     /// Encoded size.
     pub const SIZE: usize = 8;
 
-    /// Fold `x` into the encoded maximum.
+    /// Fold `x` into the encoded maximum. Short buffers are left as-is.
     #[inline]
     pub fn update(value: &mut [u8], x: u64) {
-        let v = u64::from_le_bytes(value[..8].try_into().unwrap());
-        if x > v {
-            value[..8].copy_from_slice(&x.to_le_bytes());
+        let Some(chunk) = value.first_chunk_mut::<8>() else {
+            return;
+        };
+        if x > u64::from_le_bytes(*chunk) {
+            *chunk = x.to_le_bytes();
         }
     }
 
-    /// Read the maximum.
+    /// Read the maximum (the identity, 0, on a short buffer).
     #[inline]
     pub fn get(value: &[u8]) -> u64 {
-        u64::from_le_bytes(value[..8].try_into().unwrap())
+        value.first_chunk::<8>().map_or(0, |c| u64::from_le_bytes(*c))
     }
 
     fn init(value: &mut [u8]) {
@@ -133,6 +142,7 @@ impl MaxCrdt {
             kind: ValueKind::Fixed { size: Self::SIZE },
             init: Self::init,
             merge: Self::merge,
+            combinable: true,
         }
     }
 }
@@ -145,19 +155,23 @@ impl MinCrdt {
     /// Encoded size.
     pub const SIZE: usize = 8;
 
-    /// Fold `x` into the encoded minimum.
+    /// Fold `x` into the encoded minimum. Short buffers are left as-is.
     #[inline]
     pub fn update(value: &mut [u8], x: u64) {
-        let v = u64::from_le_bytes(value[..8].try_into().unwrap());
-        if x < v {
-            value[..8].copy_from_slice(&x.to_le_bytes());
+        let Some(chunk) = value.first_chunk_mut::<8>() else {
+            return;
+        };
+        if x < u64::from_le_bytes(*chunk) {
+            *chunk = x.to_le_bytes();
         }
     }
 
-    /// Read the minimum (`u64::MAX` when untouched).
+    /// Read the minimum (`u64::MAX` when untouched or on a short buffer).
     #[inline]
     pub fn get(value: &[u8]) -> u64 {
-        u64::from_le_bytes(value[..8].try_into().unwrap())
+        value
+            .first_chunk::<8>()
+            .map_or(u64::MAX, |c| u64::from_le_bytes(*c))
     }
 
     fn init(value: &mut [u8]) {
@@ -174,6 +188,7 @@ impl MinCrdt {
             kind: ValueKind::Fixed { size: Self::SIZE },
             init: Self::init,
             merge: Self::merge,
+            combinable: true,
         }
     }
 }
@@ -189,21 +204,28 @@ impl MeanCrdt {
     /// Encoded size: sum (8) + count (8).
     pub const SIZE: usize = 16;
 
-    /// Fold one observation into the pair.
+    /// Fold one observation into the pair. Short buffers are left as-is.
     #[inline]
     pub fn observe(value: &mut [u8], x: f64) {
-        let sum = f64::from_le_bytes(value[..8].try_into().unwrap());
-        let cnt = u64::from_le_bytes(value[8..16].try_into().unwrap());
-        value[..8].copy_from_slice(&(sum + x).to_le_bytes());
-        value[8..16].copy_from_slice(&(cnt + 1).to_le_bytes());
+        let Some((sum, rest)) = value.split_first_chunk_mut::<8>() else {
+            return;
+        };
+        let Some(cnt) = rest.first_chunk_mut::<8>() else {
+            return;
+        };
+        *sum = (f64::from_le_bytes(*sum) + x).to_le_bytes();
+        *cnt = u64::from_le_bytes(*cnt).wrapping_add(1).to_le_bytes();
     }
 
-    /// Read `(sum, count)`.
+    /// Read `(sum, count)` (the identity, `(0.0, 0)`, on a short buffer).
     #[inline]
     pub fn get(value: &[u8]) -> (f64, u64) {
+        let Some((sum, rest)) = value.split_first_chunk::<8>() else {
+            return (0.0, 0);
+        };
         (
-            f64::from_le_bytes(value[..8].try_into().unwrap()),
-            u64::from_le_bytes(value[8..16].try_into().unwrap()),
+            f64::from_le_bytes(*sum),
+            rest.first_chunk::<8>().map_or(0, |c| u64::from_le_bytes(*c)),
         )
     }
 
@@ -231,6 +253,7 @@ impl MeanCrdt {
             kind: ValueKind::Fixed { size: Self::SIZE },
             init: Self::init,
             merge: Self::merge,
+            combinable: false,
         }
     }
 }

@@ -91,6 +91,7 @@ impl HllCrdt {
             kind: ValueKind::Fixed { size: Self::SIZE },
             init: Self::init,
             merge: Self::merge,
+            combinable: true,
         }
     }
 }

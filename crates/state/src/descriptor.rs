@@ -28,6 +28,12 @@ pub struct StateDescriptor {
     /// CRDT merge: fold `src` into `dst`. Must be commutative and
     /// associative with `init` as identity (property-tested per CRDT).
     pub merge: fn(dst: &mut [u8], src: &[u8]),
+    /// Whether batch-local pre-aggregation (write combining) preserves
+    /// bit-exact results. True only when regrouping updates through `merge`
+    /// is *exactly* associative — integer and lattice CRDTs. Float-summing
+    /// CRDTs stay per-record: IEEE 754 addition is not associative, and the
+    /// engine promises combiner-on/off runs are bit-identical.
+    pub combinable: bool,
 }
 
 impl StateDescriptor {
@@ -65,6 +71,7 @@ pub fn appended_descriptor() -> StateDescriptor {
         kind: ValueKind::Appended,
         init: noop_init,
         merge: noop_merge,
+        combinable: false,
     }
 }
 
@@ -78,6 +85,7 @@ mod tests {
             kind: ValueKind::Fixed { size: 8 },
             init: noop_init,
             merge: noop_merge,
+            combinable: true,
         };
         assert_eq!(d.fixed_size(), 8);
         assert!(!d.is_appended());

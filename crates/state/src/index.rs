@@ -111,6 +111,28 @@ impl HashIndex {
         }
     }
 
+    /// Resolve a batch of pre-hashed probes in one pass. Probes are walked
+    /// in ascending root-bucket order so a batch touches the bucket array
+    /// near-sequentially instead of hopping per record; `out[i]` receives
+    /// the address found for `hashes[i]` (or `None`). One slice-based
+    /// `verify(probe_index, addr)` closure serves the whole batch, instead
+    /// of one capture-by-clone closure per record.
+    pub fn find_batch(
+        &self,
+        hashes: &[u64],
+        out: &mut Vec<Option<u64>>,
+        mut verify: impl FnMut(usize, u64) -> bool,
+    ) {
+        out.clear();
+        out.resize(hashes.len(), None);
+        let mut order: Vec<u32> = (0..hashes.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| hashes[i as usize] & self.mask);
+        for i in order {
+            let i = i as usize;
+            out[i] = self.find(hashes[i], |addr| verify(i, addr));
+        }
+    }
+
     /// Insert or update: if a slot for this key exists (same tag and
     /// `verify` accepts its current address), overwrite it with `addr` and
     /// return the previous address; otherwise insert a new slot.
@@ -346,6 +368,17 @@ mod tests {
             self.keys.insert(addr, key);
             addr
         }
+        /// Verifier for `key`: "does the entry at `addr` hold `key`?" —
+        /// the closure the partition builds against the real LSS.
+        fn verify(&self, key: u64) -> impl FnMut(u64) -> bool + 'static {
+            let keys = self.keys.clone();
+            move |addr| keys[&addr] == key
+        }
+        /// Growth rehash: read the key back from the log and rehash it.
+        fn rehash(&self) -> impl Fn(u64) -> u64 + 'static {
+            let keys = self.keys.clone();
+            move |addr| hash_u64(keys[&addr])
+        }
     }
 
     #[test]
@@ -354,26 +387,22 @@ mod tests {
         let mut idx = HashIndex::new();
         let a1 = log.put(101);
         let a2 = log.put(202);
-        let lk = |log: &FakeLog, key: u64| {
-            let keys = log.keys.clone();
-            move |addr: u64| keys[&addr] == key
-        };
 
         assert_eq!(
-            idx.upsert(hash_u64(101), a1, lk(&log, 101), |_| unreachable!()),
+            idx.upsert(hash_u64(101), a1, log.verify(101), |_| unreachable!()),
             None
         );
         assert_eq!(
-            idx.upsert(hash_u64(202), a2, lk(&log, 202), |_| unreachable!()),
+            idx.upsert(hash_u64(202), a2, log.verify(202), |_| unreachable!()),
             None
         );
         assert_eq!(idx.len(), 2);
-        assert_eq!(idx.find(hash_u64(101), lk(&log, 101)), Some(a1));
-        assert_eq!(idx.find(hash_u64(202), lk(&log, 202)), Some(a2));
-        assert_eq!(idx.find(hash_u64(303), lk(&log, 303)), None);
+        assert_eq!(idx.find(hash_u64(101), log.verify(101)), Some(a1));
+        assert_eq!(idx.find(hash_u64(202), log.verify(202)), Some(a2));
+        assert_eq!(idx.find(hash_u64(303), log.verify(303)), None);
 
-        assert_eq!(idx.remove(hash_u64(101), lk(&log, 101)), Some(a1));
-        assert_eq!(idx.find(hash_u64(101), lk(&log, 101)), None);
+        assert_eq!(idx.remove(hash_u64(101), log.verify(101)), Some(a1));
+        assert_eq!(idx.find(hash_u64(101), log.verify(101)), None);
         assert_eq!(idx.len(), 1);
     }
 
@@ -383,14 +412,10 @@ mod tests {
         let mut idx = HashIndex::new();
         let a1 = log.put(7);
         let a2 = log.put(7); // same key relocated (copy-on-update)
-        let verify = |want: u64, log: &FakeLog| {
-            let keys = log.keys.clone();
-            move |addr: u64| keys[&addr] == want
-        };
-        assert_eq!(idx.upsert(hash_u64(7), a1, verify(7, &log), |_| 0), None);
-        assert_eq!(idx.upsert(hash_u64(7), a2, verify(7, &log), |_| 0), Some(a1));
+        assert_eq!(idx.upsert(hash_u64(7), a1, log.verify(7), |_| 0), None);
+        assert_eq!(idx.upsert(hash_u64(7), a2, log.verify(7), |_| 0), Some(a1));
         assert_eq!(idx.len(), 1, "update must not duplicate");
-        assert_eq!(idx.find(hash_u64(7), verify(7, &log)), Some(a2));
+        assert_eq!(idx.find(hash_u64(7), log.verify(7)), Some(a2));
     }
 
     #[test]
@@ -402,20 +427,12 @@ mod tests {
         for k in 0..n {
             let a = log.put(k);
             addr_of.insert(k, a);
-            let keys = log.keys.clone();
-            let keys2 = log.keys.clone();
-            idx.upsert(
-                hash_u64(k),
-                a,
-                move |addr| keys[&addr] == k,
-                move |addr| hash_u64(keys2[&addr]),
-            );
+            idx.upsert(hash_u64(k), a, log.verify(k), log.rehash());
         }
         assert_eq!(idx.len(), n as usize);
         for k in 0..n {
-            let keys = log.keys.clone();
             assert_eq!(
-                idx.find(hash_u64(k), move |addr| keys[&addr] == k),
+                idx.find(hash_u64(k), log.verify(k)),
                 Some(addr_of[&k]),
                 "key {k} lost"
             );
@@ -428,8 +445,7 @@ mod tests {
         let mut idx = HashIndex::new();
         for k in 0..100u64 {
             let a = log.put(k);
-            let keys = log.keys.clone();
-            idx.upsert(hash_u64(k), a, move |addr| keys[&addr] == k, |_| 0);
+            idx.upsert(hash_u64(k), a, log.verify(k), |_| 0);
         }
         // Addresses are 0,8,..; invalidate everything below 400.
         let removed = idx.retain(|addr| addr >= 400);
@@ -449,19 +465,11 @@ mod tests {
         let mut idx = HashIndex::with_capacity(4);
         for k in 0..500u64 {
             let a = log.put(k);
-            let keys = log.keys.clone();
-            let keys2 = log.keys.clone();
-            idx.upsert(
-                hash_u64(k),
-                a,
-                move |addr| keys[&addr] == k,
-                move |addr| hash_u64(keys2[&addr]),
-            );
+            idx.upsert(hash_u64(k), a, log.verify(k), log.rehash());
         }
         idx.clear();
         assert!(idx.is_empty());
-        let keys = log.keys.clone();
-        assert_eq!(idx.find(hash_u64(3), move |addr| keys[&addr] == 3), None);
+        assert_eq!(idx.find(hash_u64(3), log.verify(3)), None);
     }
 
     #[test]
@@ -474,20 +482,54 @@ mod tests {
         let keys: Vec<u64> = (0..64).collect();
         for &k in &keys {
             let a = log.put(k);
-            let kl = log.keys.clone();
-            let kl2 = log.keys.clone();
-            idx.upsert(
-                hash_u64(k),
-                a,
-                move |addr| kl[&addr] == k,
-                move |addr| hash_u64(kl2[&addr]),
-            );
+            idx.upsert(hash_u64(k), a, log.verify(k), log.rehash());
         }
         // Every key resolves to an address holding exactly that key.
         for &k in &keys {
-            let kl = log.keys.clone();
-            let addr = idx.find(hash_u64(k), move |addr| kl[&addr] == k).unwrap();
+            let addr = idx.find(hash_u64(k), log.verify(k)).unwrap();
             assert_eq!(log.keys[&addr], k);
         }
+    }
+
+    #[test]
+    fn batched_probes_match_single_probes_under_collisions() {
+        // A deliberately tiny index: 2 root buckets for 96 keys forces
+        // deep overflow chains and plenty of same-bucket (and occasional
+        // same-tag) collisions — exactly what the batched walk must
+        // disambiguate through the shared verify closure.
+        let mut log = FakeLog::new();
+        let mut idx = HashIndex::with_capacity(2);
+        let present: Vec<u64> = (0..96).collect();
+        for &k in &present {
+            let a = log.put(k);
+            idx.upsert(hash_u64(k), a, log.verify(k), log.rehash());
+        }
+        assert!(!idx.overflow.is_empty(), "test must exercise overflow buckets");
+
+        // Probe a mix of present and absent keys, unsorted.
+        let probe_keys: Vec<u64> = (0..128).rev().collect();
+        let hashes: Vec<u64> = probe_keys.iter().map(|&k| hash_u64(k)).collect();
+        let mut out = Vec::new();
+        let keys = log.keys.clone();
+        idx.find_batch(&hashes, &mut out, |i, addr| keys[&addr] == probe_keys[i]);
+
+        assert_eq!(out.len(), probe_keys.len());
+        for (i, &k) in probe_keys.iter().enumerate() {
+            assert_eq!(
+                out[i],
+                idx.find(hash_u64(k), log.verify(k)),
+                "batched probe for key {k} diverged from the single probe"
+            );
+            assert_eq!(out[i].is_some(), k < 96);
+        }
+
+        // The memoized-hash contract: probing with the combiner's
+        // MSB-forced hash resolves identically (bucket uses low bits, the
+        // tag already forces the same top bit).
+        let forced: Vec<u64> = hashes.iter().map(|h| h | (1 << 63)).collect();
+        let mut out_forced = Vec::new();
+        let keys = log.keys.clone();
+        idx.find_batch(&forced, &mut out_forced, |i, addr| keys[&addr] == probe_keys[i]);
+        assert_eq!(out, out_forced);
     }
 }

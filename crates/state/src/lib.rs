@@ -29,6 +29,7 @@
 
 pub mod backend;
 pub mod coherence;
+pub mod combiner;
 pub mod crdts;
 pub mod crdts_hll;
 pub mod delta;
@@ -43,6 +44,7 @@ pub mod vclock;
 
 pub use backend::{SsbConfig, SsbNode, TriggeredValue};
 pub use coherence::{DeltaReceiver, DeltaSender, RetainedEpoch, StateError};
+pub use combiner::WriteCombiner;
 pub use delta::DeltaDecodeError;
 pub use crdts::{CounterCrdt, MaxCrdt, MeanCrdt, MinCrdt, SumF64Crdt};
 pub use crdts_hll::HllCrdt;

@@ -5,6 +5,7 @@
 //! windows trigger) and a *fragment* of every remote partition (where its
 //! own eager updates accumulate between epochs).
 
+use crate::combiner::WriteCombiner;
 use crate::descriptor::{StateDescriptor, ValueKind};
 use crate::entry::{EntryHeader, EntryKind, NO_PREV};
 use crate::hash::{hash_key, StateKey};
@@ -134,14 +135,131 @@ impl Partition {
     }
 
     fn insert_fresh(&mut self, key: StateKey, kind: EntryKind, value: &[u8]) {
+        self.insert_fresh_hashed(key, hash_key(key), kind, value);
+    }
+
+    fn insert_fresh_hashed(&mut self, key: StateKey, hash: u64, kind: EntryKind, value: &[u8]) {
         let addr = self.log.append(key, NO_PREV, kind, value);
         let log = &self.log;
         self.index.upsert(
-            hash_key(key),
+            hash,
             addr,
             |a| log.key_at(a) == key,
             |a| hash_key(log.key_at(a)),
         );
+    }
+
+    /// Merge a batch of *distinct-key* partial values — the entries of a
+    /// [`WriteCombiner`] selected by `sel` — into fixed-size state in one
+    /// pass: a single batched index probe resolves every key, hits merge in
+    /// place with the descriptor's CRDT merge, and misses insert the
+    /// partial directly (merge with the zero value is the identity). The
+    /// combiner's memoized hashes are reused for both probe and insert, so
+    /// `hash_key` runs once per distinct key per batch, not once per
+    /// record.
+    pub fn merge_batch(&mut self, comb: &WriteCombiner, sel: &[u32]) {
+        debug_assert!(
+            matches!(self.desc.kind, ValueKind::Fixed { .. }),
+            "merge_batch on appended state"
+        );
+        let mut hashes: Vec<u64> = Vec::with_capacity(sel.len());
+        for &i in sel {
+            hashes.push(comb.entry(i as usize).1);
+        }
+        let mut found: Vec<Option<u64>> = Vec::new();
+        let log = &self.log;
+        self.index.find_batch(&hashes, &mut found, |j, addr| {
+            log.key_at(addr) == comb.entry(sel[j] as usize).0
+        });
+        let merge = self.desc.merge;
+        for (j, &i) in sel.iter().enumerate() {
+            let (key, hash, partial) = comb.entry(i as usize);
+            match found[j] {
+                Some(addr) => {
+                    debug_assert!(
+                        addr >= self.epoch_begin,
+                        "index points into the invalidated region"
+                    );
+                    merge(self.log.value_mut(addr), partial);
+                    self.stats.rmw_hits += 1;
+                }
+                None => {
+                    self.insert_fresh_hashed(key, hash, EntryKind::Fixed, partial);
+                    self.stats.rmw_inserts += 1;
+                }
+            }
+        }
+    }
+
+    /// Append a batch of holistic elements in record order with one index
+    /// probe and one upsert per *distinct* key. `keys[i]`'s element is
+    /// `elems[i*stride..(i+1)*stride]`. Produces byte-identical log
+    /// content, chain structure, and index population order to per-record
+    /// [`Self::append`]: heads are memoized per batch, entries append in
+    /// arrival order, and distinct keys enter the index in first-occurrence
+    /// order. Returns the number of distinct keys the batch touched.
+    pub fn append_batch(&mut self, keys: &[StateKey], elems: &[u8], stride: usize) -> u64 {
+        debug_assert!(self.desc.is_appended(), "append_batch on fixed state");
+        debug_assert_eq!(keys.len() * stride, elems.len());
+        // Distinct keys in first-occurrence order, with memoized hashes.
+        // Deduped through a throwaway open-addressing table over the
+        // index's own `hash_key` — the hash is needed for the probe below
+        // anyway, and a `std` `HashMap` would rehash every key with
+        // SipHash per batch.
+        let cap = (keys.len() * 2).next_power_of_two().max(8);
+        let mask = cap - 1;
+        let mut table: Vec<u32> = vec![u32::MAX; cap];
+        let mut distinct: Vec<(StateKey, u64)> = Vec::new();
+        let mut which: Vec<u32> = Vec::with_capacity(keys.len());
+        for &key in keys {
+            let h = hash_key(key);
+            let mut pos = (h as usize) & mask;
+            let d = loop {
+                let slot = table[pos];
+                if slot == u32::MAX {
+                    let d = distinct.len() as u32;
+                    distinct.push((key, h));
+                    table[pos] = d;
+                    break d;
+                }
+                if distinct[slot as usize].0 == key {
+                    break slot;
+                }
+                pos = (pos + 1) & mask;
+            };
+            which.push(d);
+        }
+        // One batched probe resolves every distinct key's current head.
+        let hashes: Vec<u64> = distinct.iter().map(|&(_, h)| h).collect();
+        let mut heads: Vec<Option<u64>> = Vec::new();
+        let log = &self.log;
+        self.index.find_batch(&hashes, &mut heads, |j, addr| {
+            log.key_at(addr) == distinct[j].0
+        });
+        // Append in record order, chaining through the memoized heads.
+        for (i, &key) in keys.iter().enumerate() {
+            let d = which[i] as usize;
+            let prev = heads[d].unwrap_or(NO_PREV);
+            let addr = self
+                .log
+                .append(key, prev, EntryKind::Appended, &elems[i * stride..(i + 1) * stride]);
+            heads[d] = Some(addr);
+            self.stats.appends += 1;
+        }
+        // One upsert per distinct key, in first-occurrence order — the
+        // same index insertion sequence the per-record path produces.
+        for (d, &(key, hash)) in distinct.iter().enumerate() {
+            if let Some(addr) = heads[d] {
+                let log = &self.log;
+                self.index.upsert(
+                    hash,
+                    addr,
+                    |a| log.key_at(a) == key,
+                    |a| hash_key(log.key_at(a)),
+                );
+            }
+        }
+        distinct.len() as u64
     }
 
     /// Merge a value into fixed-size state with the descriptor's CRDT
@@ -393,6 +511,74 @@ mod tests {
         assert_eq!(p.element_count(1), 0);
         assert_eq!(p.element_count(2), 1);
         assert_eq!(p.key_count(), 1);
+    }
+
+    #[test]
+    fn merge_batch_is_bit_identical_to_per_record_rmw() {
+        let mut batched = counter_part();
+        let mut serial = counter_part();
+        let records: Vec<u128> = (0..400u128).map(|i| i * i % 37).collect();
+
+        // Per-record path.
+        for &k in &records {
+            serial.rmw(k, |v| CounterCrdt::add(v, 2));
+        }
+        // Combined path: fold the whole "batch", flush once.
+        let mut comb = WriteCombiner::new(CounterCrdt::descriptor(), 64);
+        for &k in &records {
+            assert!(comb.fold(k, |v| CounterCrdt::add(v, 2)));
+        }
+        let sel: Vec<u32> = (0..comb.len() as u32).collect();
+        batched.merge_batch(&comb, &sel);
+
+        assert_eq!(batched.key_count(), serial.key_count());
+        for &k in &records {
+            assert_eq!(batched.get(k), serial.get(k), "key {k}");
+        }
+        // A second flush must hit (in-place merge), not duplicate.
+        let mut comb2 = WriteCombiner::new(CounterCrdt::descriptor(), 64);
+        for &k in &records {
+            assert!(comb2.fold(k, |v| CounterCrdt::add(v, 1)));
+        }
+        batched.merge_batch(&comb2, &sel);
+        for &k in &records {
+            serial.rmw(k, |v| CounterCrdt::add(v, 1));
+        }
+        for &k in &records {
+            assert_eq!(batched.get(k), serial.get(k));
+        }
+        assert_eq!(batched.stats.rmw_inserts, serial.stats.rmw_inserts);
+    }
+
+    #[test]
+    fn append_batch_matches_per_record_append() {
+        let mut batched = Partition::with_segment_size(0, appended_descriptor(), 512);
+        let mut serial = Partition::with_segment_size(0, appended_descriptor(), 512);
+        let keys: Vec<StateKey> = vec![9, 8, 9, 9, 7, 8, 9];
+        let stride = 4usize;
+        let mut elems = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            let e = [(i as u8), k as u8, 0xAB, 0xCD];
+            elems.extend_from_slice(&e);
+            serial.append(k, &e);
+        }
+        batched.append_batch(&keys, &elems, stride);
+
+        assert_eq!(batched.key_count(), serial.key_count());
+        assert_eq!(batched.stats.appends, serial.stats.appends);
+        for k in [7u128, 8, 9] {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            batched.for_each_element(k, |e| a.push(e.to_vec()));
+            serial.for_each_element(k, |e| b.push(e.to_vec()));
+            assert_eq!(a, b, "chain for key {k} diverged");
+        }
+        // Deltas ship identically too.
+        let mut da = Vec::new();
+        let mut db = Vec::new();
+        batched.close_epoch(|h, v| da.push((h.key, v.to_vec())));
+        serial.close_epoch(|h, v| db.push((h.key, v.to_vec())));
+        assert_eq!(da, db);
     }
 
     #[test]

@@ -99,6 +99,20 @@ pub fn ysb_zipf(cfg: &GenConfig, z: f64) -> Workload {
     ysb_with(cfg, move || KeyDist::Zipf(Zipf::new(YSB_KEYS, z)))
 }
 
+/// Campaign domain of the classic YSB setup: ~100 active campaigns.
+pub const YSB_HOT_KEYS: u64 = 100;
+
+/// YSB with the benchmark's classic ~100-campaign domain (`ysb` above
+/// follows the paper's 10 M-wide uniform range). Each batch's updates
+/// collapse onto a handful of distinct `(window, campaign)` keys, making
+/// this the write combiner's best case — `hotpath-bench`'s headline row
+/// and the CI perf gate's subject.
+pub fn ysb_hot(cfg: &GenConfig) -> Workload {
+    let mut w = ysb_with(cfg, || KeyDist::Uniform(Uniform::new(YSB_HOT_KEYS)));
+    w.name = "ysb_hot";
+    w
+}
+
 // ---------------------------------------------------------------------
 // NEXMark.
 // ---------------------------------------------------------------------
@@ -333,6 +347,19 @@ mod tests {
         // Spans about 3 windows.
         assert!(last <= 3 * YSB_WINDOW_MS + 1);
         assert!(last > 2 * YSB_WINDOW_MS);
+    }
+
+    #[test]
+    fn ysb_hot_collapses_the_key_domain() {
+        let w = ysb_hot(&small());
+        assert_eq!(w.name, "ysb_hot");
+        let mut keys = std::collections::HashSet::new();
+        YSB_SCHEMA.for_each(&w.partitions[0], |r| {
+            keys.insert(YSB_SCHEMA.key(r));
+        });
+        assert!(keys.len() <= YSB_HOT_KEYS as usize);
+        // 1000 draws over 100 campaigns touch most of them.
+        assert!(keys.len() > 50, "distinct campaigns: {}", keys.len());
     }
 
     #[test]

@@ -5,27 +5,27 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/9] build (release, all targets)"
+echo "==> [1/10] build (release, all targets)"
 cargo build --release --workspace
 
-echo "==> [2/9] tests (unit + integration + fixtures + mutations)"
+echo "==> [2/10] tests (unit + integration + fixtures + mutations)"
 cargo test --workspace -q
 
-echo "==> [3/9] clippy (all targets, warnings are errors)"
+echo "==> [3/10] clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/9] slash-lint (custom static analysis, burn-down allowlist)"
+echo "==> [4/10] slash-lint (custom static analysis, burn-down allowlist)"
 cargo run --release -p slash-verify --bin slash-lint
 
-echo "==> [5/9] slash-race (schedule exploration smoke: 128 tie-breaks)"
+echo "==> [5/10] slash-race (schedule exploration smoke: 128 tie-breaks)"
 cargo run --release -p slash-verify --bin slash-race -- --seeds 128
 
-echo "==> [6/9] flight recorder (planted bug must be caught and dumped)"
+echo "==> [6/10] flight recorder (planted bug must be caught and dumped)"
 cargo run --release -p slash-verify --bin slash-race -- --mutation ignore-credit-window >/dev/null
 cargo run --release -p slash-verify --bin slash-race -- --mutation regress-vclock >/dev/null
 echo "flight recorder: both planted bugs caught with dumps"
 
-echo "==> [7/9] traced example (deterministic trace, validated JSON)"
+echo "==> [7/10] traced example (deterministic trace, validated JSON)"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT
 SLASH_TRACE_OUT="$trace_dir/a.json" cargo run --release --example ysb_pipeline >/dev/null
@@ -34,14 +34,20 @@ cmp "$trace_dir/a.json" "$trace_dir/b.json"
 echo "trace: two same-seed runs byte-identical"
 cargo run --release -p slash-verify --bin slash-trace-check -- "$trace_dir/a.json"
 
-echo "==> [8/9] chaos suite (every fault type recovers to the no-fault state)"
+echo "==> [8/10] chaos suite (every fault type recovers to the no-fault state)"
 cargo run --release --bin chaos-suite
 
-echo "==> [9/9] recovery golden trace (failover example, byte-identical + validated)"
+echo "==> [9/10] recovery golden trace (failover example, byte-identical + validated)"
 SLASH_TRACE_OUT="$trace_dir/f_a.json" cargo run --release --example failover >/dev/null
 SLASH_TRACE_OUT="$trace_dir/f_b.json" cargo run --release --example failover >/dev/null
 cmp "$trace_dir/f_a.json" "$trace_dir/f_b.json"
 echo "recovery trace: two same-seed chaos runs byte-identical"
 cargo run --release -p slash-verify --bin slash-trace-check -- "$trace_dir/f_a.json"
+
+echo "==> [10/10] hot-path perf smoke (wall-clock, combiner on vs off)"
+# Writes BENCH_hotpath.json and exits non-zero if the combiner-on hot
+# loop is below 1.3x the per-record path on ysb_hot, or if any
+# workload's on/off state digests diverge.
+cargo run --release -p slash-bench --bin hotpath-bench -- --quick --out BENCH_hotpath.json
 
 echo "ci: all gates green"
