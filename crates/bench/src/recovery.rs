@@ -57,28 +57,49 @@ pub struct RecoveryPoint {
     pub completion: SimTime,
 }
 
-fn run_config(scale: Scale) -> (RunConfig, GenConfig) {
-    let mut cfg = RunConfig::new(NODES, 1);
+/// Cluster shape of one run: node count, workers per node, checkpoint
+/// copies. The compound-fault rows vary these; each shape gets its own
+/// no-fault baseline for the exactness comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Shape {
+    nodes: usize,
+    workers_per_node: usize,
+    ckpt_copies: usize,
+}
+
+const BASE_SHAPE: Shape = Shape {
+    nodes: NODES,
+    workers_per_node: 1,
+    ckpt_copies: 2,
+};
+
+fn run_config(scale: Scale, shape: Shape) -> (RunConfig, GenConfig) {
+    let mut cfg = RunConfig::new(shape.nodes, shape.workers_per_node);
     cfg.collect_results = true;
     cfg.epoch_bytes = 16 * 1024;
     // One partition per worker; keep enough records that a mid-run fault
     // lands well before completion even at tiny scales.
-    let gen = GenConfig::new(NODES, scale.records.max(8_000));
+    let gen = GenConfig::new(
+        shape.nodes * shape.workers_per_node,
+        scale.records.max(8_000),
+    );
     (cfg, gen)
 }
 
 fn chaos_run(
     scale: Scale,
+    shape: Shape,
     plan: &FaultPlan,
     detect_timeout: SimTime,
 ) -> (RunReport, RecoveryReport) {
-    let (cfg, gen) = run_config(scale);
+    let (cfg, gen) = run_config(scale, shape);
     let w = ysb(&gen);
     let chaos = ChaosConfig {
         plan: plan.clone(),
         ft: FtConfig {
             detect_timeout,
             ckpt_max_chunk: 16 * 1024,
+            ckpt_copies: shape.ckpt_copies,
         },
     };
     SlashCluster::run_chaos(w.plan, w.partitions, cfg, &chaos, Obs::disabled())
@@ -89,15 +110,21 @@ fn describe(rec: &RecoveryReport) -> String {
         return "-".to_string();
     }
     let mut promoted = 0usize;
+    let mut restarts = 0u32;
     let mut channels = 0usize;
     for e in &rec.events {
         match e.action {
-            RecoveryAction::Promoted { .. } => promoted += 1,
+            RecoveryAction::Promoted { restarts: r, .. } => {
+                promoted += 1;
+                restarts += r;
+            }
             RecoveryAction::ChannelsReset { channels: c } => channels += c,
         }
     }
     let mut parts = Vec::new();
-    if promoted > 0 {
+    if promoted > 0 && restarts > 0 {
+        parts.push(format!("promote x{promoted} ({restarts} restart)"));
+    } else if promoted > 0 {
         parts.push(format!("promote x{promoted}"));
     }
     if channels > 0 {
@@ -145,7 +172,7 @@ pub fn run(scale: Scale) -> Vec<RecoveryPoint> {
     // in detection-timeout slices and reports completion rounded up to
     // one, so probe with a small timeout to keep the overshoot small.
     let probe_timeout = SimTime::from_micros(200);
-    let (probe_report, _) = chaos_run(scale, &FaultPlan::new(), probe_timeout);
+    let (probe_report, _) = chaos_run(scale, BASE_SHAPE, &FaultPlan::new(), probe_timeout);
     let span = probe_report.completion_time;
     let inject_at = SimTime::from_nanos(span.as_nanos() * 2 / 5);
     let detect_timeout = SimTime::from_nanos((span.as_nanos() / 8).max(50_000));
@@ -155,7 +182,7 @@ pub fn run(scale: Scale) -> Vec<RecoveryPoint> {
 
     // Baseline pass 2 with the final detection timeout: the exactness
     // reference every fault run is compared against.
-    let (base_report, base_rec) = chaos_run(scale, &FaultPlan::new(), detect_timeout);
+    let (base_report, base_rec) = chaos_run(scale, BASE_SHAPE, &FaultPlan::new(), detect_timeout);
 
     let mut points = vec![point(
         "none (baseline)",
@@ -182,9 +209,83 @@ pub fn run(scale: Scale) -> Vec<RecoveryPoint> {
         ),
     ];
     for (fault, plan) in plans {
-        let (report, rec) = chaos_run(scale, &plan, detect_timeout);
+        let (report, rec) = chaos_run(scale, BASE_SHAPE, &plan, detect_timeout);
         points.push(point(fault, inject_at, &report, &rec, &base_report, &base_rec));
     }
+
+    // ---- Compound faults (cascading failures). Shapes that differ from
+    // the base run get their own no-fault baseline for exactness.
+
+    // Two nodes die on the same virtual nanosecond; four nodes so two
+    // survivors remain to host both promotions.
+    let shape4 = Shape {
+        nodes: 4,
+        ..BASE_SHAPE
+    };
+    let (b4_report, b4_rec) = chaos_run(scale, shape4, &FaultPlan::new(), detect_timeout);
+    let conc = FaultPlan::new().concurrent(inject_at, &[1, 2]);
+    let (report, rec) = chaos_run(scale, shape4, &conc, detect_timeout);
+    points.push(point("concurrent-crash", inject_at, &report, &rec, &b4_report, &b4_rec));
+
+    // The victim's designated ring buddy dies first. A single checkpoint
+    // copy makes the buddy's death destroy the victim's only live copy,
+    // forcing the shipper to re-select a buddy before the victim crashes.
+    let shape1c = Shape {
+        ckpt_copies: 1,
+        ..BASE_SHAPE
+    };
+    let buddy_at = SimTime::from_nanos(span.as_nanos() / 5);
+    let owner_at = SimTime::from_nanos(span.as_nanos() * 7 / 10);
+    let buddy = FaultPlan::new().crash(buddy_at, 2).crash(owner_at, VICTIM);
+    let (report, rec) = chaos_run(scale, shape1c, &buddy, detect_timeout);
+    points.push(point("buddy-dead", buddy_at, &report, &rec, &base_report, &base_rec));
+
+    // A crash aimed into the first crash's recovery window: probe the
+    // single-crash run for its detection→commit span, then kill the
+    // in-flight promotion's host at the midpoint (virtual-time precision).
+    let (_, probe_rec) = chaos_run(
+        scale,
+        BASE_SHAPE,
+        &FaultPlan::new().crash(inject_at, VICTIM),
+        detect_timeout,
+    );
+    if let Some((host, mid)) = probe_rec.events.iter().find_map(|e| match e.action {
+        RecoveryAction::Promoted { host, .. } => Some((
+            host,
+            SimTime::from_nanos((e.detected_at.as_nanos() + e.recovered_at.as_nanos()) / 2),
+        )),
+        _ => None,
+    }) {
+        let dr = FaultPlan::new().during_recovery(inject_at, VICTIM, mid - inject_at, host);
+        let (report, rec) = chaos_run(scale, BASE_SHAPE, &dr, detect_timeout);
+        points.push(point(
+            "crash-during-recovery",
+            inject_at,
+            &report,
+            &rec,
+            &base_report,
+            &base_rec,
+        ));
+    }
+
+    // A crash with two worker partitions per node: promotion resurrects
+    // both of the dead node's partitions.
+    let shape_w2 = Shape {
+        workers_per_node: 2,
+        ..BASE_SHAPE
+    };
+    let (bw2_report, bw2_rec) = chaos_run(scale, shape_w2, &FaultPlan::new(), detect_timeout);
+    let crash = FaultPlan::new().crash(inject_at, VICTIM);
+    let (report, rec) = chaos_run(scale, shape_w2, &crash, detect_timeout);
+    points.push(point(
+        "multi-worker-crash",
+        inject_at,
+        &report,
+        &rec,
+        &bw2_report,
+        &bw2_rec,
+    ));
+
     points
 }
 
@@ -240,7 +341,11 @@ mod tests {
     #[test]
     fn every_fault_type_recovers_exactly() {
         let points = run(Scale::tiny());
-        assert_eq!(points.len(), 5, "baseline + four fault types");
+        assert_eq!(
+            points.len(),
+            9,
+            "baseline + four fault types + four compound faults"
+        );
         for p in &points {
             assert!(p.exact, "{} diverged from the no-fault run", p.fault);
             assert_eq!(p.records_lost, 0, "{} lost records", p.fault);
@@ -249,6 +354,15 @@ mod tests {
         assert!(
             crash.time_to_recover.is_some_and(|t| t > SimTime::ZERO),
             "crash must be detected and repaired"
+        );
+        let during = points
+            .iter()
+            .find(|p| p.fault == "crash-during-recovery")
+            .expect("probe promotion must exist so the aimed crash runs");
+        assert!(
+            during.action.contains("restart"),
+            "mid-promotion crash must restart the promotion: {}",
+            during.action
         );
     }
 }

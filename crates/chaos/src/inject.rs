@@ -25,6 +25,13 @@ impl Injector {
     /// Node indices in the plan index into `nodes` (the fabric nodes of
     /// the run, in cluster order); plan events naming out-of-range nodes
     /// are ignored, so one plan can be reused across cluster sizes.
+    ///
+    /// Events sharing a timestamp (e.g. [`FaultPlan::concurrent`]) are
+    /// scheduled in plan order and fire deterministically within the
+    /// same virtual instant — no protocol code can observe an
+    /// intermediate state where only one of two simultaneous crashes has
+    /// landed, because the fabric hooks run before any event scheduled
+    /// after them at the same timestamp sees the fabric.
     pub fn arm(sim: &mut Sim, fabric: &Fabric, nodes: &[NodeId], obs: &Obs, plan: &FaultPlan) {
         for ev in plan.events() {
             let Some(&node) = nodes.get(ev.kind.node()) else {
@@ -121,6 +128,25 @@ mod tests {
         assert!(!fabric.node_alive(nodes[0]), "crashes are permanent");
         // Fault trace events were emitted.
         assert!(obs.event_count() >= 3);
+    }
+
+    #[test]
+    fn concurrent_crashes_land_in_the_same_instant() {
+        let mut sim = Sim::new();
+        let fabric = Fabric::new(FabricConfig::default());
+        let nodes = fabric.add_nodes(4);
+        let obs = Obs::disabled();
+        let at = SimTime::from_millis(1);
+        let plan = FaultPlan::new().concurrent(at, &[1, 2]);
+        Injector::arm(&mut sim, &fabric, &nodes, &obs, &plan);
+
+        sim.run_until(at - SimTime::from_nanos(1));
+        assert!(fabric.node_alive(nodes[1]) && fabric.node_alive(nodes[2]));
+
+        sim.run_until(at);
+        assert!(!fabric.node_alive(nodes[1]), "first victim dead");
+        assert!(!fabric.node_alive(nodes[2]), "second victim dead");
+        assert!(fabric.node_alive(nodes[0]) && fabric.node_alive(nodes[3]));
     }
 
     #[test]

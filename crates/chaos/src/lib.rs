@@ -38,6 +38,12 @@ pub struct FtConfig {
     pub detect_timeout: SimTime,
     /// Chunk size for checkpoint snapshots (delta-format chunks).
     pub ckpt_max_chunk: usize,
+    /// Durable checkpoint copies to maintain per node, each on a distinct
+    /// buddy port where the cluster allows it. Recovery survives the loss
+    /// of all but one copy holder at a given boundary; losing every real
+    /// copy falls back to the epoch-0 seed copy (re-read the source from
+    /// scratch), which is always valid.
+    pub ckpt_copies: usize,
 }
 
 impl Default for FtConfig {
@@ -45,6 +51,7 @@ impl Default for FtConfig {
         FtConfig {
             detect_timeout: SimTime::from_millis(5),
             ckpt_max_chunk: 32 * 1024,
+            ckpt_copies: 2,
         }
     }
 }

@@ -141,6 +141,70 @@ impl FaultPlan {
         self.sorted()
     }
 
+    /// Crash several distinct nodes at the same instant — the cascading
+    /// building block for "a rack lost power". Simultaneous crashes mean a
+    /// victim's designated checkpoint buddy may itself be dead, forcing
+    /// buddy re-selection and recovery from an older (or the seed) copy.
+    ///
+    /// # Examples
+    ///
+    /// Nodes 1 and 2 die together at t = 400 µs, so node 1's ring buddy
+    /// (node 2) is gone and promotion must fall back to another copy
+    /// holder:
+    ///
+    /// ```
+    /// use slash_chaos::FaultPlan;
+    /// use slash_desim::SimTime;
+    ///
+    /// let plan = FaultPlan::new().concurrent(SimTime::from_micros(400), &[1, 2]);
+    /// assert_eq!(plan.crashed_nodes(), vec![1, 2]);
+    /// assert_eq!(plan.events().len(), 2);
+    /// ```
+    pub fn concurrent(mut self, at: SimTime, nodes: &[usize]) -> Self {
+        for &node in nodes {
+            self.events.push(FaultEvent {
+                at,
+                kind: FaultKind::NodeCrash { node },
+            });
+        }
+        self.sorted()
+    }
+
+    /// Crash `first` at `first_at`, then crash `second` a `lag` later —
+    /// aimed into the recovery window the first crash opens. Callers
+    /// typically probe a single-crash run for its detection→commit span
+    /// and pick `lag` to land mid-promotion; the promotion state machine
+    /// must then restart from the durable checkpoint (recovery
+    /// re-entrancy).
+    ///
+    /// # Examples
+    ///
+    /// Node 2 dies 150 µs into node 1's recovery:
+    ///
+    /// ```
+    /// use slash_chaos::FaultPlan;
+    /// use slash_desim::SimTime;
+    ///
+    /// let plan = FaultPlan::new().during_recovery(
+    ///     SimTime::from_micros(200),
+    ///     1,
+    ///     SimTime::from_micros(150),
+    ///     2,
+    /// );
+    /// assert_eq!(plan.crashed_nodes(), vec![1, 2]);
+    /// let times: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
+    /// assert_eq!(times, vec![200_000, 350_000]);
+    /// ```
+    pub fn during_recovery(
+        self,
+        first_at: SimTime,
+        first: usize,
+        lag: SimTime,
+        second: usize,
+    ) -> Self {
+        self.crash(first_at, first).crash(first_at + lag, second)
+    }
+
     fn sorted(mut self) -> Self {
         self.events.sort_by_key(|e| e.at);
         self

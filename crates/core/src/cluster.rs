@@ -157,20 +157,7 @@ impl SlashCluster {
                     sh.instrument(obs.clone(), node);
                 }
             }
-            for w in 0..cfg.workers_per_node {
-                let part = Rc::clone(&partitions[node * cfg.workers_per_node + w]);
-                let source = MemorySource::new(part, schema, cfg.batch_records);
-                sim.spawn(SlashWorker::new(
-                    node,
-                    w,
-                    Rc::clone(&shared),
-                    source,
-                    Rc::clone(&plan),
-                    cfg.cost,
-                    cfg.combine,
-                    cfg.combiner_slots,
-                ));
-            }
+            spawn_node_workers(&mut sim, node, &shared, &partitions, schema, &plan, &cfg, None);
             shareds.push(shared);
         }
 
@@ -193,6 +180,41 @@ impl SlashCluster {
         }
         let completion_time = sim.now();
         assemble_report(&shareds, &fabric, &obs, completion_time)
+    }
+}
+
+/// Spawn (or respawn) every worker of `node` against its partitions. Used
+/// by the fault-free driver, the chaos driver, and promotion: a promoted
+/// node resurrects *all* of its worker partitions through this one path,
+/// with `resume_pos` seeking each worker's source to its checkpointed
+/// byte position (fresh starts pass `None`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spawn_node_workers(
+    sim: &mut Sim,
+    node: usize,
+    shared: &Rc<RefCell<NodeShared>>,
+    partitions: &[Rc<Vec<u8>>],
+    schema: crate::record::RecordSchema,
+    plan: &Rc<QueryPlan>,
+    cfg: &RunConfig,
+    resume_pos: Option<&[usize]>,
+) {
+    for w in 0..cfg.workers_per_node {
+        let part = Rc::clone(&partitions[node * cfg.workers_per_node + w]);
+        let mut source = MemorySource::new(part, schema, cfg.batch_records);
+        if let Some(pos) = resume_pos {
+            source.seek(pos[w]);
+        }
+        sim.spawn(SlashWorker::new(
+            node,
+            w,
+            Rc::clone(shared),
+            source,
+            Rc::clone(plan),
+            cfg.cost,
+            cfg.combine,
+            cfg.combiner_slots,
+        ));
     }
 }
 

@@ -25,15 +25,35 @@
 //!   stalls past `detect_timeout` triggers a diagnosis: dead node →
 //!   promotion; link restored after a flap → channel reset + replay;
 //!   merely degraded → wait, the run completes on its own.
+//! * **Copy placement.** Each checkpoint is shipped to up to
+//!   [`slash_chaos::FtConfig::ckpt_copies`] distinct buddy ports (placement
+//!   diversity), and a copy is usable only while its holder port answers.
+//!   Losing a holder drops the copy, which triggers buddy re-selection and
+//!   re-shipping; losing *every* real copy falls back to the epoch-0 seed
+//!   copy (reprocess from scratch), which is durable by fiat.
 //! * **Promotion.** A crashed node's partition is resurrected on a buddy
-//!   host from the durable checkpoint: snapshot restore, vector-clock
-//!   restore, fragment epoch fast-forward, channel re-establishment with
-//!   commit-horizon handshakes, retained-epoch replay, and worker respawn
-//!   from the checkpointed source positions.
+//!   host from the newest valid durable copy. Promotion is a *re-entrant
+//!   state machine*, not an instantaneous act: a `Restore` phase (copy
+//!   chunks stream to the host, integrity-checked against the checkpoint
+//!   digest) and a `Reconnect` phase (replacement channels handshake to
+//!   ready) run over virtual time and mutate nothing but the promotion
+//!   record, so a further fault killing the chosen host or the copy holder
+//!   mid-flight simply restarts the machine against re-selected ones. All
+//!   cluster-visible effects — snapshot restore, vector-clock restore,
+//!   fragment fast-forward, channel replacement with commit-horizon
+//!   handshakes, retained-epoch replay, respawn of *every* worker at its
+//!   checkpointed source position — commit atomically at one virtual
+//!   instant. A fault after commit is a fresh failure handled by a new
+//!   detect → promote cycle. Concurrent promotions (distinct victims) run
+//!   independently; a committing node installs retaining endpoints even
+//!   toward still-dead peers so their own later promotions find a complete
+//!   replay history.
 //!
 //! Exactness is validated by comparing window results and state digests
 //! against a same-seed fault-free run (`tests/chaos.rs`,
-//! `examples/failover.rs`, and `repro -- recovery`).
+//! `examples/failover.rs`, and `repro -- recovery`); the full protocol
+//! specification, including the fault × phase outcome matrix, is
+//! `DESIGN.md` §15.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -42,17 +62,16 @@ use std::rc::Rc;
 use slash_chaos::{ChaosConfig, FaultKind};
 use slash_chaos::Injector;
 use slash_desim::{Sim, SimTime};
-use slash_net::create_channel;
+use slash_net::{create_channel, RECONNECT_HANDSHAKE_MSGS};
 use slash_obs::{Cat, Obs};
 use slash_rdma::{Fabric, NodeId};
 use slash_state::backend::{build_cluster_obs, SsbConfig, SsbNode};
-use slash_state::{DeltaReceiver, DeltaSender, RetainedEpoch};
+use slash_state::{chunks_digest, DeltaReceiver, DeltaSender, RetainedEpoch};
 
-use crate::cluster::{assemble_report, RunConfig, RunReport, SlashCluster};
+use crate::cluster::{assemble_report, spawn_node_workers, RunConfig, RunReport, SlashCluster};
 use crate::query::QueryPlan;
 use crate::sink::{Sink, SinkResult};
-use crate::source::MemorySource;
-use crate::worker::{NodeShared, SlashWorker};
+use crate::worker::NodeShared;
 
 /// Everything a node needs to be resurrected at an epoch boundary.
 #[derive(Debug, Clone)]
@@ -76,6 +95,9 @@ pub(crate) struct Checkpoint {
     records: u64,
     /// Sink contents (already-emitted results survive the crash).
     sink: Sink,
+    /// Content digest of [`Self::snapshot`] at capture time; recovery
+    /// verifies the copy it restores against it (checksum stand-in).
+    digest: u64,
 }
 
 impl Checkpoint {
@@ -92,15 +114,145 @@ impl Checkpoint {
     }
 }
 
-/// One node's checkpoint lifecycle.
+/// One durable copy of a node's checkpoint, tied to the fabric port it
+/// physically lives on: the copy is usable only while that port answers.
+/// `holder_port == None` marks the epoch-0 seed copy — it models
+/// re-reading the source from scratch and is durable by fiat, so it never
+/// becomes invalid.
+#[derive(Clone)]
+pub(crate) struct DurableCopy {
+    holder_port: Option<NodeId>,
+    ckpt: Rc<Checkpoint>,
+}
+
+impl DurableCopy {
+    fn valid(&self, fabric: &Fabric) -> bool {
+        self.holder_port.is_none_or(|p| fabric.node_alive(p))
+    }
+}
+
+/// A checkpoint transfer on the wire toward a buddy port.
+struct InFlight {
+    arrival: SimTime,
+    buddy_port: NodeId,
+    ckpt: Rc<Checkpoint>,
+}
+
+/// One node's checkpoint lifecycle: the newest captured boundary, the
+/// durable copies placed on buddy ports (newest-first; the seed copy is
+/// always last), and at most one transfer in flight.
 #[derive(Default)]
 pub(crate) struct CkptSlot {
     latest: Option<Rc<Checkpoint>>,
-    durable: Option<Rc<Checkpoint>>,
-    in_flight: Option<(SimTime, Rc<Checkpoint>)>,
+    copies: Vec<DurableCopy>,
+    in_flight: Option<InFlight>,
+}
+
+impl CkptSlot {
+    /// Drop copies whose holder port has died (the seed copy never does).
+    fn gc(&mut self, fabric: &Fabric) {
+        self.copies.retain(|c| c.valid(fabric));
+    }
+
+    /// Newest usable copy — the restore candidate (call [`Self::gc`]
+    /// first).
+    fn newest_copy(&self) -> Option<&DurableCopy> {
+        self.copies.first()
+    }
+
+    /// Epoch horizon peers may treat as durable: the newest copy's
+    /// boundary.
+    fn durable_horizon(&self) -> u64 {
+        self.newest_copy().map_or(0, |c| c.ckpt.epochs_closed)
+    }
+
+    /// Highest epoch helper `l` may prune its retained deltas below: the
+    /// *oldest* surviving copy's commit horizon from `l`, so whichever
+    /// copy promotion falls back to can still be caught up by replay.
+    /// While the seed copy exists this floor is 0 — scratch recovery
+    /// keeps the whole retained history replayable.
+    fn prune_floor(&self, l: usize) -> u64 {
+        self.copies
+            .iter()
+            .map(|c| c.ckpt.receiver_next.get(l).copied().unwrap_or(0))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Install a landed copy, newest-first. A buddy keeps one slot per
+    /// node (same-port copies are overwritten) and *real* copies are
+    /// capped at `cap`; the seed copy rides along uncapped.
+    fn insert_copy(&mut self, copy: DurableCopy, cap: usize) {
+        if let Some(p) = copy.holder_port {
+            self.copies.retain(|c| c.holder_port != Some(p));
+        }
+        self.copies.insert(0, copy);
+        let mut real = 0;
+        self.copies.retain(|c| {
+            if c.holder_port.is_none() {
+                return true;
+            }
+            real += 1;
+            real <= cap
+        });
+    }
 }
 
 pub(crate) type CkptStore = Vec<CkptSlot>;
+
+/// Pick the host that resurrects dead logical node `d`: the first peer in
+/// ring order whose port is alive. `d` itself is never a candidate (a
+/// node cannot host its own recovery), and `None` means every peer is
+/// dead — the unrecoverable all-buddies-dead error path, surfaced to the
+/// driver rather than panicking.
+pub(crate) fn select_promotion_host(
+    d: usize,
+    n: usize,
+    alive: impl Fn(usize) -> bool,
+) -> Option<usize> {
+    (1..n).map(|k| (d + k) % n).find(|&j| alive(j))
+}
+
+/// Pick the buddy to ship node `i`'s next checkpoint copy to: the first
+/// alive ring peer *not* already holding a current copy (placement
+/// diversity), falling back to any alive peer when all of them hold one.
+pub(crate) fn select_ship_buddy(
+    i: usize,
+    n: usize,
+    alive: impl Fn(usize) -> bool,
+    holds_copy: impl Fn(usize) -> bool,
+) -> Option<usize> {
+    let ring = || (1..n).map(move |k| (i + k) % n);
+    ring()
+        .find(|&j| alive(j) && !holds_copy(j))
+        .or_else(|| ring().find(|&j| alive(j)))
+}
+
+/// Pre-commit phases of an in-flight promotion. Both phases mutate
+/// nothing but the [`Promotion`] record, so a fault arriving mid-phase
+/// restarts the machine against a re-selected host and copy; cluster
+/// state changes only at the atomic commit that follows `Reconnect`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PromoPhase {
+    /// Checkpoint chunks stream from the copy holder to the new host.
+    Restore,
+    /// Replacement channels to every survivor handshake to ready-to-send.
+    Reconnect,
+}
+
+/// A promotion in flight: dead logical node `node` is being resurrected
+/// on `host`'s port from the durable copy on `copy_port`.
+struct Promotion {
+    node: usize,
+    detected_at: SimTime,
+    phase: PromoPhase,
+    phase_done_at: SimTime,
+    host: usize,
+    host_port: NodeId,
+    copy_port: Option<NodeId>,
+    ckpt: Rc<Checkpoint>,
+    restarts: u32,
+}
 
 /// Fault-tolerance hooks handed to each node's shared state; present
 /// only in [`SlashCluster::run_chaos`] runs.
@@ -117,9 +269,11 @@ pub(crate) fn on_epoch_closed(sh: &mut NodeShared) {
     let n = ft.store.borrow().len();
     let node = ft.node;
     let ssb = &sh.ssb;
+    let snapshot = ssb.snapshot_primary(ft.max_chunk);
     let ckpt = Checkpoint {
         epochs_closed: ssb.epochs_closed(),
-        snapshot: ssb.snapshot_primary(ft.max_chunk),
+        digest: chunks_digest(&snapshot),
+        snapshot,
         vclock: ssb.vclock().snapshot(),
         receiver_next: (0..n)
             .map(|h| if h == node { 0 } else { ssb.receiver_next_epoch(h) })
@@ -138,11 +292,14 @@ pub(crate) fn on_epoch_closed(sh: &mut NodeShared) {
 /// What the driver did to bring a stalled node back.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RecoveryAction {
-    /// The node was dead; its partition was promoted onto `host` from the
-    /// durable checkpoint.
+    /// The node was dead; its partition was promoted onto `host` from a
+    /// durable checkpoint copy.
     Promoted {
         /// Logical node now hosting the resurrected partition.
         host: usize,
+        /// Times the promotion was interrupted by a further fault and
+        /// restarted against a re-selected host/copy before committing.
+        restarts: u32,
     },
     /// The node survived a link outage; `channels` errored channel
     /// endpoints were reset and their uncommitted epochs replayed.
@@ -313,26 +470,20 @@ impl SlashCluster {
                 // recovers (to a from-scratch reprocess).
                 on_epoch_closed(&mut sh);
             }
-            for w in 0..cfg.workers_per_node {
-                let part = Rc::clone(&partitions[node * cfg.workers_per_node + w]);
-                let source = MemorySource::new(part, schema, cfg.batch_records);
-                sim.spawn(SlashWorker::new(
-                    node,
-                    w,
-                    Rc::clone(&shared),
-                    source,
-                    Rc::clone(&plan),
-                    cfg.cost,
-                    cfg.combine,
-                    cfg.combiner_slots,
-                ));
-            }
+            spawn_node_workers(
+                &mut sim, node, &shared, &partitions, schema, &plan, &cfg, None,
+            );
             shareds.borrow_mut().push(shared);
         }
         {
             let mut st = store.borrow_mut();
             for slot in st.iter_mut() {
-                slot.durable = slot.latest.clone();
+                if let Some(seed) = slot.latest.clone() {
+                    slot.copies.push(DurableCopy {
+                        holder_port: None,
+                        ckpt: seed,
+                    });
+                }
             }
         }
 
@@ -356,6 +507,7 @@ impl SlashCluster {
         let mut host: Vec<usize> = (0..n).collect();
         let mut last_token = vec![0u64; n];
         let mut last_change = vec![SimTime::ZERO; n];
+        let mut promos: BTreeMap<usize, Promotion> = BTreeMap::new();
         let mut rec = RecoveryReport::default();
 
         // Drive in slices of a quarter detection timeout so stalls are
@@ -371,17 +523,67 @@ impl SlashCluster {
                 "query did not complete within the virtual-time budget \
                  (possible protocol livelock)"
             );
+            // An empty event queue is not a deadlock while recovery work
+            // is outstanding driver-side: `run_until` still advances
+            // virtual time, which is all an in-flight promotion (or a
+            // dead partition awaiting detection) needs to make progress —
+            // e.g. every surviving worker already finished and the cluster
+            // is only waiting out a restore transfer.
+            let recovery_outstanding = !promos.is_empty()
+                || (0..n).any(|l| !fabric.node_alive(node_ids[host[l]]));
             assert!(
-                sim.pending_events() > 0,
+                sim.pending_events() > 0 || recovery_outstanding,
                 "simulation quiesced before the query completed (deadlock)"
             );
             let horizon = sim.now() + slice;
             sim.run_until(horizon);
             let now = sim.now();
 
+            // A dead port kills every partition it currently hosts —
+            // including partitions promoted onto it by an earlier recovery
+            // (cascading failure). Direct victims are flagged at the fault
+            // instant by the armed plan; this sweep catches re-homed ones.
+            {
+                let sh_vec = shareds.borrow();
+                for l in 0..n {
+                    if !fabric.node_alive(node_ids[host[l]]) {
+                        sh_vec[l].borrow_mut().crashed = true;
+                    }
+                }
+            }
+
+            // A finished node's port keeps serving state traffic: a
+            // promotion can commit after a survivor's workers already
+            // completed, and the replay epochs requeued on that survivor
+            // still have to reach the restored partition. The SSB is a
+            // node service, not a query task — the driver pumps it once
+            // the workers are gone.
+            {
+                let sh_vec = shareds.borrow();
+                for l in 0..n {
+                    if fabric.node_alive(node_ids[host[l]]) {
+                        let mut sh = sh_vec[l].borrow_mut();
+                        if sh.finished {
+                            let _ = sh.ssb.pump(&mut sim);
+                        }
+                    }
+                }
+            }
+
             ft_tick(
-                now, n, &fabric, &node_ids, &host, &store, &shareds, &cfg, &obs, &mut rec,
+                now, n, &fabric, &node_ids, &host, &store, &shareds, &cfg, chaos, &obs,
+                &mut rec,
             );
+
+            for d in promo_tick(
+                now, &mut promos, &mut sim, &fabric, &node_ids, &mut host, &shareds, &store,
+                &partitions, &plan, schema, &cfg, chaos, &obs, &mut rec,
+            ) {
+                // Fresh off a commit the restored node's token is still
+                // stale; re-arm its stall timer so it gets a full timeout
+                // to publish progress before being re-diagnosed.
+                last_change[d] = sim.now();
+            }
 
             if n < 2 {
                 continue; // nothing to detect against
@@ -389,6 +591,9 @@ impl SlashCluster {
             // Stall detection: per node, the most advanced view any peer
             // holds of its progress. Crashes and outages freeze it.
             for i in 0..n {
+                if promos.contains_key(&i) {
+                    continue; // the promotion machine owns this node
+                }
                 let token = {
                     let sh_vec = shareds.borrow();
                     (0..n)
@@ -408,20 +613,24 @@ impl SlashCluster {
                 last_change[i] = now; // re-arm the timer either way
                 let fab_i = node_ids[host[i]];
                 if !fabric.node_alive(fab_i) {
-                    let detected_at = now;
-                    promote(
-                        i, &mut sim, &fabric, &node_ids, &mut host, &shareds, &store,
-                        &partitions, &plan, schema, &cfg, chaos, &obs,
-                    );
-                    push_event(
-                        &mut rec,
-                        chaos,
-                        i,
-                        detected_at,
-                        sim.now(),
-                        RecoveryAction::Promoted { host: host[i] },
-                        &obs,
-                    );
+                    // Dead port: start the promotion state machine. It
+                    // advances (and may restart) on subsequent ticks and
+                    // commits atomically once Reconnect completes. `None`
+                    // means every peer is dead — retry after another
+                    // timeout; the livelock guard bounds a hopeless wait.
+                    if let Some(p) = promo_begin(
+                        i, now, now, 0, n, &fabric, &node_ids, &store, &cfg,
+                    ) {
+                        obs.instant(
+                            Cat::Fault,
+                            "promotion-begin",
+                            i as u32,
+                            RECOVERY_TID,
+                            now,
+                            &[("host", p.host as u64), ("epochs", p.ckpt.epochs_closed)],
+                        );
+                        promos.insert(i, p);
+                    }
                 } else if fabric.link_up(fab_i) {
                     // Alive with a live link: if the outage errored any
                     // channel endpoints, re-establish and replay; if the
@@ -518,8 +727,12 @@ fn push_event(
     });
 }
 
-/// Checkpoint lifecycle: complete in-flight transfers (durability +
-/// gate/prune propagation) and ship the newest boundary to the buddy.
+/// Checkpoint lifecycle: GC copies whose holder port died, complete
+/// in-flight transfers (durability-gate and prune propagation), and ship
+/// the newest boundary toward its next copy holder. Buddy re-selection is
+/// implicit: whenever the current copy set lost a holder or lags the
+/// newest boundary, a fresh buddy is picked (preferring ports without a
+/// current copy) and the checkpoint is re-shipped.
 #[allow(clippy::too_many_arguments)]
 fn ft_tick(
     now: SimTime,
@@ -530,6 +743,7 @@ fn ft_tick(
     store: &Rc<RefCell<CkptStore>>,
     shareds: &Rc<RefCell<Vec<Rc<RefCell<NodeShared>>>>>,
     cfg: &RunConfig,
+    chaos: &ChaosConfig,
     obs: &Obs,
     rec: &mut RecoveryReport,
 ) {
@@ -537,56 +751,81 @@ fn ft_tick(
     let mut st = store.borrow_mut();
     for i in 0..n {
         let fab_i = node_ids[host[i]];
-        let buddy = (1..n)
-            .map(|k| (i + k) % n)
-            .find(|&j| fabric.node_alive(node_ids[host[j]]));
+        st[i].gc(fabric);
         // Complete an in-flight transfer whose arrival time has passed.
-        if let Some((arrival, ckpt)) = st[i].in_flight.clone() {
-            if now >= arrival {
-                st[i].in_flight = None;
-                let landed = fabric.node_alive(fab_i)
-                    && buddy.is_some_and(|b| fabric.path_up(fab_i, node_ids[host[b]]));
-                if landed {
-                    st[i].durable = Some(Rc::clone(&ckpt));
-                    rec.checkpoints_durable += 1;
-                    obs.instant(
-                        Cat::Fault,
-                        "checkpoint-durable",
-                        i as u32,
-                        RECOVERY_TID,
-                        now,
-                        &[("epochs", ckpt.epochs_closed)],
-                    );
-                    for l in 0..n {
-                        if l != i {
-                            let mut sl = sh_vec[l].borrow_mut();
-                            // Leaders may now commit i's epochs below the
-                            // durable horizon...
-                            sl.ssb.set_durable_epochs(i, ckpt.epochs_closed);
-                            // ...and helpers may drop retained epochs i
-                            // has durably merged.
-                            sl.ssb.prune_retained(i, ckpt.receiver_next[l]);
-                        }
+        if let Some(fl) = st[i]
+            .in_flight
+            .take_if(|fl| now >= fl.arrival)
+        {
+            let landed = fabric.node_alive(fab_i) && fabric.path_up(fab_i, fl.buddy_port);
+            if landed {
+                st[i].insert_copy(
+                    DurableCopy {
+                        holder_port: Some(fl.buddy_port),
+                        ckpt: Rc::clone(&fl.ckpt),
+                    },
+                    chaos.ft.ckpt_copies.max(1),
+                );
+                rec.checkpoints_durable += 1;
+                obs.instant(
+                    Cat::Fault,
+                    "checkpoint-durable",
+                    i as u32,
+                    RECOVERY_TID,
+                    now,
+                    &[
+                        ("epochs", fl.ckpt.epochs_closed),
+                        ("holder", fl.buddy_port.0 as u64),
+                    ],
+                );
+                let horizon = st[i].durable_horizon();
+                for l in 0..n {
+                    if l != i {
+                        let mut sl = sh_vec[l].borrow_mut();
+                        // Leaders may now commit i's epochs below the
+                        // durable horizon...
+                        sl.ssb.set_durable_epochs(i, horizon);
+                        // ...and helpers may drop retained epochs every
+                        // surviving copy of i has durably merged.
+                        sl.ssb.prune_retained(i, st[i].prune_floor(l));
                     }
                 }
-                // A transfer interrupted by a fault is simply dropped;
-                // the re-ship below retries once the path heals.
             }
+            // A transfer interrupted by a fault is simply dropped; the
+            // re-ship below retries once the path heals.
         }
-        // Ship the newest boundary if it advances the durable horizon.
+        // Ship the newest boundary until `ckpt_copies` distinct holders
+        // carry it.
         if st[i].in_flight.is_none() {
             if let Some(latest) = st[i].latest.clone() {
-                let durable_epochs = st[i].durable.as_ref().map_or(0, |d| d.epochs_closed);
-                let advances = latest.epochs_closed > durable_epochs;
-                if advances && fabric.node_alive(fab_i) && fabric.link_up(fab_i) && buddy.is_some()
-                {
-                    let nic = &cfg.fabric.nic;
-                    let bytes = latest.payload_bytes();
-                    let xfer = nic.latency
-                        + SimTime::from_nanos(
-                            bytes.saturating_mul(1_000_000_000) / nic.bandwidth.max(1),
-                        );
-                    st[i].in_flight = Some((now + xfer, latest));
+                let current_ports: Vec<NodeId> = st[i]
+                    .copies
+                    .iter()
+                    .filter(|c| c.ckpt.epochs_closed >= latest.epochs_closed)
+                    .filter_map(|c| c.holder_port)
+                    .collect();
+                let wants_copy = latest.epochs_closed > 0
+                    && current_ports.len() < chaos.ft.ckpt_copies.max(1);
+                if wants_copy && fabric.node_alive(fab_i) && fabric.link_up(fab_i) {
+                    let buddy = select_ship_buddy(
+                        i,
+                        n,
+                        |j| fabric.node_alive(node_ids[host[j]]),
+                        |j| current_ports.contains(&node_ids[host[j]]),
+                    );
+                    if let Some(b) = buddy {
+                        let nic = &cfg.fabric.nic;
+                        let bytes = latest.payload_bytes();
+                        let xfer = nic.latency
+                            + SimTime::from_nanos(
+                                bytes.saturating_mul(1_000_000_000) / nic.bandwidth.max(1),
+                            );
+                        st[i].in_flight = Some(InFlight {
+                            arrival: now + xfer,
+                            buddy_port: node_ids[host[b]],
+                            ckpt: latest,
+                        });
+                    }
                 }
             }
         }
@@ -632,12 +871,165 @@ fn reset_errored_channels(
     fixed
 }
 
-/// Resurrect dead logical node `d` on the next alive host from its
-/// durable checkpoint: epoch-aligned snapshot restore plus retained-epoch
-/// replay from (and to) every survivor.
+/// Start (or restart) the promotion machine for dead logical node `d`:
+/// select the host port and the newest valid durable copy, then enter
+/// `Restore`. Returns `None` when every peer is dead (unrecoverable; the
+/// caller retries until the livelock guard bounds the wait). The seed
+/// copy guarantees a copy always exists, so only host selection can fail.
 #[allow(clippy::too_many_arguments)]
-fn promote(
+fn promo_begin(
     d: usize,
+    now: SimTime,
+    detected_at: SimTime,
+    restarts: u32,
+    n: usize,
+    fabric: &Fabric,
+    node_ids: &[NodeId],
+    store: &Rc<RefCell<CkptStore>>,
+    cfg: &RunConfig,
+) -> Option<Promotion> {
+    // Candidates are judged by their *own* port: committing sets
+    // `host[d] = h`, so partition `d` will live on `node_ids[h]` — a
+    // logical node whose port died (and was itself re-homed elsewhere)
+    // must never be picked, even though its partition is healthy.
+    let h = select_promotion_host(d, n, |j| fabric.node_alive(node_ids[j]))?;
+    let host_port = node_ids[h];
+    let mut st = store.borrow_mut();
+    st[d].gc(fabric);
+    let copy = st[d].newest_copy()?.clone();
+    let nic = &cfg.fabric.nic;
+    let restore_time = match copy.holder_port {
+        // Stream the copy's chunks from its holder to the host.
+        Some(_) => {
+            nic.latency
+                + SimTime::from_nanos(
+                    copy.ckpt.payload_bytes().saturating_mul(1_000_000_000)
+                        / nic.bandwidth.max(1),
+                )
+        }
+        // Seed copy: the source is re-read locally, control latency only.
+        None => nic.latency,
+    };
+    Some(Promotion {
+        node: d,
+        detected_at,
+        phase: PromoPhase::Restore,
+        phase_done_at: now + restore_time,
+        host: h,
+        host_port,
+        copy_port: copy.holder_port,
+        ckpt: copy.ckpt,
+        restarts,
+    })
+}
+
+/// Advance every in-flight promotion one driver tick: restart machines
+/// whose chosen host (or, during `Restore`, copy holder) died — recovery
+/// re-entrancy — move `Restore` to `Reconnect` when the copy has fully
+/// streamed, and atomically commit machines whose handshakes completed.
+/// Returns the nodes committed this tick so the driver can re-arm their
+/// stall timers.
+#[allow(clippy::too_many_arguments)]
+fn promo_tick(
+    now: SimTime,
+    promos: &mut BTreeMap<usize, Promotion>,
+    sim: &mut Sim,
+    fabric: &Fabric,
+    node_ids: &[NodeId],
+    host: &mut [usize],
+    shareds: &Rc<RefCell<Vec<Rc<RefCell<NodeShared>>>>>,
+    store: &Rc<RefCell<CkptStore>>,
+    partitions: &[Rc<Vec<u8>>],
+    plan: &Rc<QueryPlan>,
+    schema: crate::record::RecordSchema,
+    cfg: &RunConfig,
+    chaos: &ChaosConfig,
+    obs: &Obs,
+    rec: &mut RecoveryReport,
+) -> Vec<usize> {
+    let mut committed = Vec::new();
+    let nodes: Vec<usize> = promos.keys().copied().collect();
+    for d in nodes {
+        let Some(p) = promos.get_mut(&d) else { continue };
+        // Interruption check: the chosen host died, or the copy being
+        // streamed lost its holder mid-restore. Pre-commit phases touched
+        // nothing but this record, so restart it against a re-selected
+        // host and copy. (Once Restore completes the chunks live on the
+        // host; only the host's death matters during Reconnect.)
+        let host_dead = !fabric.node_alive(p.host_port);
+        let copy_dead = p.phase == PromoPhase::Restore
+            && p.copy_port.is_some_and(|port| !fabric.node_alive(port));
+        if host_dead || copy_dead {
+            let restarts = p.restarts + 1;
+            if let Some(fresh) = promo_begin(
+                d, now, p.detected_at, restarts, cfg.nodes, fabric, node_ids, store, cfg,
+            ) {
+                obs.instant(
+                    Cat::Fault,
+                    "promotion-restart",
+                    d as u32,
+                    RECOVERY_TID,
+                    now,
+                    &[("restarts", restarts as u64), ("host", fresh.host as u64)],
+                );
+                *p = fresh;
+            }
+            // No candidate right now: leave the stale record in place;
+            // its dead host keeps this arm retrying every tick.
+            continue;
+        }
+        if now < p.phase_done_at {
+            continue;
+        }
+        match p.phase {
+            PromoPhase::Restore => {
+                // Integrity gate: the streamed copy must match the digest
+                // recorded at capture before it may become primary state.
+                debug_assert_eq!(
+                    chunks_digest(&p.ckpt.snapshot),
+                    p.ckpt.digest,
+                    "durable copy failed its checksum"
+                );
+                p.phase = PromoPhase::Reconnect;
+                p.phase_done_at = now
+                    + SimTime::from_nanos(
+                        RECONNECT_HANDSHAKE_MSGS * 2 * fabric.ack_latency().as_nanos(),
+                    );
+            }
+            PromoPhase::Reconnect => {
+                let Some(p) = promos.remove(&d) else { continue };
+                commit_promotion(
+                    &p, sim, fabric, node_ids, host, shareds, store, partitions, plan,
+                    schema, cfg, chaos, obs,
+                );
+                push_event(
+                    rec,
+                    chaos,
+                    d,
+                    p.detected_at,
+                    sim.now(),
+                    RecoveryAction::Promoted {
+                        host: p.host,
+                        restarts: p.restarts,
+                    },
+                    obs,
+                );
+                committed.push(d);
+            }
+        }
+    }
+    committed
+}
+
+/// Atomically commit a completed promotion: install the restored SSB of
+/// logical node `d` on the new host port, re-establish every channel with
+/// commit-horizon handshakes, and respawn *all* of the node's workers at
+/// their checkpointed source positions. Everything before this point ran
+/// against the promotion record only; from the cluster's view the
+/// replacement node appears at one virtual instant.
+#[allow(clippy::too_many_arguments)]
+fn commit_promotion(
+    p: &Promotion,
     sim: &mut Sim,
     fabric: &Fabric,
     node_ids: &[NodeId],
@@ -652,23 +1044,19 @@ fn promote(
     obs: &Obs,
 ) {
     let n = cfg.nodes;
-    let Some(b) = (1..n)
-        .map(|k| (d + k) % n)
-        .find(|&j| fabric.node_alive(node_ids[host[j]]))
-    else {
-        return; // no survivors; the run will hit the livelock guard
-    };
-    let ckpt = {
+    let d = p.node;
+    let ckpt = &p.ckpt;
+    {
         let mut st = store.borrow_mut();
-        // Whatever was newer than the durable boundary died with the
-        // node; in-flight transfers from it are void.
-        st[d].latest = st[d].durable.clone();
+        // Whatever was newer than the restored boundary died with the
+        // node; in-flight transfers from it are void and stale copies
+        // whose holders died are gone.
+        st[d].gc(fabric);
+        st[d].latest = Some(Rc::clone(ckpt));
         st[d].in_flight = None;
-        st[d].durable.clone()
-    };
-    let Some(ckpt) = ckpt else { return };
-    host[d] = b;
-    let host_fab = node_ids[b];
+    }
+    host[d] = p.host;
+    let host_fab = p.host_port;
 
     let ssb_cfg = SsbConfig {
         nodes: n,
@@ -679,54 +1067,75 @@ fn promote(
     ssb.restore_primary(&ckpt.snapshot);
     ssb.restore_vclock(&ckpt.vclock);
     ssb.resume_fragments_at(ckpt.epochs_closed);
-    ssb.set_retention(true);
 
-    // Re-establish channels with every survivor, handshaking commit
-    // horizons so replay is exact and nothing is merged twice.
+    // Re-establish channels with every peer, handshaking commit horizons
+    // so replay is exact and nothing is merged twice.
     {
         let sh_vec = shareds.borrow();
         let st = store.borrow();
         for s in 0..n {
-            if s == d || !fabric.node_alive(node_ids[host[s]]) {
+            if s == d {
                 continue;
             }
             let s_fab = node_ids[host[s]];
-            let mut sv = sh_vec[s].borrow_mut();
+            if fabric.node_alive(s_fab) {
+                let mut sv = sh_vec[s].borrow_mut();
 
-            // d → s: the replacement re-ships the retained epochs the
-            // survivor's receiver has not committed.
-            let (tx, rx) = create_channel(fabric, host_fab, s_fab, cfg.channel);
-            let mut sender = DeltaSender::new(tx);
-            sender.restore_retained(ckpt.retained[s].clone());
-            let resume = sv.ssb.receiver_next_epoch(d);
-            sender.requeue_from(resume);
-            ssb.replace_sender(s, sender);
-            sv.ssb.replace_receiver(d, DeltaReceiver::new(rx, d));
-            sv.ssb.seed_receiver(d, resume);
-            sv.ssb.set_durable_epochs(d, ckpt.epochs_closed);
+                // d → s: the replacement re-ships the retained epochs the
+                // survivor's receiver has not committed.
+                let (tx, rx) = create_channel(fabric, host_fab, s_fab, cfg.channel);
+                let mut sender = DeltaSender::new(tx);
+                sender.restore_retained(ckpt.retained[s].clone());
+                let resume = sv.ssb.receiver_next_epoch(d);
+                sender.requeue_from(resume);
+                ssb.replace_sender(s, sender);
+                sv.ssb.replace_receiver(d, DeltaReceiver::new(rx, d));
+                sv.ssb.seed_receiver(d, resume);
+                sv.ssb.set_durable_epochs(d, ckpt.epochs_closed);
 
-            // s → d: the survivor re-ships from the checkpoint's commit
-            // horizon; its retained list still covers that suffix
-            // because pruning follows d's durable checkpoints.
-            let (tx2, rx2) = create_channel(fabric, s_fab, host_fab, cfg.channel);
-            let mut sender2 = DeltaSender::new(tx2);
-            sender2.restore_retained(
-                sv.ssb
-                    .retained_for(d)
-                    .map(<[_]>::to_vec)
-                    .unwrap_or_default(),
-            );
-            sender2.requeue_from(ckpt.receiver_next[s]);
-            sv.ssb.replace_sender(d, sender2);
-            ssb.replace_receiver(s, DeltaReceiver::new(rx2, s));
-            ssb.seed_receiver(s, ckpt.receiver_next[s]);
-            ssb.set_durable_epochs(s, st[s].durable.as_ref().map_or(0, |c| c.epochs_closed));
+                // s → d: the survivor re-ships from the checkpoint's
+                // commit horizon; its retained list still covers that
+                // suffix because pruning floors at the oldest surviving
+                // copy of d.
+                let (tx2, rx2) = create_channel(fabric, s_fab, host_fab, cfg.channel);
+                let mut sender2 = DeltaSender::new(tx2);
+                sender2.restore_retained(
+                    sv.ssb
+                        .retained_for(d)
+                        .map(<[_]>::to_vec)
+                        .unwrap_or_default(),
+                );
+                sender2.requeue_from(ckpt.receiver_next[s]);
+                sv.ssb.replace_sender(d, sender2);
+                ssb.replace_receiver(s, DeltaReceiver::new(rx2, s));
+                ssb.seed_receiver(s, ckpt.receiver_next[s]);
+                ssb.set_durable_epochs(s, st[s].durable_horizon());
 
-            if obs.is_enabled() {
-                sv.ssb.instrument(obs.clone());
+                if obs.is_enabled() {
+                    sv.ssb.instrument(obs.clone());
+                }
+            } else {
+                // Concurrent crash: `s` is down too, its own promotion
+                // still pending. Install endpoints toward its dead port
+                // anyway: the sender keeps *retaining* every epoch closed
+                // from here on (sends error out and are dropped by the
+                // fabric), so `s`'s eventual promotion finds a complete
+                // replay history in `retained_for(s)`; the seeded
+                // receiver records the commit horizon `s`'s promotion
+                // must resume our replay from. Both directions are
+                // replaced with live channels when `s` commits.
+                let (tx, _rx) = create_channel(fabric, host_fab, s_fab, cfg.channel);
+                let mut sender = DeltaSender::new(tx);
+                sender.restore_retained(ckpt.retained[s].clone());
+                ssb.replace_sender(s, sender);
+                let (_tx2, rx2) = create_channel(fabric, s_fab, host_fab, cfg.channel);
+                ssb.replace_receiver(s, DeltaReceiver::new(rx2, s));
+                ssb.seed_receiver(s, ckpt.receiver_next[s]);
+                ssb.set_durable_epochs(s, st[s].durable_horizon());
             }
         }
     }
+    ssb.set_retention(true);
 
     // Fresh shared state seeded from the checkpoint; the crashed slot's
     // workers are already dead (crashed flag), replace it.
@@ -752,32 +1161,31 @@ fn promote(
     let shared = Rc::new(RefCell::new(shared));
     shareds.borrow_mut()[d] = Rc::clone(&shared);
 
-    // Respawn the node's workers at the checkpointed source positions:
-    // everything past them was lost with the open fragments and is
-    // reprocessed; everything before them is in the snapshot or in
+    // Respawn every worker of the node at its checkpointed source
+    // position: everything past it was lost with the open fragments and
+    // is reprocessed; everything before it is in the snapshot or in
     // replayable epochs.
-    for w in 0..cfg.workers_per_node {
-        let part = Rc::clone(&partitions[d * cfg.workers_per_node + w]);
-        let mut source = MemorySource::new(part, schema, cfg.batch_records);
-        source.seek(ckpt.worker_pos[w]);
-        sim.spawn(SlashWorker::new(
-            d,
-            w,
-            Rc::clone(&shared),
-            source,
-            Rc::clone(plan),
-            cfg.cost,
-            cfg.combine,
-            cfg.combiner_slots,
-        ));
-    }
+    spawn_node_workers(
+        sim,
+        d,
+        &shared,
+        partitions,
+        schema,
+        plan,
+        cfg,
+        Some(&ckpt.worker_pos),
+    );
     obs.instant(
         Cat::Fault,
         "promoted",
         d as u32,
         RECOVERY_TID,
         sim.now(),
-        &[("host", b as u64), ("epochs", ckpt.epochs_closed)],
+        &[
+            ("host", p.host as u64),
+            ("epochs", ckpt.epochs_closed),
+            ("restarts", p.restarts as u64),
+        ],
     );
 }
 
@@ -820,6 +1228,7 @@ mod tests {
             ft: FtConfig {
                 detect_timeout: SimTime::from_micros(300),
                 ckpt_max_chunk: 16 * 1024,
+                ckpt_copies: 2,
             },
         }
     }
@@ -906,6 +1315,59 @@ mod tests {
             );
         let (faulted, rec) = run(plan, 2);
         // Slowdowns are not failures: nothing to promote or reset.
+        assert!(
+            !rec.events
+                .iter()
+                .any(|e| matches!(e.action, RecoveryAction::Promoted { .. })),
+            "{:?}",
+            rec.events
+        );
+        assert_eq!(faulted.records, base.records);
+        assert_eq!(rec.results_digest, base_rec.results_digest);
+        assert_eq!(rec.state_digests, base_rec.state_digests);
+    }
+
+    #[test]
+    fn promotion_host_skips_dead_nodes_and_self() {
+        // Ring order from d+1; the crashed node is never its own host.
+        assert_eq!(select_promotion_host(1, 4, |j| j != 1), Some(2));
+        // The designated ring buddy is itself dead: re-select the next.
+        assert_eq!(select_promotion_host(1, 4, |j| j != 1 && j != 2), Some(3));
+        // Selection wraps around the ring.
+        assert_eq!(select_promotion_host(3, 4, |j| j == 0), Some(0));
+    }
+
+    #[test]
+    fn promotion_with_all_buddies_dead_is_unrecoverable() {
+        assert_eq!(select_promotion_host(1, 4, |_| false), None);
+        // A single-node cluster has no peer to promote onto.
+        assert_eq!(select_promotion_host(0, 1, |_| true), None);
+    }
+
+    #[test]
+    fn ship_buddy_prefers_ports_without_a_current_copy() {
+        // Node 2 already holds the newest copy: diversity picks node 3.
+        assert_eq!(select_ship_buddy(1, 4, |_| true, |j| j == 2), Some(3));
+        // Every alive peer holds a copy: fall back to ring order.
+        assert_eq!(select_ship_buddy(1, 4, |_| true, |_| true), Some(2));
+        // No peer alive at all: nowhere to ship.
+        assert_eq!(select_ship_buddy(1, 4, |_| false, |_| false), None);
+    }
+
+    #[test]
+    fn long_degrade_trips_detector_but_never_promotes() {
+        let (base, base_rec) = run(FaultPlan::new(), 2);
+        // Degradation far longer than the detection timeout: the stall
+        // detector fires, finds the node alive with its link up and no
+        // errored channels, and has nothing to repair. No promotion, no
+        // reset — the run completes exactly on its own.
+        let plan = FaultPlan::new().degrade(
+            SimTime::from_micros(150),
+            1,
+            SimTime::from_micros(400),
+            SimTime::from_millis(2),
+        );
+        let (faulted, rec) = run(plan, 2);
         assert!(
             !rec.events
                 .iter()

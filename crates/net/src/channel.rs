@@ -96,6 +96,16 @@ pub fn create_channel(
 /// stalls). Engines charge this to their virtual CPU.
 pub const EMPTY_POLL_COST: SimTime = SimTime::from_nanos(8);
 
+/// Control-plane messages exchanged to bring a *replacement* channel to
+/// ready-to-send during recovery: connect request, queue-pair attribute
+/// exchange (the INIT→RTR→RTS analog), and the commit-horizon handshake
+/// that tells the producer which epoch to resume replay from. Recovery
+/// drivers charge this many wire round trips before a re-established
+/// channel set may carry deltas — channel *creation* itself is free in the
+/// model (registration is local), so this constant is where reconnect
+/// latency lives.
+pub const RECONNECT_HANDSHAKE_MSGS: u64 = 3;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,7 +44,7 @@ pub mod sender;
 pub mod socket;
 pub mod stats;
 
-pub use channel::{create_channel, ChannelConfig};
+pub use channel::{create_channel, ChannelConfig, RECONNECT_HANDSHAKE_MSGS};
 pub use layout::{Footer, MsgFlags, FOOTER_SIZE};
 pub use receiver::ChannelReceiver;
 pub use sender::ChannelSender;

@@ -51,5 +51,5 @@ pub use crdts_hll::HllCrdt;
 pub use descriptor::{StateDescriptor, ValueKind};
 pub use hash::{pack_key, unpack_key, StateKey};
 pub use partition::Partition;
-pub use snapshot::{restore, snapshot_chunks};
+pub use snapshot::{chunks_digest, restore, snapshot_chunks};
 pub use vclock::VectorClock;

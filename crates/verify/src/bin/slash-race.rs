@@ -5,9 +5,11 @@
 //! ```
 //!
 //! Runs the channel, multi-port fabric, coherence, and crash-recovery
-//! scenarios under `N` tie-break policies (FIFO, LIFO, and seeded
-//! permutations; default 128), printing how many distinct schedules were
-//! explored and any invariant violations. On a violation the flight
+//! scenarios — including the compound `concurrent-crash` (two victims on
+//! the same tick) and `reentrant-recovery` (the same victim crashes again
+//! after its first restore) families — under `N` tie-break policies
+//! (FIFO, LIFO, and seeded permutations; default 128), printing how many
+//! distinct schedules were explored and any invariant violations. On a violation the flight
 //! recorder's dump — the last trace events with the schedule fingerprint
 //! and vector-clock context — is printed alongside.
 //!
@@ -140,8 +142,21 @@ fn main() -> ExitCode {
     print!("{}", coh.render_human());
     let rec = explore("crash-recovery", seeds, |p| RecoveryScenario::default().run(p));
     print!("{}", rec.render_human());
+    let conc = explore("concurrent-crash", seeds, |p| {
+        RecoveryScenario::concurrent_crash().run(p)
+    });
+    print!("{}", conc.render_human());
+    let reent = explore("reentrant-recovery", seeds, |p| {
+        RecoveryScenario::reentrant().run(p)
+    });
+    print!("{}", reent.render_human());
 
-    let ok = gate(&chan, seeds) && gate(&multi, seeds) && gate(&coh, seeds) && gate(&rec, seeds);
+    let ok = gate(&chan, seeds)
+        && gate(&multi, seeds)
+        && gate(&coh, seeds)
+        && gate(&rec, seeds)
+        && gate(&conc, seeds)
+        && gate(&reent, seeds);
     if ok {
         println!("slash-race: PASS");
         ExitCode::SUCCESS

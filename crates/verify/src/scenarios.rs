@@ -656,20 +656,35 @@ const R_CRASH_TICK: u64 = 9;
 const VICTIM: usize = 1;
 
 /// Configuration of the snapshot/restore-during-epoch-traffic scenario:
-/// a 3-node SSB cluster runs the coherence workload with epoch retention
-/// on; node [`VICTIM`] checkpoints at every epoch close (primary snapshot,
-/// vector clock, per-helper receiver horizons, retained epochs, op-stream
-/// RNG). At [`R_CRASH_TICK`] the node crashes and is rebuilt in place from
-/// the last checkpoint — channels torn down and re-established, retained
-/// epochs requeued from the survivors' committed horizons, the victim's
-/// deterministic op stream replayed — all while the survivors keep closing
-/// and shipping epochs. At quiescence [`Invariant::RecoveryConvergence`]
-/// requires the merged state to equal the sequential oracle exactly:
-/// nothing lost, no epoch applied twice.
+/// an SSB cluster runs the coherence workload with epoch retention on;
+/// every node named in the crash schedule checkpoints at each of its
+/// epoch closes (primary snapshot, vector clock, per-helper receiver
+/// horizons, retained epochs, op-stream RNG). At its scheduled tick a
+/// victim crashes and is rebuilt in place from its last checkpoint —
+/// channels torn down and re-established, retained epochs requeued from
+/// the survivors' committed horizons, the victim's deterministic op
+/// stream replayed — all while the survivors keep closing and shipping
+/// epochs. At quiescence [`Invariant::RecoveryConvergence`] requires the
+/// merged state to equal the sequential oracle exactly: nothing lost, no
+/// epoch applied twice.
+///
+/// The schedule makes this a *family*: the default is the single crash of
+/// node [`VICTIM`] at [`R_CRASH_TICK`]; [`RecoveryScenario::concurrent_crash`]
+/// crashes two nodes on the same tick (the tie-break policy orders the
+/// overlapping restores); [`RecoveryScenario::reentrant`] crashes the same
+/// node twice, so the second restore starts from a checkpoint captured by
+/// the first restored incarnation.
 #[derive(Debug, Clone)]
 pub struct RecoveryScenario {
-    /// Cluster size (must be ≥ 2 so the victim has surviving helpers).
+    /// Cluster size (must be ≥ 2 so every victim has surviving helpers).
     pub nodes: usize,
+    /// Crash schedule: `(tick, node)` pairs, in any order. Two entries
+    /// with the same tick on distinct nodes crash *concurrently* — the
+    /// tie-break policy decides which crash-and-restore runs first, so
+    /// the sweep explores every ordering of overlapping recoveries. Two
+    /// entries for the same node crash it *again* after its first
+    /// recovery.
+    pub crashes: Vec<(u64, usize)>,
     /// Optional injected bug.
     pub mutation: Option<Mutation>,
 }
@@ -678,7 +693,38 @@ impl Default for RecoveryScenario {
     fn default() -> Self {
         RecoveryScenario {
             nodes: 3,
+            crashes: vec![(R_CRASH_TICK, VICTIM)],
             mutation: None,
+        }
+    }
+}
+
+impl RecoveryScenario {
+    /// The concurrent-crash family: nodes 1 and 2 of a 4-node cluster
+    /// crash on the same tick. Whichever restore the tie-break policy
+    /// runs first reads the other victim's pre-crash endpoints and has
+    /// its freshly-built channels toward that victim torn down again by
+    /// the second restore; the later restore must re-ship from the
+    /// earlier one's checkpointed horizons. Convergence must hold under
+    /// every ordering.
+    pub fn concurrent_crash() -> Self {
+        RecoveryScenario {
+            nodes: 4,
+            crashes: vec![(R_CRASH_TICK, 1), (R_CRASH_TICK, 2)],
+            ..RecoveryScenario::default()
+        }
+    }
+
+    /// The re-entrant recovery family: node [`VICTIM`] crashes at
+    /// [`R_CRASH_TICK`] and again four ticks later — after its restored
+    /// incarnation has replayed its op stream, shipped fresh epochs, and
+    /// captured a new checkpoint of its own. The second restore composes
+    /// with the first: two generations of requeued deltas land at the
+    /// survivors, and epoch-id dedup must keep the merge exactly-once.
+    pub fn reentrant() -> Self {
+        RecoveryScenario {
+            crashes: vec![(R_CRASH_TICK, VICTIM), (R_CRASH_TICK + 4, VICTIM)],
+            ..RecoveryScenario::default()
         }
     }
 }
@@ -709,8 +755,16 @@ struct RecWorld {
     rngs: Vec<DetRng>,
     prev_vc: Vec<Vec<u64>>,
     mutation: Option<Mutation>,
-    ckpt: Option<RecCkpt>,
-    recovered: bool,
+    /// Latest checkpoint per node (only victims capture).
+    ckpts: Vec<Option<RecCkpt>>,
+    /// Crash events not yet executed.
+    pending: Vec<(u64, usize)>,
+    /// Nodes that appear anywhere in the crash schedule.
+    victims: Vec<usize>,
+    /// Crash-and-restore cycles completed.
+    recovered: usize,
+    crashes_total: usize,
+    skip_used: bool,
     final_closed: Vec<bool>,
     violations: Vec<(Invariant, String)>,
     flagged: HashSet<(&'static str, usize)>,
@@ -775,17 +829,19 @@ impl RecWorld {
         false
     }
 
-    /// Checkpoint the victim at an epoch close — the epoch-aligned
+    /// Checkpoint a victim at an epoch close — the epoch-aligned
     /// consistency point: primary snapshot, vector clock, receiver
     /// horizons and retained sender memory all from the same instant.
-    fn capture(&mut self, tick: u64) {
+    /// Victims keep capturing after a recovery, so a second crash of the
+    /// same node restores from its restored incarnation's checkpoint.
+    fn capture(&mut self, victim: usize, tick: u64) {
         let n = self.ssb.len();
-        let v = &self.ssb[VICTIM];
-        self.ckpt = Some(RecCkpt {
+        let v = &self.ssb[victim];
+        self.ckpts[victim] = Some(RecCkpt {
             snapshot: v.snapshot_primary(4096),
             vclock: v.vclock().snapshot(),
             receiver_next: (0..n)
-                .map(|h| if h == VICTIM { 0 } else { v.receiver_next_epoch(h) })
+                .map(|h| if h == victim { 0 } else { v.receiver_next_epoch(h) })
                 .collect(),
             retained: (0..n)
                 .map(|l| {
@@ -793,91 +849,99 @@ impl RecWorld {
                 })
                 .collect(),
             epochs_closed: v.epochs_closed(),
-            rng: self.rngs[VICTIM].clone(),
+            rng: self.rngs[victim].clone(),
             resume_tick: tick + 1,
         });
     }
 
-    /// Crash the victim and rebuild it from the last checkpoint while the
+    /// Crash a victim and rebuild it from its last checkpoint while the
     /// survivors' epoch traffic is still in flight: fresh detached node,
     /// snapshot + vclock restore, channel teardown/re-establishment with
     /// retained-epoch requeue from each side's committed horizon, then a
     /// deterministic replay of the op stream lost since the checkpoint.
-    fn crash_restore(&mut self, sim: &mut Sim) {
-        let Some(ckpt) = self.ckpt.take() else {
+    ///
+    /// Under a concurrent-crash schedule the "survivor" loop may visit
+    /// the *other* victim in whatever incarnation it currently holds —
+    /// pre-crash if this restore was ordered first, post-restore
+    /// otherwise. Both are correct sources: the later restore replaces
+    /// any channel built here and re-ships from its own checkpointed
+    /// horizons, and retention means every epoch id at or past those
+    /// horizons is still requeue-able.
+    fn crash_restore(&mut self, sim: &mut Sim, victim: usize, crash_tick: u64) {
+        let Some(ckpt) = self.ckpts[victim].take() else {
             self.flag(
                 Invariant::RecoveryConvergence,
-                VICTIM,
+                victim,
                 "no checkpoint captured before crash".into(),
             );
             return;
         };
         let n = self.ssb.len();
-        let mut repl = SsbNode::detached(VICTIM, CounterCrdt::descriptor(), self.cfg);
+        let mut repl = SsbNode::detached(victim, CounterCrdt::descriptor(), self.cfg);
         repl.restore_primary(&ckpt.snapshot);
         repl.restore_vclock(&ckpt.vclock);
         // The replacement must not reuse epoch ids its predecessor
         // shipped with different content; replayed closes regenerate the
         // same ids with the same content, which the survivors dedup.
         repl.resume_fragments_at(ckpt.epochs_closed);
-        let mut skip_used = false;
         for s in 0..n {
-            if s == VICTIM {
+            if s == victim {
                 continue;
             }
             // victim → survivor: new channel, sender memory from the
             // checkpoint, resend from the survivor's committed horizon.
-            let (tx, rx) = create_channel(&self.fabric, self.fab[VICTIM], self.fab[s], self.cfg.channel);
+            let (tx, rx) = create_channel(&self.fabric, self.fab[victim], self.fab[s], self.cfg.channel);
             let mut sender = DeltaSender::new(tx);
             sender.restore_retained(ckpt.retained[s].clone());
-            let resume = self.ssb[s].receiver_next_epoch(VICTIM);
+            let resume = self.ssb[s].receiver_next_epoch(victim);
             sender.requeue_from(resume);
             repl.replace_sender(s, sender);
-            self.ssb[s].replace_receiver(VICTIM, DeltaReceiver::new(rx, VICTIM));
-            self.ssb[s].seed_receiver(VICTIM, resume);
+            self.ssb[s].replace_receiver(victim, DeltaReceiver::new(rx, victim));
+            self.ssb[s].seed_receiver(victim, resume);
             // survivor → victim: the helper is alive, so its live retained
             // list replays everything the restored primary is missing.
-            let (tx2, rx2) = create_channel(&self.fabric, self.fab[s], self.fab[VICTIM], self.cfg.channel);
+            let (tx2, rx2) = create_channel(&self.fabric, self.fab[s], self.fab[victim], self.cfg.channel);
             let mut sender2 = DeltaSender::new(tx2);
             sender2.restore_retained(
-                self.ssb[s].retained_for(VICTIM).map(<[_]>::to_vec).unwrap_or_default(),
+                self.ssb[s].retained_for(victim).map(<[_]>::to_vec).unwrap_or_default(),
             );
-            if self.mutation == Some(Mutation::SkipReplay) && !skip_used {
+            if self.mutation == Some(Mutation::SkipReplay) && !self.skip_used {
                 // Injected bug: the replay range from this helper is lost.
-                skip_used = true;
+                self.skip_used = true;
             } else {
                 sender2.requeue_from(ckpt.receiver_next[s]);
             }
-            self.ssb[s].replace_sender(VICTIM, sender2);
+            self.ssb[s].replace_sender(victim, sender2);
             repl.replace_receiver(s, DeltaReceiver::new(rx2, s));
             repl.seed_receiver(s, ckpt.receiver_next[s]);
             self.ssb[s].instrument(self.obs.clone());
         }
         repl.set_retention(true);
         repl.instrument(self.obs.clone());
-        self.ssb[VICTIM] = repl;
+        self.ssb[victim] = repl;
         // Monotonicity restarts with the new incarnation: the restored
         // vector clock legitimately sits behind the crashed one's.
-        self.prev_vc[VICTIM] = vec![0; n];
+        self.prev_vc[victim] = vec![0; n];
         // Deterministic replay of the lost op stream.
-        self.rngs[VICTIM] = ckpt.rng.clone();
-        for t in ckpt.resume_tick..R_CRASH_TICK {
-            self.do_ops(VICTIM, false);
-            self.close_if_due(sim, VICTIM, t);
+        self.rngs[victim] = ckpt.rng.clone();
+        for t in ckpt.resume_tick..crash_tick {
+            self.do_ops(victim, false);
+            self.close_if_due(sim, victim, t);
         }
-        self.recovered = true;
+        self.recovered += 1;
     }
 
     fn node_tick(&mut self, sim: &mut Sim, i: usize, tick: u64) -> bool {
         self.cur_fp = sim.schedule_fingerprint();
-        if i == VICTIM && tick == R_CRASH_TICK && !self.recovered {
-            self.crash_restore(sim);
+        if let Some(pos) = self.pending.iter().position(|&(t, v)| t == tick && v == i) {
+            self.pending.remove(pos);
+            self.crash_restore(sim, i, tick);
         }
         if tick < R_OP_TICKS {
             self.do_ops(i, true);
             let closed = self.close_if_due(sim, i, tick);
-            if closed && i == VICTIM && !self.recovered {
-                self.capture(tick);
+            if closed && self.victims.contains(&i) {
+                self.capture(i, tick);
             }
         } else if !self.final_closed[i] {
             self.ssb[i].note_progress(FINAL_WM);
@@ -898,11 +962,12 @@ impl RecWorld {
     }
 
     fn convergence(&mut self) {
-        if !self.recovered {
+        if self.recovered != self.crashes_total {
+            let (got, want) = (self.recovered, self.crashes_total);
             self.flag(
                 Invariant::RecoveryConvergence,
                 VICTIM,
-                "crash/restore never executed".into(),
+                format!("only {got} of {want} scheduled crash/restores executed"),
             );
         }
         let n = self.ssb.len();
@@ -970,6 +1035,9 @@ impl RecoveryScenario {
         for node in &mut ssb {
             node.set_retention(true);
         }
+        let mut victims: Vec<usize> = self.crashes.iter().map(|&(_, v)| v).collect();
+        victims.sort_unstable();
+        victims.dedup();
         let world = Rc::new(RefCell::new(RecWorld {
             ssb,
             fabric: fabric.clone(),
@@ -979,8 +1047,12 @@ impl RecoveryScenario {
             rngs: (0..n).map(|i| DetRng::new(0xFA11 ^ (i as u64) << 8)).collect(),
             prev_vc: vec![vec![0; n]; n],
             mutation: self.mutation,
-            ckpt: None,
-            recovered: false,
+            ckpts: (0..n).map(|_| None).collect(),
+            pending: self.crashes.clone(),
+            victims,
+            recovered: 0,
+            crashes_total: self.crashes.len(),
+            skip_used: false,
             final_closed: vec![false; n],
             violations: Vec::new(),
             flagged: HashSet::new(),
@@ -1071,6 +1143,48 @@ mod tests {
                 out.violations
             );
         }
+    }
+
+    #[test]
+    fn concurrent_crash_scenario_clean_under_policies() {
+        for policy in [TieBreak::Fifo, TieBreak::Lifo, TieBreak::Seeded(7)] {
+            let out = RecoveryScenario::concurrent_crash().run(policy);
+            assert!(
+                out.violations.is_empty(),
+                "unexpected violations under {policy:?}: {:?}",
+                out.violations
+            );
+        }
+    }
+
+    #[test]
+    fn reentrant_recovery_scenario_clean_under_policies() {
+        for policy in [TieBreak::Fifo, TieBreak::Lifo, TieBreak::Seeded(7)] {
+            let out = RecoveryScenario::reentrant().run(policy);
+            assert!(
+                out.violations.is_empty(),
+                "unexpected violations under {policy:?}: {:?}",
+                out.violations
+            );
+        }
+    }
+
+    #[test]
+    fn unreached_crash_tick_trips_the_executed_check() {
+        // A crash scheduled past the end of the run must not silently
+        // vacuously pass: the convergence check counts executed cycles.
+        let s = RecoveryScenario {
+            crashes: vec![(R_CRASH_TICK, VICTIM), (10_000, VICTIM)],
+            ..RecoveryScenario::default()
+        };
+        let out = s.run(TieBreak::Fifo);
+        assert!(
+            out.violations
+                .iter()
+                .any(|(inv, d)| *inv == Invariant::RecoveryConvergence && d.contains("1 of 2")),
+            "missing-crash check did not fire: {:?}",
+            out.violations
+        );
     }
 
     #[test]

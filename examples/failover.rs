@@ -41,6 +41,7 @@ fn run(plan: &FaultPlan, obs: Obs) -> (RunReport, RecoveryReport) {
         ft: FtConfig {
             detect_timeout: SimTime::from_micros(300),
             ckpt_max_chunk: 16 * 1024,
+            ckpt_copies: 2,
         },
     };
     SlashCluster::run_chaos(w.plan, w.partitions, cfg, &chaos, obs)
@@ -81,7 +82,7 @@ fn main() {
         .find(|e| matches!(e.action, RecoveryAction::Promoted { .. }))
         .expect("the crash must be detected and repaired by promotion");
     let host = match promotion.action {
-        RecoveryAction::Promoted { host } => host,
+        RecoveryAction::Promoted { host, .. } => host,
         RecoveryAction::ChannelsReset { .. } => unreachable!(),
     };
     println!(

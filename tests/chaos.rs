@@ -15,26 +15,73 @@ use slash::workloads::{ysb, GenConfig};
 
 const NODES: usize = 3;
 
-fn run_config() -> RunConfig {
-    let mut cfg = RunConfig::new(NODES, 1);
+fn run_config_n(nodes: usize, workers_per_node: usize) -> RunConfig {
+    let mut cfg = RunConfig::new(nodes, workers_per_node);
     cfg.collect_results = true;
     cfg.epoch_bytes = 16 * 1024;
     cfg
 }
 
-fn chaos_config(plan: FaultPlan) -> ChaosConfig {
+fn chaos_config_copies(plan: FaultPlan, ckpt_copies: usize) -> ChaosConfig {
     ChaosConfig {
         plan,
         ft: FtConfig {
             detect_timeout: SimTime::from_micros(300),
             ckpt_max_chunk: 16 * 1024,
+            ckpt_copies,
         },
     }
 }
 
+fn chaos_config(plan: FaultPlan) -> ChaosConfig {
+    chaos_config_copies(plan, 2)
+}
+
+fn chaos_run_cfg(
+    nodes: usize,
+    workers_per_node: usize,
+    chaos: &ChaosConfig,
+    obs: Obs,
+) -> (RunReport, RecoveryReport) {
+    let w = ysb(&GenConfig::new(nodes * workers_per_node, 20_000));
+    SlashCluster::run_chaos(
+        w.plan,
+        w.partitions,
+        run_config_n(nodes, workers_per_node),
+        chaos,
+        obs,
+    )
+}
+
 fn chaos_run(plan: &FaultPlan, obs: Obs) -> (RunReport, RecoveryReport) {
-    let w = ysb(&GenConfig::new(NODES, 20_000));
-    SlashCluster::run_chaos(w.plan, w.partitions, run_config(), &chaos_config(plan.clone()), obs)
+    chaos_run_cfg(NODES, 1, &chaos_config(plan.clone()), obs)
+}
+
+/// Collect the hosts of all `Promoted` events, keyed by crashed node.
+fn promotions(rec: &RecoveryReport) -> Vec<(usize, usize, u32)> {
+    rec.events
+        .iter()
+        .filter_map(|e| match e.action {
+            RecoveryAction::Promoted { host, restarts } => Some((e.node, host, restarts)),
+            RecoveryAction::ChannelsReset { .. } => None,
+        })
+        .collect()
+}
+
+/// Assert the faulted run converged bit-exactly to the reference run.
+fn assert_exact(
+    (report, rec): &(RunReport, RecoveryReport),
+    (base, base_rec): &(RunReport, RecoveryReport),
+) {
+    assert_eq!(report.records, base.records, "records lost or duplicated");
+    assert_eq!(
+        rec.results_digest, base_rec.results_digest,
+        "window results diverged from the no-fault run"
+    );
+    assert_eq!(
+        rec.state_digests, base_rec.state_digests,
+        "post-recovery state diverged from the no-fault run"
+    );
 }
 
 #[test]
@@ -111,4 +158,137 @@ fn crash_restore_replay_converges_to_no_fault_state() {
         rec.state_digests, base_rec.state_digests,
         "post-recovery state diverged from the no-fault run"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Cascading-fault matrix: compound faults must converge exactly too.
+// ---------------------------------------------------------------------------
+
+/// Two nodes die on the same virtual nanosecond in a 4-node cluster. Both
+/// partitions must be promoted onto survivors — each promotion installing
+/// retaining endpoints toward the *other* dead peer until that peer's own
+/// promotion commits and swaps them out — and the result must still be
+/// bit-exact against the fault-free run.
+#[test]
+fn concurrent_crashes_on_distinct_nodes_converge_exactly() {
+    let nodes = 4;
+    let base = chaos_run_cfg(nodes, 1, &chaos_config(FaultPlan::new()), Obs::disabled());
+    let crash_at = SimTime::from_micros(200);
+    assert!(base.0.completion_time > crash_at, "faults must land mid-run");
+
+    let plan = FaultPlan::new().concurrent(crash_at, &[1, 2]);
+    let out = chaos_run_cfg(nodes, 1, &chaos_config(plan), Obs::disabled());
+
+    let promoted = promotions(&out.1);
+    let victims: Vec<usize> = promoted.iter().map(|&(v, _, _)| v).collect();
+    assert!(victims.contains(&1) && victims.contains(&2), "both crashed partitions promoted: {promoted:?}");
+    for &(victim, host, _) in &promoted {
+        assert!(host != 1 && host != 2, "node {victim} promoted onto dead host {host}");
+    }
+    assert_exact(&out, &base);
+}
+
+/// The crashed node's designated buddy is itself dead. With a single
+/// checkpoint copy, node 1 ships to its ring buddy (node 2); crashing node
+/// 2 first invalidates that copy, forcing the shipper to re-select a new
+/// buddy (node 0) and re-ship — or recovery to fall back to an older
+/// surviving copy. Either way node 1's later crash must still promote and
+/// converge exactly.
+#[test]
+fn buddy_crash_forces_reselection_and_owner_crash_still_converges() {
+    let base = chaos_run(&FaultPlan::new(), Obs::disabled());
+
+    let plan = FaultPlan::new()
+        .crash(SimTime::from_micros(150), 2)
+        .crash(SimTime::from_micros(900), 1);
+    let out = chaos_run_cfg(NODES, 1, &chaos_config_copies(plan, 1), Obs::disabled());
+
+    let promoted = promotions(&out.1);
+    let victims: Vec<usize> = promoted.iter().map(|&(v, _, _)| v).collect();
+    assert!(victims.contains(&2), "buddy crash repaired: {promoted:?}");
+    assert!(victims.contains(&1), "owner crash repaired: {promoted:?}");
+    let (_, host1, _) = promoted.iter().find(|&&(v, _, _)| v == 1).unwrap();
+    assert_eq!(*host1, 0, "node 1 must promote onto the only fully-alive node");
+    assert_exact(&out, &base);
+}
+
+/// A second crash lands while the first promotion is mid-flight: the
+/// promotion's restore/reconnect host dies under it. The state machine
+/// must restart against a re-selected host and copy (surfaced in the
+/// `restarts` counter) and the run must still converge exactly.
+#[test]
+fn crash_during_recovery_restarts_promotion_and_converges() {
+    let base = chaos_run(&FaultPlan::new(), Obs::disabled());
+
+    // Probe pass: time a plain single-crash promotion with this seed so
+    // the second fault can be aimed mid-recovery with virtual-time
+    // precision (determinism makes the probe exact, not approximate).
+    let crash_at = SimTime::from_micros(200);
+    let probe = chaos_run(&FaultPlan::new().crash(crash_at, 1), Obs::disabled());
+    let evt = probe
+        .1
+        .events
+        .iter()
+        .find(|e| matches!(e.action, RecoveryAction::Promoted { .. }))
+        .expect("probe promotion");
+    let (_, probe_host, _) = promotions(&probe.1)[0];
+    let midpoint = SimTime::from_nanos(
+        (evt.detected_at.as_nanos() + evt.recovered_at.as_nanos()) / 2,
+    );
+    assert!(midpoint > crash_at);
+
+    // Real pass: crash the in-flight promotion's host at the midpoint.
+    let plan = FaultPlan::new().during_recovery(crash_at, 1, midpoint - crash_at, probe_host);
+    let out = chaos_run(&plan, Obs::disabled());
+
+    let promoted = promotions(&out.1);
+    let (_, final_host, restarts) = *promoted
+        .iter()
+        .find(|&&(v, _, _)| v == 1)
+        .expect("node 1 must still be promoted");
+    assert!(restarts >= 1, "promotion must have been interrupted and restarted");
+    assert_ne!(final_host, probe_host, "restart must re-select a live host");
+    assert!(promoted.iter().any(|&(v, _, _)| v == probe_host), "second victim repaired too");
+    assert_exact(&out, &base);
+}
+
+/// Crash under `workers_per_node = 2`: promotion must resurrect *both* of
+/// the dead node's worker partitions, seek each source to its checkpointed
+/// byte position, and re-establish every per-worker channel — exactness
+/// over the union of both workers' streams.
+#[test]
+fn multi_worker_promotion_resurrects_all_partitions_exactly() {
+    let wpn = 2;
+    let base = chaos_run_cfg(NODES, wpn, &chaos_config(FaultPlan::new()), Obs::disabled());
+    assert!(base.1.checkpoints_durable > 0);
+
+    let plan = FaultPlan::new().crash(SimTime::from_micros(200), 1);
+    let out = chaos_run_cfg(NODES, wpn, &chaos_config(plan), Obs::disabled());
+
+    let promoted = promotions(&out.1);
+    assert!(promoted.iter().any(|&(v, _, _)| v == 1), "crash repaired: {promoted:?}");
+    assert_exact(&out, &base);
+}
+
+/// Golden determinism for compound plans: same seed + same cascading
+/// fault plan ⇒ byte-identical traces and equal digests, exactly like the
+/// single-fault golden test.
+#[test]
+fn compound_fault_plan_same_seed_is_byte_identical() {
+    let nodes = 4;
+    let plan = FaultPlan::new()
+        .concurrent(SimTime::from_micros(200), &[1, 2])
+        .crash(SimTime::from_micros(900), 3);
+    let run = || {
+        let obs = Obs::enabled(16_384);
+        let out = chaos_run_cfg(nodes, 1, &chaos_config(plan.clone()), obs.clone());
+        (obs.chrome_trace_json(), out)
+    };
+    let (json_a, out_a) = run();
+    let (json_b, out_b) = run();
+    assert_eq!(out_a.0.records, out_b.0.records);
+    assert_eq!(out_a.1.state_digests, out_b.1.state_digests);
+    assert_eq!(out_a.1.results_digest, out_b.1.results_digest);
+    assert_eq!(out_a.1.events.len(), out_b.1.events.len());
+    assert_eq!(json_a, json_b, "cascading-fault trace must be byte-identical");
 }

@@ -136,6 +136,7 @@ fn chaos_crash_recovery_is_combiner_invariant() {
             ft: FtConfig {
                 detect_timeout: SimTime::from_micros(300),
                 ckpt_max_chunk: 16 * 1024,
+                ckpt_copies: 2,
             },
         };
         SlashCluster::run_chaos(w.plan, w.partitions, cfg, &chaos_cfg, Obs::disabled())
