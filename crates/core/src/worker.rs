@@ -263,7 +263,7 @@ impl SlashWorker {
         // k-1 following ones. Later slices may retire in the *same*
         // sweep (and are then gone from the state), so look them up in
         // the drained batch first and fall back to peeking live state.
-        let drained_values: std::collections::HashMap<(u64, u64), Vec<u8>> = if slices > 1 {
+        let drained_values: std::collections::BTreeMap<(u64, u64), Vec<u8>> = if slices > 1 {
             drained
                 .iter()
                 .filter_map(|tv| match &tv.data {
@@ -274,7 +274,7 @@ impl SlashWorker {
                 })
                 .collect()
         } else {
-            std::collections::HashMap::new()
+            std::collections::BTreeMap::new()
         };
         for tv in drained {
             match (&*plan, tv.data) {

@@ -58,6 +58,67 @@ impl TieBreak {
     }
 }
 
+/// Structural label describing which part of the modelled system an event
+/// touches. Labels carry no semantics inside the kernel; they exist so the
+/// exhaustive race explorer in `slash-verify` can prove that two
+/// same-instant events *commute* (their firing order cannot affect any
+/// reachable state) and prune one of the two orders.
+///
+/// The independence relation is deliberately conservative: only
+/// channel-labeled deliveries with disjoint endpoint sets are ever treated
+/// as independent. Node-labeled and unlabeled events are dependent with
+/// everything, because they may touch shared fabric or oracle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct EventLabel(u64);
+
+impl EventLabel {
+    /// No structural information; conservatively dependent with everything.
+    pub const NONE: EventLabel = EventLabel(0);
+
+    const KIND_MASK: u64 = 3 << 62;
+    const KIND_NODE: u64 = 1 << 62;
+    const KIND_CHANNEL: u64 = 2 << 62;
+
+    /// An event local to one node (an actor tick, a local timer). Still
+    /// conservatively dependent with everything — the label is for trace
+    /// readability, not reduction.
+    pub fn node(node: u32) -> Self {
+        EventLabel(Self::KIND_NODE | node as u64)
+    }
+
+    /// A delivery on the directed channel `src → dst`: the event only reads
+    /// or writes endpoint state of those two nodes (QP delivery fences,
+    /// rings, completion queues) plus read-only topology. `src` is truncated
+    /// to 30 bits to stay clear of the kind tag (node ids are tiny).
+    pub fn channel(src: u32, dst: u32) -> Self {
+        EventLabel(Self::KIND_CHANNEL | ((src as u64 & 0x3FFF_FFFF) << 32) | dst as u64)
+    }
+
+    /// Raw encoding, stable across runs (used in explorer state signatures).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The `(src, dst)` endpoints if this is a channel label.
+    pub fn channel_endpoints(self) -> Option<(u32, u32)> {
+        if self.0 & Self::KIND_MASK == Self::KIND_CHANNEL {
+            Some((((self.0 >> 32) & 0x3FFF_FFFF) as u32, self.0 as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Whether two events provably commute: both are channel deliveries and
+    /// their endpoint node sets are disjoint. Anything else — node-labeled,
+    /// unlabeled, or channels sharing a node — is treated as dependent.
+    pub fn independent(self, other: EventLabel) -> bool {
+        match (self.channel_endpoints(), other.channel_endpoints()) {
+            (Some((a, b)), Some((c, d))) => a != c && a != d && b != c && b != d,
+            _ => false,
+        }
+    }
+}
+
 /// What happens when an event fires.
 pub(crate) enum EventKind {
     /// Wake a parked or yielded process.
@@ -74,6 +135,8 @@ pub(crate) struct Scheduled {
     /// Computed once at push from the queue's [`TieBreak`] policy so that
     /// changing the policy mid-run never reorders already-queued events.
     pub key: u64,
+    /// Structural label for the explorer's independence relation.
+    pub label: EventLabel,
     pub kind: EventKind,
 }
 
@@ -110,10 +173,37 @@ pub(crate) struct EventQueue {
 
 impl EventQueue {
     pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        self.push_labeled(at, EventLabel::NONE, kind);
+    }
+
+    pub fn push_labeled(&mut self, at: SimTime, label: EventLabel, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
         let key = self.policy.key(seq);
-        self.heap.push(Scheduled { at, seq, key, kind });
+        self.heap.push(Scheduled { at, seq, key, label, kind });
+    }
+
+    /// Re-insert an entry previously popped by [`EventQueue::pop_ties`],
+    /// keeping its original sequence number and priority key so the queue
+    /// order stays exactly what it was before the tie set was drained.
+    pub fn push_back(&mut self, s: Scheduled) {
+        self.heap.push(s);
+    }
+
+    /// Pop *every* event tied at the earliest virtual time, returned in
+    /// schedule (seq) order. This is the enabled-event-set enumeration hook
+    /// the exhaustive explorer branches on: among these, any could fire
+    /// first on real hardware.
+    pub fn pop_ties(&mut self) -> Vec<Scheduled> {
+        let Some(t) = self.peek_time() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        while self.heap.peek().map(|s| s.at) == Some(t) {
+            out.push(self.heap.pop().expect("peeked entry must pop"));
+        }
+        out.sort_by_key(|s| s.seq);
+        out
     }
 
     /// Set the tie-break policy for events pushed from now on.
@@ -219,6 +309,45 @@ mod tests {
         wake(20, &mut q);
         let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|s| s.at.0)).collect();
         assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn labels_commute_only_on_disjoint_channels() {
+        let ab = EventLabel::channel(0, 1);
+        let cd = EventLabel::channel(2, 3);
+        let bc = EventLabel::channel(1, 2);
+        assert!(ab.independent(cd) && cd.independent(ab));
+        assert!(!ab.independent(bc), "shared endpoint 1 → dependent");
+        assert!(!ab.independent(ab), "an event never commutes with itself");
+        assert!(!ab.independent(EventLabel::NONE));
+        assert!(!EventLabel::node(7).independent(EventLabel::node(8)));
+        assert!(!EventLabel::node(0).independent(cd));
+        assert_eq!(ab.channel_endpoints(), Some((0, 1)));
+        assert_eq!(EventLabel::node(7).channel_endpoints(), None);
+        assert_eq!(EventLabel::NONE.channel_endpoints(), None);
+    }
+
+    #[test]
+    fn pop_ties_returns_full_tie_set_in_seq_order() {
+        let mut q = EventQueue::default();
+        q.set_policy(TieBreak::Lifo); // adversarial heap order
+        wake(10, &mut q);
+        wake(10, &mut q);
+        wake(10, &mut q);
+        wake(20, &mut q);
+        let ties = q.pop_ties();
+        assert_eq!(ties.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(q.len(), 1);
+        // Push two back; they must still pop before the later event.
+        let mut it = ties.into_iter();
+        it.next();
+        for s in it {
+            q.push_back(s);
+        }
+        let again = q.pop_ties();
+        assert_eq!(again.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(q.pop_ties().len(), 1);
+        assert!(q.pop_ties().is_empty());
     }
 
     #[test]

@@ -36,8 +36,8 @@ pub mod rng;
 pub mod sim;
 
 pub use clock::SimTime;
-pub use event::TieBreak;
+pub use event::{EventLabel, TieBreak};
 pub use link::Link;
 pub use process::{ProcId, Process, Step};
 pub use rng::DetRng;
-pub use sim::Sim;
+pub use sim::{ChoicePoint, EnabledEvent, Sim};

@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::clock::SimTime;
-use crate::event::{EventKind, EventQueue, TieBreak};
+use crate::event::{EventKind, EventLabel, EventQueue, TieBreak};
 use crate::process::{ProcId, ProcState, Process, Step};
 
 struct ProcEntry {
@@ -24,6 +24,47 @@ pub struct SimStats {
     pub stale_wakes: u64,
 }
 
+/// One same-instant event as seen at a branch point of an explored run.
+///
+/// `seq` identifies the event within *this* run (sequence numbers are
+/// deterministic for a fixed choice prefix); `label` carries the structural
+/// information the explorer's independence relation works on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnabledEvent {
+    /// Schedule sequence number of the event in this run.
+    pub seq: u64,
+    /// Structural label (channel / node / none).
+    pub label: EventLabel,
+}
+
+/// A recorded same-instant scheduling decision from an explored run.
+///
+/// Whenever two or more events tie at the earliest virtual time, the
+/// simulator consults the replay schedule (or defaults to FIFO), fires the
+/// chosen event, and records the full enabled set plus the choice here.
+/// The sequence of `chosen` indices is a complete, replayable encoding of
+/// the schedule: replaying it through [`Sim::with_schedule`] reproduces the
+/// run exactly.
+#[derive(Debug, Clone)]
+pub struct ChoicePoint {
+    /// Virtual time of the tie.
+    pub at: SimTime,
+    /// Every event enabled at this instant, in schedule (seq) order.
+    pub enabled: Vec<EnabledEvent>,
+    /// Index into `enabled` of the event that fired.
+    pub chosen: u32,
+    /// Scenario state digest at the branch point (0 if no hook installed).
+    pub digest: u64,
+}
+
+/// Explore-mode state: replay schedule, recorded trace, digest hook.
+struct ExploreState {
+    schedule: Vec<u32>,
+    cursor: usize,
+    trace: Vec<ChoicePoint>,
+    digest: Option<Box<dyn Fn() -> u64>>,
+}
+
 /// A deterministic discrete-event simulator.
 ///
 /// See the crate docs for the execution model. A `Sim` is single-threaded
@@ -36,6 +77,7 @@ pub struct Sim {
     self_wake: bool,
     stats: SimStats,
     fingerprint: u64,
+    explore: Option<ExploreState>,
 }
 
 impl Default for Sim {
@@ -55,7 +97,58 @@ impl Sim {
             self_wake: false,
             stats: SimStats::default(),
             fingerprint: 0,
+            explore: None,
         }
+    }
+
+    /// Create a simulation in *explore mode* with an explicit replay
+    /// schedule.
+    ///
+    /// Whenever two or more events tie at the earliest virtual time, the
+    /// next entry of `choices` picks which of them fires (an index into the
+    /// enabled set in schedule order, clamped to the set size); once the
+    /// schedule is exhausted every remaining tie falls back to FIFO
+    /// (index 0). Every decision — enabled set, choice, optional state
+    /// digest — is recorded and retrievable via [`Sim::take_choice_trace`],
+    /// so a run is fully replayable from its own trace. An empty `choices`
+    /// reproduces exactly the [`TieBreak::Fifo`] schedule (and its
+    /// fingerprint).
+    pub fn with_schedule(choices: &[u32]) -> Self {
+        let mut sim = Sim::new();
+        sim.explore = Some(ExploreState {
+            schedule: choices.to_vec(),
+            cursor: 0,
+            trace: Vec::new(),
+            digest: None,
+        });
+        sim
+    }
+
+    /// Whether this simulation is in explore mode (see [`Sim::with_schedule`]).
+    pub fn exploring(&self) -> bool {
+        self.explore.is_some()
+    }
+
+    /// Install a scenario state-digest hook for explore mode.
+    ///
+    /// The hook is called at every branch point (before the chosen event
+    /// fires) and its value recorded in the [`ChoicePoint`]; the explorer
+    /// uses it to deduplicate converged prefixes. Captured state must be
+    /// read through `Rc<RefCell<...>>` handles and the hook must not mutate
+    /// anything. No-op outside explore mode.
+    pub fn set_state_digest(&mut self, f: impl Fn() -> u64 + 'static) {
+        if let Some(ex) = self.explore.as_mut() {
+            ex.digest = Some(Box::new(f));
+        }
+    }
+
+    /// Take the recorded branch-point trace of an explored run (empty
+    /// outside explore mode).
+    pub fn take_choice_trace(&mut self) -> Vec<ChoicePoint> {
+        self.explore
+            .as_mut()
+            .map(|ex| std::mem::take(&mut ex.trace))
+            .unwrap_or_default()
     }
 
     /// Create a simulation whose same-timestamp events fire in the order
@@ -176,6 +269,20 @@ impl Sim {
         self.queue.push(at, EventKind::Closure(Box::new(f)));
     }
 
+    /// Schedule a closure with a structural [`EventLabel`], so the
+    /// exhaustive explorer can reason about which same-instant orders
+    /// commute. Only label an event `channel(src, dst)` if its closure
+    /// provably touches nothing but endpoint state of those two nodes.
+    pub fn schedule_at_labeled<F: FnOnce(&mut Sim) + 'static>(
+        &mut self,
+        at: SimTime,
+        label: EventLabel,
+        f: F,
+    ) {
+        debug_assert!(at >= self.now, "cannot schedule in the past");
+        self.queue.push_labeled(at, label, EventKind::Closure(Box::new(f)));
+    }
+
     /// Schedule a closure to run after a virtual delay.
     pub fn schedule_in<F: FnOnce(&mut Sim) + 'static>(&mut self, delay: SimTime, f: F) {
         self.schedule_at(self.now + delay, f);
@@ -231,8 +338,16 @@ impl Sim {
     }
 
     fn fire_next(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else {
-            return false;
+        let ev = if self.explore.is_some() {
+            let Some(ev) = self.next_explored() else {
+                return false;
+            };
+            ev
+        } else {
+            let Some(ev) = self.queue.pop() else {
+                return false;
+            };
+            ev
         };
         debug_assert!(ev.at >= self.now, "event queue went backwards");
         self.now = ev.at;
@@ -252,6 +367,45 @@ impl Sim {
             EventKind::Wake(pid) => self.step_proc(pid),
         }
         true
+    }
+
+    /// Explore-mode event selection: pop the full same-instant tie set; if
+    /// it is a genuine branch point (two or more enabled events), consult
+    /// the replay schedule (FIFO once exhausted), record the decision, and
+    /// push the unchosen events back with their original order intact.
+    fn next_explored(&mut self) -> Option<crate::event::Scheduled> {
+        let mut ties = self.queue.pop_ties();
+        if ties.is_empty() {
+            return None;
+        }
+        if ties.len() == 1 {
+            return ties.pop();
+        }
+        let ex = self.explore.as_mut().expect("explore mode");
+        let idx = if ex.cursor < ex.schedule.len() {
+            (ex.schedule[ex.cursor] as usize).min(ties.len() - 1)
+        } else {
+            0
+        };
+        ex.cursor += 1;
+        let digest = match &ex.digest {
+            Some(f) => f(),
+            None => 0,
+        };
+        ex.trace.push(ChoicePoint {
+            at: ties[0].at,
+            enabled: ties
+                .iter()
+                .map(|s| EnabledEvent { seq: s.seq, label: s.label })
+                .collect(),
+            chosen: idx as u32,
+            digest,
+        });
+        let ev = ties.remove(idx);
+        for rest in ties {
+            self.queue.push_back(rest);
+        }
+        Some(ev)
     }
 
     fn step_proc(&mut self, pid: ProcId) {
@@ -479,6 +633,77 @@ mod tests {
         let mut sorted = s1.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, fifo, "every event still fires exactly once");
+    }
+
+    /// Run four same-instant closures under an explicit schedule and return
+    /// (observed order, fingerprint, trace).
+    fn explored_order(choices: &[u32]) -> (Vec<u64>, u64, Vec<ChoicePoint>) {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::with_schedule(choices);
+        for i in 0..4u64 {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(10), move |_s| log.borrow_mut().push(i));
+        }
+        sim.run();
+        let order = log.borrow().clone();
+        let trace = sim.take_choice_trace();
+        (order, sim.schedule_fingerprint(), trace)
+    }
+
+    #[test]
+    fn empty_schedule_reproduces_fifo_run_and_fingerprint() {
+        let (fifo_order, fp_fifo) = same_time_order(TieBreak::Fifo);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::with_schedule(&[]);
+        for i in 0..8u64 {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(10), move |_s| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), fifo_order);
+        assert_eq!(sim.schedule_fingerprint(), fp_fifo);
+    }
+
+    #[test]
+    fn schedule_choices_pick_tie_order_and_trace_replays() {
+        // Choice k picks the (k+1)-th remaining event at each branch point.
+        let (order, fp, trace) = explored_order(&[3, 2, 1]);
+        assert_eq!(order, vec![3, 2, 1, 0], "indices select from the remaining set");
+        // Branch points: 4-way, 3-way, 2-way (final singleton unrecorded).
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].enabled.len(), 4);
+        assert_eq!(trace[1].enabled.len(), 3);
+        assert_eq!(trace[2].enabled.len(), 2);
+        assert_eq!(trace.iter().map(|c| c.chosen).collect::<Vec<_>>(), vec![3, 2, 1]);
+        // Replaying the trace's own choices reproduces the run exactly.
+        let chosen: Vec<u32> = trace.iter().map(|c| c.chosen).collect();
+        let (order2, fp2, _) = explored_order(&chosen);
+        assert_eq!(order2, order);
+        assert_eq!(fp2, fp);
+        // Out-of-range choices clamp instead of panicking.
+        let (order3, _, _) = explored_order(&[99]);
+        assert_eq!(order3, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn state_digest_hook_records_at_branch_points() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::with_schedule(&[]);
+        for i in 0..3u64 {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(5), move |_s| log.borrow_mut().push(i));
+        }
+        let digest_src = Rc::clone(&log);
+        sim.set_state_digest(move || digest_src.borrow().len() as u64);
+        sim.run();
+        let trace = sim.take_choice_trace();
+        // Digest sampled *before* the chosen event fires: 0 events done at
+        // the first branch, 1 at the second.
+        assert_eq!(trace.iter().map(|c| c.digest).collect::<Vec<_>>(), vec![0, 1]);
+        assert!(sim.exploring());
+        let mut plain = Sim::new();
+        plain.set_state_digest(|| 42); // no-op outside explore mode
+        assert!(plain.take_choice_trace().is_empty());
     }
 
     #[test]

@@ -144,7 +144,8 @@ impl SocketSender {
         let deliver_at = self.fabric.plan(sim.now(), self.local, self.peer, wire_bytes);
         let shared = Rc::clone(&self.shared);
         let payload = data.to_vec();
-        sim.schedule_at(deliver_at, move |sim| {
+        let label = slash_desim::EventLabel::channel(self.local.0, self.peer.0);
+        sim.schedule_at_labeled(deliver_at, label, move |sim| {
             let mut sh = shared.borrow_mut();
             sh.in_flight -= 1;
             sh.queue.push_back(SockMsg::Data(payload));
@@ -160,7 +161,8 @@ impl SocketSender {
         self.cpu_cost += self.cfg.syscall_overhead;
         let deliver_at = self.fabric.plan(sim.now(), self.local, self.peer, 1);
         let shared = Rc::clone(&self.shared);
-        sim.schedule_at(deliver_at, move |sim| {
+        let label = slash_desim::EventLabel::channel(self.local.0, self.peer.0);
+        sim.schedule_at_labeled(deliver_at, label, move |sim| {
             let mut sh = shared.borrow_mut();
             sh.queue.push_back(SockMsg::Eos);
             if let Some(pid) = sh.recv_waiter.take() {

@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use slash_desim::{Sim, SimTime};
+use slash_desim::{EventLabel, Sim, SimTime};
 
 use crate::cq::{Completion, CompletionKind, CompletionStatus, CqHandle};
 use crate::error::{RdmaError, Result};
@@ -198,7 +198,8 @@ impl Qp {
     ) {
         let send_cq = self.local.borrow().send_cq.clone();
         let at = sim.now() + self.fabric.ack_latency();
-        sim.schedule_at(at, move |sim| {
+        let label = EventLabel::channel(self.local_node.0, self.peer_node.0);
+        sim.schedule_at_labeled(at, label, move |sim| {
             send_cq.push(
                 sim,
                 Completion {
@@ -260,7 +261,7 @@ impl Qp {
                 let gen = conn_generation(&self.local, &self.peer);
                 let (local_sh, peer_sh) = (Rc::clone(&self.local), Rc::clone(&self.peer));
                 let (src, dst) = (self.local_node, self.peer_node);
-                sim.schedule_at(deliver_at, move |sim| {
+                sim.schedule_at_labeled(deliver_at, EventLabel::channel(src.0, dst.0), move |sim| {
                     if conn_generation(&local_sh, &peer_sh) != gen {
                         return; // connection was reset mid-flight: fenced
                     }
@@ -275,7 +276,7 @@ impl Qp {
                         } else {
                             CompletionStatus::FlushErr
                         };
-                        sim.schedule_at(ack_at, move |sim| {
+                        sim.schedule_at_labeled(ack_at, EventLabel::channel(src.0, dst.0), move |sim| {
                             send_cq.push(
                                 sim,
                                 Completion {
@@ -323,7 +324,7 @@ impl Qp {
                 let gen = conn_generation(&self.local, &self.peer);
                 let (local_sh, peer_sh) = (Rc::clone(&self.local), Rc::clone(&self.peer));
                 let (src, dst) = (self.local_node, self.peer_node);
-                sim.schedule_at(deliver_at, move |sim| {
+                sim.schedule_at_labeled(deliver_at, EventLabel::channel(src.0, dst.0), move |sim| {
                     if conn_generation(&local_sh, &peer_sh) != gen {
                         return;
                     }
@@ -360,7 +361,7 @@ impl Qp {
                         } else {
                             CompletionStatus::FlushErr
                         };
-                        sim.schedule_at(ack_at, move |sim| {
+                        sim.schedule_at_labeled(ack_at, EventLabel::channel(src.0, dst.0), move |sim| {
                             send_cq.push(
                                 sim,
                                 Completion {
@@ -403,7 +404,7 @@ impl Qp {
                 let gen = conn_generation(&self.local, &self.peer);
                 let (local_sh, peer_sh) = (Rc::clone(&self.local), Rc::clone(&self.peer));
                 let (src, dst) = (self.local_node, self.peer_node);
-                sim.schedule_at(deliver_at, move |sim| {
+                sim.schedule_at_labeled(deliver_at, EventLabel::channel(src.0, dst.0), move |sim| {
                     if conn_generation(&local_sh, &peer_sh) != gen {
                         return;
                     }
@@ -459,7 +460,8 @@ impl Qp {
                 let gen = conn_generation(&self.local, &self.peer);
                 let (local_sh, peer_sh) = (Rc::clone(&self.local), Rc::clone(&self.peer));
                 let (src_node, dst_node) = (self.peer_node, self.local_node);
-                sim.schedule_at(req_at, move |sim| {
+                let label = EventLabel::channel(src_node.0, dst_node.0);
+                sim.schedule_at_labeled(req_at, label, move |sim| {
                     if conn_generation(&local_sh, &peer_sh) != gen {
                         return;
                     }
@@ -474,7 +476,7 @@ impl Qp {
                     let Some(data) = data else {
                         local_sh.borrow_mut().error = true;
                         let flush_at = sim.now() + fabric.ack_latency();
-                        sim.schedule_at(flush_at, move |sim| {
+                        sim.schedule_at_labeled(flush_at, label, move |sim| {
                             send_cq.push(
                                 sim,
                                 Completion {
@@ -489,7 +491,7 @@ impl Qp {
                         return;
                     };
                     let deliver_at = fabric.plan(sim.now(), src_node, dst_node, len as u64);
-                    sim.schedule_at(deliver_at, move |sim| {
+                    sim.schedule_at_labeled(deliver_at, label, move |sim| {
                         if conn_generation(&local_sh, &peer_sh) != gen {
                             return;
                         }

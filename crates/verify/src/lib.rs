@@ -26,10 +26,16 @@
 //!    conservation, no slot overwritten before consumption, vector-clock
 //!    monotonicity, epoch convergence, and recovery convergence (a
 //!    crashed node restored from an epoch-aligned checkpoint ends in
-//!    exactly the no-fault state).
+//!    exactly the no-fault state). On top of the random sweep sits the
+//!    bounded **exhaustive model checker** ([`explorer`]): a DFS over the
+//!    explicit per-branch-point choice vectors of `slash-desim`'s explore
+//!    mode, with sleep-set reduction, state-digest deduplication, budget
+//!    accounting, and greedy counterexample minimization
+//!    (`slash-race --exhaustive`).
 //!
 //! Both run in CI via `scripts/ci.sh` (`slash-lint`, `slash-race`).
 
+pub mod explorer;
 pub mod lint;
 pub mod race;
 pub mod scenarios;

@@ -16,6 +16,8 @@
 //! | `crate-attrs` | every crate root | missing `#![forbid(unsafe_code)]` or `#![deny(missing_docs)]` |
 //! | `no-debug-print` | library code of protocol crates + `desim` + `obs` | `dbg!`, `println!` |
 //! | `metrics-facade` | library code of `net`, `state`, `core`, `baselines` | direct `=`/`+=`/`-=` writes to counter fields of a `*stats`/`*metrics` value outside the facade files — counters must go through the mutator methods so the observability registry sees them |
+//! | `no-unordered-map` | library code of `core`, `net`, `state`, `desim` | std `HashMap`/`HashSet` — iteration order is nondeterministic across runs and could leak into schedules, digests, or wire bytes; use `BTreeMap`/`BTreeSet` |
+//! | `no-wallclock` | library code of every crate except `bench` | `Instant::now`/`SystemTime` — simulation code must use virtual `SimTime`; host time breaks replay determinism |
 //!
 //! ## Allowlist & burn-down
 //!
@@ -24,7 +26,9 @@
 //! budgeted number of violations; fewer is *also* an error ("stale
 //! allowlist") so the budget must be shrunk in the same change — the
 //! allowlist can only ever burn down. A single line can be exempted with a
-//! justifying comment containing `lint:ok(<rule>)`.
+//! justifying comment containing `lint:ok(<rule>)` — and a waiver whose
+//! line no longer violates that rule is itself a failure ("stale waiver"),
+//! so suppressions can't outlive the code they excused.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -64,6 +68,17 @@ const METRIC_FIELDS: &[&str] = &[
     "net_bytes",
 ];
 
+/// Crates whose library state is simulation-visible: the iteration order
+/// of a std `HashMap`/`HashSet` differs across processes (random hasher
+/// seed) and could leak into event schedules, state digests, or wire
+/// bytes — breaking the determinism the whole verification stack rests
+/// on. Ordered containers only.
+const NO_UNORDERED_CRATES: &[&str] = &["core", "net", "state", "desim"];
+
+/// The only crate allowed to read the host wall clock (`Instant::now`,
+/// `SystemTime`); everything else must use virtual `SimTime`.
+const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["bench"];
+
 /// Wire-format files where a silently truncating `as` cast can corrupt
 /// bytes on the wire.
 const WIRE_FILES: &[&str] = &["crates/net/src/layout.rs", "crates/state/src/delta.rs"];
@@ -87,6 +102,10 @@ pub enum Rule {
     NoDebugPrint,
     /// No direct writes to metric counter fields outside the facades.
     MetricsFacade,
+    /// No std `HashMap`/`HashSet` in sim-visible library code.
+    NoUnorderedMap,
+    /// No host wall-clock reads outside the bench crate.
+    NoWallclock,
 }
 
 impl Rule {
@@ -98,6 +117,8 @@ impl Rule {
             Rule::CrateAttrs => "crate-attrs",
             Rule::NoDebugPrint => "no-debug-print",
             Rule::MetricsFacade => "metrics-facade",
+            Rule::NoUnorderedMap => "no-unordered-map",
+            Rule::NoWallclock => "no-wallclock",
         }
     }
 
@@ -109,6 +130,8 @@ impl Rule {
             "crate-attrs" => Some(Rule::CrateAttrs),
             "no-debug-print" => Some(Rule::NoDebugPrint),
             "metrics-facade" => Some(Rule::MetricsFacade),
+            "no-unordered-map" => Some(Rule::NoUnorderedMap),
+            "no-wallclock" => Some(Rule::NoWallclock),
             _ => None,
         }
     }
@@ -134,17 +157,24 @@ pub struct Report {
     pub checked_files: usize,
     /// Violations covered by the allowlist (budget exactly met).
     pub grandfathered: usize,
+    /// Violations suppressed by an inline `lint:ok(<rule>)` waiver.
+    pub waived: usize,
     /// Violations beyond (or absent from) the allowlist — failures.
     pub new_violations: Vec<Violation>,
     /// Allowlist entries whose budget exceeds the real count — failures
     /// (the budget must be shrunk: burn-down only).
     pub stale_allowlist: Vec<String>,
+    /// Inline waivers on lines that no longer violate the waived rule —
+    /// failures (the waiver must be removed with the code it excused).
+    pub stale_waivers: Vec<String>,
 }
 
 impl Report {
     /// Whether the run passed.
     pub fn clean(&self) -> bool {
-        self.new_violations.is_empty() && self.stale_allowlist.is_empty()
+        self.new_violations.is_empty()
+            && self.stale_allowlist.is_empty()
+            && self.stale_waivers.is_empty()
     }
 
     /// Render the human-readable report.
@@ -162,12 +192,17 @@ impl Report {
         for s in &self.stale_allowlist {
             out.push_str(&format!("allowlist: {s}\n"));
         }
+        for s in &self.stale_waivers {
+            out.push_str(&format!("stale waiver: {s}\n"));
+        }
         out.push_str(&format!(
-            "slash-lint: {} files checked, {} grandfathered, {} new violation(s), {} stale allowlist entr(ies) — {}\n",
+            "slash-lint: {} files checked, {} grandfathered, {} waived, {} new violation(s), {} stale allowlist entr(ies), {} stale waiver(s) — {}\n",
             self.checked_files,
             self.grandfathered,
+            self.waived,
             self.new_violations.len(),
             self.stale_allowlist.len(),
+            self.stale_waivers.len(),
             if self.clean() { "PASS" } else { "FAIL" }
         ));
         out
@@ -200,6 +235,15 @@ impl Report {
                 "    \"{}\"{}\n",
                 esc(s),
                 if i + 1 < self.stale_allowlist.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"stale_waivers\": [\n");
+        for (i, s) in self.stale_waivers.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\"{}\n",
+                esc(s),
+                if i + 1 < self.stale_waivers.len() { "," } else { "" }
             ));
         }
         out.push_str("  ]\n}\n");
@@ -440,6 +484,55 @@ fn line_waived(original_line: &str, rule: Rule) -> bool {
     original_line.contains(&format!("lint:ok({})", rule.name()))
 }
 
+/// All `lint:ok(<rule>)` markers in a file's original text (comments
+/// included — that's where waivers live), as `(1-based line, rule)`.
+/// Markers naming an unknown rule are ignored: they can't waive anything,
+/// and doc prose legitimately writes placeholders like a bracketed rule.
+fn waiver_markers(original: &str) -> Vec<(usize, Rule)> {
+    let marker = "lint:ok(";
+    let mut out = Vec::new();
+    for (idx, line) in original.lines().enumerate() {
+        let mut from = 0;
+        while let Some(rel) = line[from..].find(marker) {
+            let start = from + rel + marker.len();
+            from = start;
+            if let Some(len) = line[start..].find(')') {
+                if let Some(rule) = Rule::from_name(&line[start..start + len]) {
+                    out.push((idx + 1, rule));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Which rule families apply to a given library file (derived from its
+/// crate's membership in the scope consts).
+#[derive(Debug, Clone, Copy, Default)]
+struct Checks {
+    panics: bool,
+    prints: bool,
+    metrics: bool,
+    unordered: bool,
+    wallclock: bool,
+}
+
+impl Checks {
+    fn for_crate(name: &str) -> Checks {
+        Checks {
+            panics: NO_PANIC_CRATES.contains(&name),
+            prints: NO_PRINT_CRATES.contains(&name),
+            metrics: METRICS_FACADE_CRATES.contains(&name),
+            unordered: NO_UNORDERED_CRATES.contains(&name),
+            wallclock: !WALLCLOCK_EXEMPT_CRATES.contains(&name),
+        }
+    }
+
+    fn any(self) -> bool {
+        self.panics || self.prints || self.metrics || self.unordered || self.wallclock
+    }
+}
+
 /// Detect a direct write to a protected metric field on this line:
 /// `<ident ending in stats|metrics>.<field>` followed by `=`, `+=` or
 /// `-=` (not `==` / `=>`). Returns the offending fields.
@@ -493,23 +586,15 @@ fn metric_field_writes(line: &str) -> Vec<&'static str> {
     hits
 }
 
-/// Scan one library file's code view for `no-panic` and `no-debug-print`
-/// tokens and wire-file casts, pushing violations.
-fn scan_file(
-    rel: &str,
-    original: &str,
-    check_panics: bool,
-    check_prints: bool,
-    check_metrics: bool,
-    out: &mut Vec<Violation>,
-) {
+/// Scan one library file's code view for every token-level rule, pushing
+/// raw violations (inline waivers are resolved by the caller, which also
+/// detects waivers that no longer suppress anything).
+fn scan_file(rel: &str, original: &str, checks: Checks, out: &mut Vec<Violation>) {
     let view = mask_cfg_test(&code_view(original));
-    let originals: Vec<&str> = original.lines().collect();
     let is_wire = WIRE_FILES.contains(&rel);
-    let check_metrics = check_metrics && !METRICS_FACADE_EXEMPT.contains(&rel);
+    let check_metrics = checks.metrics && !METRICS_FACADE_EXEMPT.contains(&rel);
     for (idx, line) in view.lines().enumerate() {
-        let orig = originals.get(idx).copied().unwrap_or("");
-        if check_panics && !line_waived(orig, Rule::NoPanic) {
+        if checks.panics {
             for tok in [".unwrap()", ".expect(", "panic!", "todo!"] {
                 let hits = if tok.starts_with('.') {
                     // Method tokens need no boundary check: the dot is one.
@@ -536,7 +621,7 @@ fn scan_file(
                 }
             }
         }
-        if check_prints && !line_waived(orig, Rule::NoDebugPrint) {
+        if checks.prints {
             for tok in ["dbg!", "println!"] {
                 for _ in find_tokens(line, tok) {
                     out.push(Violation {
@@ -548,7 +633,38 @@ fn scan_file(
                 }
             }
         }
-        if check_metrics && !line_waived(orig, Rule::MetricsFacade) {
+        if checks.unordered {
+            for tok in ["HashMap", "HashSet"] {
+                for _ in find_tokens(line, tok) {
+                    out.push(Violation {
+                        file: rel.to_owned(),
+                        line: idx + 1,
+                        rule: Rule::NoUnorderedMap,
+                        message: format!(
+                            "std `{tok}` in sim-visible library code — iteration order is \
+                             nondeterministic; use `BTree{}` instead",
+                            tok.trim_start_matches("Hash")
+                        ),
+                    });
+                }
+            }
+        }
+        if checks.wallclock {
+            for tok in ["Instant::now", "SystemTime"] {
+                for _ in find_tokens(line, tok) {
+                    out.push(Violation {
+                        file: rel.to_owned(),
+                        line: idx + 1,
+                        rule: Rule::NoWallclock,
+                        message: format!(
+                            "`{tok}` outside the bench crate — simulation code must use \
+                             virtual `SimTime`; host time breaks replay determinism"
+                        ),
+                    });
+                }
+            }
+        }
+        if check_metrics {
             for field in metric_field_writes(line) {
                 out.push(Violation {
                     file: rel.to_owned(),
@@ -560,7 +676,7 @@ fn scan_file(
                 });
             }
         }
-        if is_wire && !line_waived(orig, Rule::NoTruncatingCast) {
+        if is_wire {
             for target in NARROWING {
                 let tok = format!("as {target}");
                 for i in find_tokens(line, &tok) {
@@ -683,13 +799,25 @@ pub fn run(root: &Path) -> Result<Report, String> {
         scan_crate_root(&rel, &src, &mut raw);
     }
 
-    // Library sources of the panic-, print- and facade-restricted crates.
+    // Library sources of every crate with at least one applicable rule —
+    // the wall-clock rule covers all crates except `bench`, so in practice
+    // everything but `bench` is scanned.
     let mut lib_files: Vec<PathBuf> = Vec::new();
-    for c in NO_PRINT_CRATES.iter().chain(METRICS_FACADE_CRATES) {
-        rs_files(&root.join("crates").join(c).join("src"), true, &mut lib_files);
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for d in dirs {
+            let name = d.file_name().map(|n| n.to_string_lossy().into_owned());
+            let Some(name) = name else { continue };
+            if Checks::for_crate(&name).any() {
+                rs_files(&d.join("src"), true, &mut lib_files);
+            }
+        }
     }
     lib_files.sort();
     lib_files.dedup();
+    let mut used_waivers: std::collections::BTreeSet<(String, usize, Rule)> =
+        std::collections::BTreeSet::new();
     for p in &lib_files {
         let rel = rel_path(root, p);
         let crate_name = rel
@@ -698,14 +826,31 @@ pub fn run(root: &Path) -> Result<Report, String> {
             .unwrap_or("");
         let src = fs::read_to_string(p).map_err(|e| format!("{rel}: {e}"))?;
         report.checked_files += 1;
-        scan_file(
-            &rel,
-            &src,
-            NO_PANIC_CRATES.contains(&crate_name),
-            NO_PRINT_CRATES.contains(&crate_name),
-            METRICS_FACADE_CRATES.contains(&crate_name),
-            &mut raw,
-        );
+        let mut raw_file: Vec<Violation> = Vec::new();
+        scan_file(&rel, &src, Checks::for_crate(crate_name), &mut raw_file);
+        // Resolve inline waivers: a waived violation is suppressed (and
+        // marks its waiver as earning its keep); everything else proceeds
+        // to the allowlist stage.
+        let lines: Vec<&str> = src.lines().collect();
+        for v in raw_file {
+            let orig = lines.get(v.line.saturating_sub(1)).copied().unwrap_or("");
+            if line_waived(orig, v.rule) {
+                used_waivers.insert((rel.clone(), v.line, v.rule));
+                report.waived += 1;
+            } else {
+                raw.push(v);
+            }
+        }
+        // A waiver that suppressed nothing is stale: the line it guards no
+        // longer violates the rule it names.
+        for (line_no, rule) in waiver_markers(&src) {
+            if !used_waivers.contains(&(rel.clone(), line_no, rule)) {
+                report.stale_waivers.push(format!(
+                    "{rel}:{line_no}: waiver for `{}` but the line no longer violates it — remove the lint:ok comment",
+                    rule.name()
+                ));
+            }
+        }
     }
 
     // Apply the allowlist with burn-down semantics.
@@ -816,6 +961,60 @@ mod tests {
         assert!(metric_field_writes("self.buffers += 1;").is_empty());
         // Field-name boundary: `.records_total` is not `.records`.
         assert!(metric_field_writes("sh.metrics.records_total = 1;").is_empty());
+    }
+
+    #[test]
+    fn waiver_markers_parse_known_rules_only() {
+        // Markers are built at runtime so this test file cannot itself be
+        // mistaken for carrying (stale) waivers.
+        let w = |r: &str| format!("// lint:ok({r})");
+        let src = format!(
+            "fn a() {{}} {}\nfn b() {{}}\nfn c() {{}} {} {}\n",
+            w("no-panic"),
+            w("bogus-rule"),
+            w("no-wallclock")
+        );
+        let m = waiver_markers(&src);
+        assert_eq!(m, vec![(1, Rule::NoPanic), (3, Rule::NoWallclock)]);
+    }
+
+    #[test]
+    fn unordered_and_wallclock_tokens_detected() {
+        let src = "use std::collections::HashMap;\n\
+                   pub fn f() { let _ = std::time::Instant::now(); }\n\
+                   pub fn g() { let _ = FxHashMap::default(); }\n\
+                   pub fn h() { let _ = std::time::SystemTime::now(); }\n\
+                   pub fn i(s: &std::collections::HashSet<u8>) {}\n";
+        let mut out = Vec::new();
+        let checks = Checks {
+            unordered: true,
+            wallclock: true,
+            ..Checks::default()
+        };
+        scan_file("crates/core/src/x.rs", src, checks, &mut out);
+        let got: Vec<(usize, Rule)> = out.iter().map(|v| (v.line, v.rule)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (1, Rule::NoUnorderedMap),
+                (2, Rule::NoWallclock),
+                (4, Rule::NoWallclock),
+                (5, Rule::NoUnorderedMap),
+            ],
+            "FxHashMap must not match; std HashMap/HashSet and both clock tokens must"
+        );
+    }
+
+    #[test]
+    fn unordered_tokens_in_test_code_are_exempt() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        let mut out = Vec::new();
+        let checks = Checks {
+            unordered: true,
+            ..Checks::default()
+        };
+        scan_file("crates/core/src/x.rs", src, checks, &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
-use slash_desim::{DetRng, Sim, SimTime, TieBreak};
+use slash_desim::{ChoicePoint, DetRng, EventLabel, Sim, SimTime, TieBreak};
 use slash_net::{create_channel, ChannelConfig, ChannelReceiver, ChannelSender, MsgFlags};
 use slash_obs::Obs;
 use slash_rdma::{Fabric, FabricConfig, NicConfig, NodeId};
@@ -72,14 +72,25 @@ pub enum Mutation {
 // Channel scenario
 // ---------------------------------------------------------------------------
 
-const CHANNELS: usize = 2;
 const PAYLOAD: usize = 64;
 const TICK_NS: u64 = 5_000;
 const MAX_TICKS: u64 = 600;
 
+/// Fold one value into a running SplitMix64 digest. Used by the scenario
+/// state-digest hooks the exhaustive explorer deduplicates prefixes with.
+pub(crate) fn fold_digest(h: u64, v: u64) -> u64 {
+    let mut z = h
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(v)
+        .wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
 /// Configuration of the channel scenario: one producer node fanning out to
-/// two consumer nodes over credit-limited channels that share the
-/// producer's single NIC port.
+/// `channels` consumer nodes over credit-limited channels that share the
+/// producer's NIC port(s).
 #[derive(Debug, Clone)]
 pub struct ChannelScenario {
     /// Messages sent per channel before EOS.
@@ -89,6 +100,8 @@ pub struct ChannelScenario {
     /// Full-duplex NIC ports per node (1 = the paper's testbed; 2 =
     /// multi-rail striping, where deliveries can genuinely tie).
     pub ports: usize,
+    /// Fan-out: number of consumer nodes, one channel each.
+    pub channels: usize,
     /// Optional injected bug.
     pub mutation: Option<Mutation>,
 }
@@ -99,6 +112,7 @@ impl Default for ChannelScenario {
             messages: 24,
             credits: 4,
             ports: 1,
+            channels: 2,
             mutation: None,
         }
     }
@@ -118,6 +132,21 @@ impl ChannelScenario {
             ..ChannelScenario::default()
         }
     }
+
+    /// The exhaustive-enumeration family: two nodes, one channel, a
+    /// handful of messages through a two-slot credit window. Small enough
+    /// that the DFS explorer can enumerate *every* distinct same-instant
+    /// schedule within its budget, turning the FIFO/credit invariants from
+    /// spot-checked into checked-on-all-schedules.
+    pub fn small() -> Self {
+        ChannelScenario {
+            messages: 3,
+            credits: 2,
+            ports: 1,
+            channels: 1,
+            mutation: None,
+        }
+    }
 }
 
 fn fill_byte(ch: usize, id: u64) -> u8 {
@@ -127,6 +156,7 @@ fn fill_byte(ch: usize, id: u64) -> u8 {
 struct ChanWorld {
     txs: Vec<ChannelSender>,
     rxs: Vec<ChannelReceiver>,
+    nchan: usize,
     msgs: u64,
     credits: usize,
     mutation: Option<Mutation>,
@@ -179,9 +209,28 @@ impl ChanWorld {
         }
     }
 
+    /// Order-insensitive digest of every protocol-visible counter: sender
+    /// and receiver sequence numbers, acked credit, per-channel detector
+    /// progress, and the violation count. Two explored prefixes with equal
+    /// digests have converged to the same channel state.
+    fn digest(&self) -> u64 {
+        let mut h = 0xC4A2_17E5_D00D_F00Du64;
+        for ch in 0..self.nchan {
+            h = fold_digest(h, self.txs[ch].next_seq());
+            h = fold_digest(h, self.txs[ch].acked());
+            h = fold_digest(h, self.rxs[ch].next_seq());
+            h = fold_digest(h, self.rxs[ch].unreturned() as u64);
+            h = fold_digest(h, self.sent[ch]);
+            h = fold_digest(h, self.expected[ch]);
+            let bits = (self.eos_sent[ch] as u64) | ((self.eos_seen[ch] as u64) << 1);
+            h = fold_digest(h, bits);
+        }
+        fold_digest(h, self.violations.len() as u64)
+    }
+
     fn producer_tick(&mut self, sim: &mut Sim) -> bool {
         self.cur_fp = sim.schedule_fingerprint();
-        for ch in 0..CHANNELS {
+        for ch in 0..self.nchan {
             // Bursty producer: each tick it offers more messages than the
             // credit window holds, so a healthy sender must stall on
             // credits mid-burst; one that ignores the window overruns the
@@ -284,7 +333,7 @@ impl ChanWorld {
     }
 
     fn quiescence(&mut self) {
-        for ch in 0..CHANNELS {
+        for ch in 0..self.nchan {
             if !self.eos_seen[ch] {
                 let (got, want) = (self.expected[ch], self.msgs);
                 self.flag(
@@ -323,7 +372,14 @@ fn schedule_chan_actor(
     at: SimTime,
     tick: u64,
 ) {
-    sim.schedule_at(at, move |sim| {
+    // Node labels are informational only (actors touch shared world state,
+    // so the explorer treats them as dependent with everything); they make
+    // minimized counterexample schedules readable.
+    let label = match actor {
+        ChanActor::Producer => EventLabel::node(0),
+        ChanActor::Consumer(ch) => EventLabel::node(ch as u32 + 1),
+    };
+    sim.schedule_at_labeled(at, label, move |sim| {
         let done = {
             let mut w = world.borrow_mut();
             match actor {
@@ -341,7 +397,34 @@ fn schedule_chan_actor(
 impl ChannelScenario {
     /// Run the scenario under one tie-break policy.
     pub fn run(&self, policy: TieBreak) -> Outcome {
-        let mut sim = Sim::with_tie_break(policy);
+        self.run_sim(Sim::with_tie_break(policy)).0
+    }
+
+    /// Run the scenario in explore mode under an explicit same-instant
+    /// choice schedule (see [`Sim::with_schedule`]), returning the outcome
+    /// plus the recorded branch-point trace the explorer branches on.
+    pub fn run_schedule(&self, choices: &[u32]) -> (Outcome, Vec<ChoicePoint>) {
+        let (out, mut sim) = self.run_sim(Sim::with_schedule(choices));
+        let trace = sim.take_choice_trace();
+        (out, trace)
+    }
+
+    /// Exhaustively enumerate this scenario's same-instant schedules (see
+    /// [`crate::explorer::explore_exhaustive`]).
+    pub fn exhaustive(
+        &self,
+        name: &'static str,
+        budget: crate::explorer::Budget,
+        minimize: bool,
+    ) -> crate::explorer::ExhaustiveReport {
+        crate::explorer::explore_exhaustive(name, budget, minimize, |c| {
+            let (outcome, trace) = self.run_schedule(c);
+            crate::explorer::ScheduleRun { outcome, trace }
+        })
+    }
+
+    fn run_sim(&self, mut sim: Sim) -> (Outcome, Sim) {
+        let nchan = self.channels.max(1);
         let fabric = Fabric::new(FabricConfig {
             nic: NicConfig {
                 ports: self.ports.max(1),
@@ -349,57 +432,66 @@ impl ChannelScenario {
             },
         });
         let a = fabric.add_node();
-        let b = fabric.add_node();
-        let c = fabric.add_node();
         let chan_cfg = ChannelConfig {
             credits: self.credits,
             buffer_size: 256,
             credit_batch: 1,
         };
-        let (mut tx0, mut rx0) = create_channel(&fabric, a, b, chan_cfg);
-        let (mut tx1, mut rx1) = create_channel(&fabric, a, c, chan_cfg);
-        match self.mutation {
-            Some(Mutation::SkipCreditReturn) => rx0.fault_skip_credit_return(),
-            Some(Mutation::IgnoreCreditWindow) => tx0.fault_ignore_credit_window(),
-            _ => {}
-        }
         // The flight recorder rides along on every run: channel verb events
         // stream into a bounded ring, and any invariant failure snapshots
         // the tail together with the schedule fingerprint.
         let obs = Obs::enabled(4096);
-        tx0.instrument(obs.clone(), 0, 1);
-        rx0.instrument(obs.clone(), 1, 0);
-        tx1.instrument(obs.clone(), 0, 2);
-        rx1.instrument(obs.clone(), 2, 0);
+        let mut txs = Vec::with_capacity(nchan);
+        let mut rxs = Vec::with_capacity(nchan);
+        for ch in 0..nchan {
+            let consumer = fabric.add_node();
+            let (mut tx, mut rx) = create_channel(&fabric, a, consumer, chan_cfg);
+            tx.instrument(obs.clone(), 0, ch as u32 + 1);
+            rx.instrument(obs.clone(), ch as u32 + 1, 0);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        match self.mutation {
+            Some(Mutation::SkipCreditReturn) => rxs[0].fault_skip_credit_return(),
+            Some(Mutation::IgnoreCreditWindow) => txs[0].fault_ignore_credit_window(),
+            _ => {}
+        }
         let world = Rc::new(RefCell::new(ChanWorld {
-            txs: vec![tx0, tx1],
-            rxs: vec![rx0, rx1],
+            txs,
+            rxs,
+            nchan,
             msgs: self.messages,
             credits: self.credits,
             mutation: self.mutation,
-            sent: vec![0; CHANNELS],
-            eos_sent: vec![false; CHANNELS],
-            expected: vec![0; CHANNELS],
-            eos_seen: vec![false; CHANNELS],
+            sent: vec![0; nchan],
+            eos_sent: vec![false; nchan],
+            expected: vec![0; nchan],
+            eos_seen: vec![false; nchan],
             reordered: false,
             violations: Vec::new(),
             flagged: HashSet::new(),
             obs: obs.clone(),
             cur_fp: 0,
         }));
-        // All three actors land on the same nanosecond every tick; the
-        // tie-break policy decides who runs first.
+        // State-digest hook (explore mode only): lets the explorer
+        // recognize converged prefixes. Sampled between events, so no
+        // borrow of the world can be live.
+        let digest_world = Rc::clone(&world);
+        sim.set_state_digest(move || digest_world.borrow().digest());
+        // All actors land on the same nanosecond every tick; the tie-break
+        // policy (or the explored schedule) decides who runs first.
         let t0 = SimTime::from_nanos(TICK_NS);
         schedule_chan_actor(&mut sim, Rc::clone(&world), ChanActor::Producer, t0, 0);
-        schedule_chan_actor(&mut sim, Rc::clone(&world), ChanActor::Consumer(0), t0, 0);
-        schedule_chan_actor(&mut sim, Rc::clone(&world), ChanActor::Consumer(1), t0, 0);
+        for ch in 0..nchan {
+            schedule_chan_actor(&mut sim, Rc::clone(&world), ChanActor::Consumer(ch), t0, 0);
+        }
         sim.run();
         // Bounded final drain: late deliveries may still be in flight when
         // the last scheduled tick fires.
         for _ in 0..64 {
             {
                 let mut w = world.borrow_mut();
-                for ch in 0..CHANNELS {
+                for ch in 0..nchan {
                     w.consumer_tick(&mut sim, ch);
                 }
                 w.producer_tick(&mut sim);
@@ -412,11 +504,13 @@ impl ChannelScenario {
         let mut w = world.borrow_mut();
         w.cur_fp = sim.schedule_fingerprint();
         w.quiescence();
-        Outcome {
+        let outcome = Outcome {
             fingerprint: sim.schedule_fingerprint(),
             violations: std::mem::take(&mut w.violations),
             dumps: obs.take_failures().iter().map(|d| d.render()).collect(),
-        }
+        };
+        drop(w);
+        (outcome, sim)
     }
 }
 
@@ -568,7 +662,7 @@ impl CohWorld {
 }
 
 fn schedule_coh_actor(sim: &mut Sim, world: Rc<RefCell<CohWorld>>, node: usize, at: SimTime, tick: u64) {
-    sim.schedule_at(at, move |sim| {
+    sim.schedule_at_labeled(at, EventLabel::node(node as u32), move |sim| {
         let done = world.borrow_mut().node_tick(sim, node, tick);
         if !done {
             let next = sim.now() + SimTime::from_nanos(C_TICK_NS);
@@ -577,11 +671,59 @@ fn schedule_coh_actor(sim: &mut Sim, world: Rc<RefCell<CohWorld>>, node: usize, 
     });
 }
 
+impl CohWorld {
+    /// Order-insensitive digest of the cluster's protocol-visible state:
+    /// every node's backend digest and vector clock, plus a commutative
+    /// fold of the oracle (its `HashMap` iteration order must not leak
+    /// into the digest).
+    fn digest(&self) -> u64 {
+        let mut h = 0xC0DE_5EED_0B5E_55EDu64;
+        for (i, node) in self.ssb.iter().enumerate() {
+            h = fold_digest(h, node.state_digest());
+            for v in node.vclock().snapshot() {
+                h = fold_digest(h, v);
+            }
+            h = fold_digest(h, i as u64);
+        }
+        let mut acc = 0u64;
+        for (&k, &v) in &self.oracle {
+            acc ^= fold_digest(fold_digest(0x0AC1_E0AC_1E0A_C1E0, k), v);
+        }
+        h = fold_digest(h, acc);
+        fold_digest(h, self.violations.len() as u64)
+    }
+}
+
 impl CoherenceScenario {
     /// Run the scenario under one tie-break policy.
     pub fn run(&self, policy: TieBreak) -> Outcome {
+        self.run_sim(Sim::with_tie_break(policy)).0
+    }
+
+    /// Run in explore mode under an explicit choice schedule; see
+    /// [`ChannelScenario::run_schedule`].
+    pub fn run_schedule(&self, choices: &[u32]) -> (Outcome, Vec<ChoicePoint>) {
+        let (out, mut sim) = self.run_sim(Sim::with_schedule(choices));
+        let trace = sim.take_choice_trace();
+        (out, trace)
+    }
+
+    /// Exhaustively enumerate this scenario's same-instant schedules (see
+    /// [`crate::explorer::explore_exhaustive`]).
+    pub fn exhaustive(
+        &self,
+        name: &'static str,
+        budget: crate::explorer::Budget,
+        minimize: bool,
+    ) -> crate::explorer::ExhaustiveReport {
+        crate::explorer::explore_exhaustive(name, budget, minimize, |c| {
+            let (outcome, trace) = self.run_schedule(c);
+            crate::explorer::ScheduleRun { outcome, trace }
+        })
+    }
+
+    fn run_sim(&self, mut sim: Sim) -> (Outcome, Sim) {
         let n = self.nodes;
-        let mut sim = Sim::with_tie_break(policy);
         let fabric = Fabric::new(FabricConfig::default());
         let nodes = fabric.add_nodes(n);
         let cfg = SsbConfig {
@@ -613,6 +755,8 @@ impl CoherenceScenario {
             obs: obs.clone(),
             cur_fp: 0,
         }));
+        let digest_world = Rc::clone(&world);
+        sim.set_state_digest(move || digest_world.borrow().digest());
         let t0 = SimTime::from_nanos(C_TICK_NS);
         for i in 0..n {
             schedule_coh_actor(&mut sim, Rc::clone(&world), i, t0, 0);
@@ -639,11 +783,13 @@ impl CoherenceScenario {
         let mut w = world.borrow_mut();
         w.cur_fp = sim.schedule_fingerprint();
         w.convergence();
-        Outcome {
+        let outcome = Outcome {
             fingerprint: sim.schedule_fingerprint(),
             violations: std::mem::take(&mut w.violations),
             dumps: obs.take_failures().iter().map(|d| d.render()).collect(),
-        }
+        };
+        drop(w);
+        (outcome, sim)
     }
 }
 
@@ -725,6 +871,20 @@ impl RecoveryScenario {
         RecoveryScenario {
             crashes: vec![(R_CRASH_TICK, VICTIM), (R_CRASH_TICK + 4, VICTIM)],
             ..RecoveryScenario::default()
+        }
+    }
+
+    /// The minimal recovery family for exhaustive exploration: two nodes,
+    /// one crash. Its schedule space is still combinatorially deep (two
+    /// actors tie on every tick for dozens of ticks), so the explorer is
+    /// expected to hit its budget here and *report* frontier truncation —
+    /// the budget-semantics counterpart to [`ChannelScenario::small`],
+    /// which it fully enumerates.
+    pub fn small() -> Self {
+        RecoveryScenario {
+            nodes: 2,
+            crashes: vec![(R_CRASH_TICK, VICTIM)],
+            mutation: None,
         }
     }
 }
@@ -1003,7 +1163,7 @@ impl RecWorld {
 }
 
 fn schedule_rec_actor(sim: &mut Sim, world: Rc<RefCell<RecWorld>>, node: usize, at: SimTime, tick: u64) {
-    sim.schedule_at(at, move |sim| {
+    sim.schedule_at_labeled(at, EventLabel::node(node as u32), move |sim| {
         let done = world.borrow_mut().node_tick(sim, node, tick);
         if !done {
             let next = sim.now() + SimTime::from_nanos(C_TICK_NS);
@@ -1012,11 +1172,60 @@ fn schedule_rec_actor(sim: &mut Sim, world: Rc<RefCell<RecWorld>>, node: usize, 
     });
 }
 
+impl RecWorld {
+    /// Order-insensitive digest of cluster state plus recovery progress
+    /// (checkpoints captured, crashes still pending, cycles completed).
+    fn digest(&self) -> u64 {
+        let mut h = 0xFA11_BACC_D16E_5721u64;
+        for (i, node) in self.ssb.iter().enumerate() {
+            h = fold_digest(h, node.state_digest());
+            for v in node.vclock().snapshot() {
+                h = fold_digest(h, v);
+            }
+            h = fold_digest(h, i as u64);
+        }
+        let mut acc = 0u64;
+        for (&k, &v) in &self.oracle {
+            acc ^= fold_digest(fold_digest(0x0AC1_E0AC_1E0A_C1E0, k), v);
+        }
+        h = fold_digest(h, acc);
+        h = fold_digest(h, self.ckpts.iter().filter(|c| c.is_some()).count() as u64);
+        h = fold_digest(h, self.pending.len() as u64);
+        h = fold_digest(h, self.recovered as u64);
+        fold_digest(h, self.violations.len() as u64)
+    }
+}
+
 impl RecoveryScenario {
     /// Run the scenario under one tie-break policy.
     pub fn run(&self, policy: TieBreak) -> Outcome {
+        self.run_sim(Sim::with_tie_break(policy)).0
+    }
+
+    /// Run in explore mode under an explicit choice schedule; see
+    /// [`ChannelScenario::run_schedule`].
+    pub fn run_schedule(&self, choices: &[u32]) -> (Outcome, Vec<ChoicePoint>) {
+        let (out, mut sim) = self.run_sim(Sim::with_schedule(choices));
+        let trace = sim.take_choice_trace();
+        (out, trace)
+    }
+
+    /// Exhaustively enumerate this scenario's same-instant schedules (see
+    /// [`crate::explorer::explore_exhaustive`]).
+    pub fn exhaustive(
+        &self,
+        name: &'static str,
+        budget: crate::explorer::Budget,
+        minimize: bool,
+    ) -> crate::explorer::ExhaustiveReport {
+        crate::explorer::explore_exhaustive(name, budget, minimize, |c| {
+            let (outcome, trace) = self.run_schedule(c);
+            crate::explorer::ScheduleRun { outcome, trace }
+        })
+    }
+
+    fn run_sim(&self, mut sim: Sim) -> (Outcome, Sim) {
         let n = self.nodes.max(2);
-        let mut sim = Sim::with_tie_break(policy);
         let fabric = Fabric::new(FabricConfig::default());
         let nodes = fabric.add_nodes(n);
         let cfg = SsbConfig {
@@ -1059,6 +1268,8 @@ impl RecoveryScenario {
             obs: obs.clone(),
             cur_fp: 0,
         }));
+        let digest_world = Rc::clone(&world);
+        sim.set_state_digest(move || digest_world.borrow().digest());
         let t0 = SimTime::from_nanos(C_TICK_NS);
         for i in 0..n {
             schedule_rec_actor(&mut sim, Rc::clone(&world), i, t0, 0);
@@ -1084,11 +1295,13 @@ impl RecoveryScenario {
         let mut w = world.borrow_mut();
         w.cur_fp = sim.schedule_fingerprint();
         w.convergence();
-        Outcome {
+        let outcome = Outcome {
             fingerprint: sim.schedule_fingerprint(),
             violations: std::mem::take(&mut w.violations),
             dumps: obs.take_failures().iter().map(|d| d.render()).collect(),
-        }
+        };
+        drop(w);
+        (outcome, sim)
     }
 }
 

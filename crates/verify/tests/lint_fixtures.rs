@@ -161,6 +161,88 @@ fn inline_waiver_suppresses_exactly_its_rule() {
 }
 
 #[test]
+fn unordered_maps_flagged_only_in_sim_visible_crates() {
+    let src = "pub fn f() { let _ = std::collections::HashMap::<u8, u8>::new(); }\n";
+    let root = fixture(
+        "unordered",
+        &[
+            ("crates/desim/src/event.rs", src),
+            // obs is outside the no-unordered-map scope.
+            ("crates/obs/src/registry.rs", src),
+        ],
+    );
+    let report = lint::run(&root).unwrap();
+    assert_eq!(
+        rules_of(&report),
+        vec![("crates/desim/src/event.rs".to_owned(), Rule::NoUnorderedMap)]
+    );
+}
+
+#[test]
+fn wallclock_flagged_everywhere_but_bench() {
+    let src = "pub fn f() -> std::time::Instant { std::time::Instant::now() }\n";
+    let root = fixture(
+        "wallclock",
+        &[
+            ("crates/obs/src/timer.rs", src),
+            ("crates/bench/src/harness.rs", src),
+        ],
+    );
+    let report = lint::run(&root).unwrap();
+    assert_eq!(
+        rules_of(&report),
+        vec![("crates/obs/src/timer.rs".to_owned(), Rule::NoWallclock)]
+    );
+}
+
+#[test]
+fn stale_waiver_fails_the_lint() {
+    // The waived line no longer violates no-truncating-cast: the waiver
+    // itself must now fail the run.
+    let root = fixture(
+        "waiver-stale",
+        &[(
+            "crates/net/src/layout.rs",
+            "pub fn f(x: u64) -> u64 { x } // lint:ok(no-truncating-cast)\n",
+        )],
+    );
+    let report = lint::run(&root).unwrap();
+    assert!(!report.clean());
+    assert!(report.new_violations.is_empty());
+    assert_eq!(report.stale_waivers.len(), 1, "{:?}", report.stale_waivers);
+    assert!(report.stale_waivers[0].contains("layout.rs:1"));
+
+    // A waiver that still suppresses a real violation is not stale.
+    let root = fixture(
+        "waiver-live",
+        &[(
+            "crates/net/src/layout.rs",
+            "pub fn f(x: u64) -> u8 { (x % 255) as u8 } // lint:ok(no-truncating-cast)\n",
+        )],
+    );
+    let report = lint::run(&root).unwrap();
+    assert!(report.clean(), "{:?}", report.stale_waivers);
+    assert_eq!(report.waived, 1);
+}
+
+#[test]
+fn waiver_for_inapplicable_rule_is_stale() {
+    // The earlier `waiver-wrong-rule` case from the suppression test, seen
+    // from the waiver's side: a no-panic waiver in a file with no no-panic
+    // violation is dead weight and must be flagged.
+    let root = fixture(
+        "waiver-dead",
+        &[(
+            "crates/net/src/sender.rs",
+            "pub fn f() {} // lint:ok(no-panic)\n",
+        )],
+    );
+    let report = lint::run(&root).unwrap();
+    assert!(!report.clean());
+    assert_eq!(report.stale_waivers.len(), 1);
+}
+
+#[test]
 fn missing_crate_attrs_are_flagged() {
     let root = fixture(
         "attrs",

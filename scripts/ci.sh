@@ -5,27 +5,27 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/11] build (release, all targets)"
+echo "==> [1/12] build (release, all targets)"
 cargo build --release --workspace
 
-echo "==> [2/11] tests (unit + integration + fixtures + mutations)"
+echo "==> [2/12] tests (unit + integration + fixtures + mutations)"
 cargo test --workspace -q
 
-echo "==> [3/11] clippy (all targets, warnings are errors)"
+echo "==> [3/12] clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/11] slash-lint (custom static analysis, burn-down allowlist)"
+echo "==> [4/12] slash-lint (custom static analysis, burn-down allowlist)"
 cargo run --release -p slash-verify --bin slash-lint
 
-echo "==> [5/11] slash-race (schedule exploration smoke: 128 tie-breaks)"
+echo "==> [5/12] slash-race (schedule exploration smoke: 128 tie-breaks)"
 cargo run --release -p slash-verify --bin slash-race -- --seeds 128
 
-echo "==> [6/11] flight recorder (planted bug must be caught and dumped)"
+echo "==> [6/12] flight recorder (planted bug must be caught and dumped)"
 cargo run --release -p slash-verify --bin slash-race -- --mutation ignore-credit-window >/dev/null
 cargo run --release -p slash-verify --bin slash-race -- --mutation regress-vclock >/dev/null
 echo "flight recorder: both planted bugs caught with dumps"
 
-echo "==> [7/11] traced example (deterministic trace, validated JSON)"
+echo "==> [7/12] traced example (deterministic trace, validated JSON)"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT
 SLASH_TRACE_OUT="$trace_dir/a.json" cargo run --release --example ysb_pipeline >/dev/null
@@ -34,28 +34,47 @@ cmp "$trace_dir/a.json" "$trace_dir/b.json"
 echo "trace: two same-seed runs byte-identical"
 cargo run --release -p slash-verify --bin slash-trace-check -- "$trace_dir/a.json"
 
-echo "==> [8/11] chaos suite (every fault type recovers to the no-fault state)"
+echo "==> [8/12] chaos suite (every fault type recovers to the no-fault state)"
 cargo run --release --bin chaos-suite
 
-echo "==> [9/11] recovery golden trace (failover example, byte-identical + validated)"
+echo "==> [9/12] recovery golden trace (failover example, byte-identical + validated)"
 SLASH_TRACE_OUT="$trace_dir/f_a.json" cargo run --release --example failover >/dev/null
 SLASH_TRACE_OUT="$trace_dir/f_b.json" cargo run --release --example failover >/dev/null
 cmp "$trace_dir/f_a.json" "$trace_dir/f_b.json"
 echo "recovery trace: two same-seed chaos runs byte-identical"
 cargo run --release -p slash-verify --bin slash-trace-check -- "$trace_dir/f_a.json"
 
-echo "==> [10/11] hot-path perf smoke (wall-clock, combiner on vs off)"
+echo "==> [10/12] hot-path perf smoke (wall-clock, combiner on vs off)"
 # Writes BENCH_hotpath.json and exits non-zero if the combiner-on hot
 # loop is below 1.3x the per-record path on ysb_hot, or if any
 # workload's on/off state digests diverge.
 cargo run --release -p slash-bench --bin hotpath-bench -- --quick --out BENCH_hotpath.json
 
-echo "==> [11/11] cascading-fault matrix (compound faults converge exactly, golden traces)"
+echo "==> [11/12] cascading-fault matrix (compound faults converge exactly, golden traces)"
 # Release-mode run of the compound-fault tests: concurrent crashes,
 # buddy-dead re-selection, crash-during-recovery re-entrancy, wpn=2
 # promotion, and the same-seed byte-identical cascade trace. (Stage 8's
 # chaos-suite run covers the same matrix as a binary gate; this stage adds
 # the trace-level golden assertions.)
 cargo test --release --test chaos -q
+
+echo "==> [12/12] exhaustive model checker (bounded DFS over same-instant schedules)"
+# Enumerates every distinct same-instant schedule of the 2-node
+# FIFO/credit scenario (literal, dedup-free pass must drain the frontier
+# with zero pruning) plus the single-crash recovery scenario (complete
+# under state-digest dedup). The binary encodes the coverage floors and
+# fails on any regression or on silent frontier truncation; a truncated
+# scenario must fall back to the random sweep and still come back clean.
+mkdir -p results
+cargo run --release -p slash-verify --bin slash-race -- \
+    --exhaustive --minimize --out results/race_coverage.json
+echo "race coverage report: results/race_coverage.json"
+# Planted mutants must fall to the exhaustive explorer with a minimized
+# reproducing schedule, not just to the random sweep.
+cargo run --release -p slash-verify --bin slash-race -- \
+    --exhaustive --minimize --mutation skip-credit-return >/dev/null
+cargo run --release -p slash-verify --bin slash-race -- \
+    --exhaustive --minimize --mutation reorder-delivered >/dev/null
+echo "exhaustive: both planted mutants caught and minimized"
 
 echo "ci: all gates green"
