@@ -255,6 +255,7 @@ pub(crate) fn assemble_report(
             obs.counter_add("mem_bytes", &label, sh.metrics.mem_bytes);
             obs.counter_add("combiner_folds", &label, sh.metrics.combiner_folds);
             obs.counter_add("combiner_flushes", &label, sh.metrics.combiner_flushes);
+            obs.counter_add("state_updates", &label, sh.metrics.state_updates);
             obs.gauge_set("ipc", &label, sh.metrics.ipc());
             sh.ssb.publish_obs();
         }

@@ -66,6 +66,9 @@ pub struct EngineMetrics {
     pub combiner_folds: u64,
     /// Distinct-key partials flushed from write combiners into the SSB.
     pub combiner_flushes: u64,
+    /// SSB state updates applied (RMW/append survivors) — the per-key heat
+    /// sketch and per-partition telemetry normalize against this.
+    pub state_updates: u64,
     /// Clock used for ns↔cycle conversion, GHz.
     clock_ghz: f64,
 }
@@ -83,6 +86,7 @@ impl Default for EngineMetrics {
             net_bytes: 0,
             combiner_folds: 0,
             combiner_flushes: 0,
+            state_updates: 0,
             clock_ghz: TESTBED_CLOCK_GHZ,
         }
     }
@@ -163,6 +167,12 @@ impl EngineMetrics {
         self.combiner_flushes += flushes;
     }
 
+    /// Count `n` more SSB state updates (filter survivors applied to state).
+    #[inline]
+    pub fn add_state_updates(&mut self, n: u64) {
+        self.state_updates += n;
+    }
+
     /// Nanoseconds charged to a category.
     pub fn ns_of(&self, cat: CostCategory) -> f64 {
         self.ns[idx(cat)]
@@ -232,6 +242,7 @@ impl EngineMetrics {
         self.net_bytes += other.net_bytes;
         self.combiner_folds += other.combiner_folds;
         self.combiner_flushes += other.combiner_flushes;
+        self.state_updates += other.state_updates;
     }
 }
 

@@ -19,7 +19,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use slash_desim::{Link, ProcId, Process, Sim, SimTime, Step};
-use slash_obs::{Cat, Obs};
+use slash_obs::{Cat, Obs, Stage};
 use slash_state::backend::{SsbNode, TriggeredData, TriggeredValue};
 use slash_state::pack_key;
 
@@ -178,12 +178,15 @@ impl SlashWorker {
         }
     }
 
-    /// Process one batch; returns (cpu_ns, mem_bytes, records, last_ts).
+    /// Process one batch; returns (pipeline_ns, apply_ns, mem_bytes,
+    /// records, last_ts). The cpu cost is split into its source-pipeline
+    /// and SSB-apply components so the caller can attribute each to its
+    /// latency stage.
     fn process_batch(
         &mut self,
         sh: &mut NodeShared,
         range: (usize, usize),
-    ) -> (f64, u64, u64, u64) {
+    ) -> (f64, f64, u64, u64, u64) {
         let data = Rc::clone(self.source.data());
         let batch = &data[range.0..range.1];
         let cost = &self.cost;
@@ -195,14 +198,16 @@ impl SlashWorker {
         // charges — one `instr`/`charge` call per batch, not per record.
         let out = self.hotpath.process(&mut sh.ssb, batch);
         let n = out.records;
-        let mut cpu = cost.record_pipeline_ns * n as f64;
+        let pipeline_ns = cost.record_pipeline_ns * n as f64;
+        let mut apply_ns = 0.0;
         sh.metrics.instr(instr::PIPELINE * n);
+        sh.metrics.add_state_updates(out.survivors);
         let mut mem = batch.len() as u64 + out.value_bytes; // streaming + state writes
 
         let state_ops = if self.hotpath.combined() {
             // Every survivor folds into the L1-resident combiner; only the
             // flushed distinct-key partials walk the SSB index.
-            cpu += cost.combine_hit_ns * out.survivors as f64
+            apply_ns += cost.combine_hit_ns * out.survivors as f64
                 + (cost.rmw_base_ns + access.penalty_ns) * out.flushed as f64;
             sh.metrics
                 .instr(instr::COMBINE * out.survivors + instr::RMW * out.flushed);
@@ -215,11 +220,11 @@ impl SlashWorker {
         } else {
             match &*self.plan {
                 QueryPlan::Aggregate { .. } => {
-                    cpu += (cost.rmw_base_ns + access.penalty_ns) * out.survivors as f64;
+                    apply_ns += (cost.rmw_base_ns + access.penalty_ns) * out.survivors as f64;
                     sh.metrics.instr(instr::RMW * out.survivors);
                 }
                 QueryPlan::Join { .. } => {
-                    cpu += (cost.append_base_ns + access.penalty_ns) * out.survivors as f64;
+                    apply_ns += (cost.append_base_ns + access.penalty_ns) * out.survivors as f64;
                     sh.metrics.instr(instr::APPEND * out.survivors);
                 }
             }
@@ -240,7 +245,7 @@ impl SlashWorker {
             CostCategory::MemoryBound,
             (cost.rmw_base_ns + access.penalty_ns) * state_ops as f64,
         );
-        (cpu, mem, n, last_ts)
+        (pipeline_ns, apply_ns, mem, n, last_ts)
     }
 
     /// Trigger-task duty: fire every window the vector clock has released.
@@ -327,6 +332,14 @@ impl Process for SlashWorker {
         let mut cpu = 0.0;
         let mut mem_bytes = 0u64;
         let mut batch_records = 0u64;
+        // Named cost segments of this step's busy window, for stage
+        // attribution (Stage::Source / SsbApply / WindowClose /
+        // EpochMerge / ResultEmit). They sum to `cpu`.
+        let mut seg_source = 0.0;
+        let mut seg_apply = 0.0;
+        let mut seg_close = 0.0;
+        let mut seg_merge = 0.0;
+        let mut seg_emit = 0.0;
 
         // (1) RDMA coroutine: ship/merge state deltas.
         let (sent, merged) = match sh.ssb.pump(sim) {
@@ -342,7 +355,9 @@ impl Process for SlashWorker {
             }
         };
         if sent + merged > 0 {
-            cpu += sent as f64 * self.cost.post_wr_ns + merged as f64 * self.cost.merge_entry_ns;
+            seg_merge =
+                sent as f64 * self.cost.post_wr_ns + merged as f64 * self.cost.merge_entry_ns;
+            cpu += seg_merge;
             sh.metrics.instr(instr::MERGE * merged + instr::QUEUE_OP * sent);
             sh.metrics.charge(
                 CostCategory::MemoryBound,
@@ -359,12 +374,15 @@ impl Process for SlashWorker {
             // configure it; zero for Slash's per-worker queues).
             if self.cost.task_queue_ns > 0.0 {
                 cpu += self.cost.task_queue_ns;
+                seg_source += self.cost.task_queue_ns;
                 sh.metrics
                     .charge(CostCategory::CoreBound, self.cost.task_queue_ns);
                 sh.metrics.instr(instr::QUEUE_OP);
             }
-            let (c, m, n, last_ts) = self.process_batch(&mut sh, range);
-            cpu += c;
+            let (pipeline_ns, apply_ns, m, n, last_ts) = self.process_batch(&mut sh, range);
+            cpu += pipeline_ns + apply_ns;
+            seg_source += pipeline_ns;
+            seg_apply += apply_ns;
             mem_bytes += m;
             batch_records = n;
             sh.records += n;
@@ -393,6 +411,7 @@ impl Process for SlashWorker {
                 // encodes chunks (§7.2.2 step ② — mark + read the log).
                 let close_ns = 800.0 + delta as f64 * 0.05;
                 cpu += close_ns;
+                seg_close += close_ns;
                 sh.metrics.charge(CostCategory::MemoryBound, close_ns);
                 mem_bytes_extra += delta;
                 crate::recovery::on_epoch_closed(&mut sh);
@@ -416,13 +435,14 @@ impl Process for SlashWorker {
 
         // (3) Trigger duty.
         if self.is_trigger {
-            cpu += self.run_triggers(&mut sh);
+            seg_emit += self.run_triggers(&mut sh);
             // Completion: every executor reached the end-of-stream
             // watermark and all our deltas are out.
             if sh.ssb.vclock().min() == u64::MAX && sh.ssb.flushed() && !sh.ssb.dirty() {
-                cpu += self.run_triggers(&mut sh); // final sweep
+                seg_emit += self.run_triggers(&mut sh); // final sweep
                 sh.finished = true;
             }
+            cpu += seg_emit;
         }
 
         if self.source_done && cpu == 0.0 {
@@ -465,11 +485,13 @@ impl Process for SlashWorker {
         // Trace the batch as an operator-pipeline span and sample the
         // per-record latency it implies (virtual time, so deterministic).
         if batch_records > 0 && sh.obs.is_enabled() {
+            let pid = self.node as u32;
+            let tid = self.widx as u32;
             sh.obs.span(
                 Cat::Operator,
                 "batch",
-                self.node as u32,
-                self.widx as u32,
+                pid,
+                tid,
                 now,
                 now + busy,
                 &[("records", batch_records), ("mem_bytes", mem_bytes)],
@@ -479,6 +501,42 @@ impl Process for SlashWorker {
                 &sh.obs_label,
                 busy.as_nanos() / batch_records.max(1),
             );
+            // Stage-segmented attribution: partition the busy window into
+            // its named cost components, in record-lifecycle order. The
+            // memory-stall remainder (busy - cpu) is charged to the SSB
+            // apply stage, whose state traffic dominates the link. The
+            // segments partition [now, now+busy] exactly, so the sum of
+            // the per-record stage values never exceeds the end-to-end
+            // record latency (integer truncation only).
+            let stall = busy.as_nanos().saturating_sub(cpu_time.as_nanos()) as f64;
+            let segs = [
+                (Stage::Source, seg_source),
+                (Stage::SsbApply, seg_apply + stall),
+                (Stage::WindowClose, seg_close),
+                (Stage::EpochMerge, seg_merge),
+                (Stage::ResultEmit, seg_emit),
+            ];
+            let mut acc = 0.0;
+            let mut start = now;
+            let last = segs.len() - 1;
+            for (i, (stage, ns)) in segs.iter().enumerate() {
+                acc += ns;
+                let end = if i == last {
+                    now + busy
+                } else {
+                    (now + CostModel::to_time(acc)).min(now + busy)
+                };
+                if *stage == Stage::SsbApply {
+                    // The SSB apply span belongs to the state layer: the
+                    // backend emits it so apply attribution stays next to
+                    // the code being attributed.
+                    sh.ssb.record_apply_span(tid, start, end, batch_records);
+                } else {
+                    sh.obs.span_open(*stage, pid, tid, start);
+                    sh.obs.span_close(*stage, pid, tid, end, batch_records);
+                }
+                start = end;
+            }
         }
         Step::Yield(busy.max(SimTime::from_nanos(1)))
     }

@@ -1,7 +1,7 @@
 //! The consumer endpoint of an RDMA channel.
 
-use slash_desim::Sim;
-use slash_obs::{Cat, Obs};
+use slash_desim::{Sim, SimTime};
+use slash_obs::{Cat, Obs, Stage};
 use slash_rdma::{LocalSlice, Mr, Qp, RdmaError, RemoteKey, RemoteSlice, WorkRequest};
 
 use crate::channel::ChannelConfig;
@@ -186,11 +186,26 @@ impl ChannelReceiver {
             }
         };
 
-        // Latency sample: send stamp (µs) → now.
+        // Latency sample: send stamp (µs) → now. The same interval feeds
+        // the channel-transit stage histogram (per buffer, not per record:
+        // transit is a channel-level quantity).
         let now_ns = sim.now().as_nanos();
         let sent_ns = sent_us.saturating_mul(1_000);
         if now_ns >= sent_ns {
             self.stats.record_latency_ns(now_ns - sent_ns);
+            self.obs.span_open(
+                Stage::ChannelTransit,
+                self.obs_pid,
+                self.obs_tid,
+                SimTime::from_nanos(sent_ns),
+            );
+            self.obs.span_close(
+                Stage::ChannelTransit,
+                self.obs_pid,
+                self.obs_tid,
+                sim.now(),
+                1,
+            );
         }
 
         if footer.flags.contains(MsgFlags::EOS) {

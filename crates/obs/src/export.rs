@@ -85,7 +85,16 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
 }
 
 /// Quantiles reported by the `slash-top` table.
-const QUANTILES: [(f64, &str); 4] = [(0.5, "p50"), (0.9, "p90"), (0.99, "p99"), (0.999, "p99.9")];
+pub const QUANTILES: [(f64, &str); 5] = [
+    (0.5, "p50"),
+    (0.9, "p90"),
+    (0.99, "p99"),
+    (0.999, "p99.9"),
+    (0.9999, "p99.99"),
+];
+
+/// Heat entries shown per sketch in the `slash-top` table.
+const HEAT_TOP_SHOWN: usize = 8;
 
 /// Render the registry as a plain-text `slash-top` summary table.
 pub fn top_summary(reg: &MetricsRegistry) -> String {
@@ -112,8 +121,8 @@ pub fn top_summary(reg: &MetricsRegistry) -> String {
     let hists: Vec<_> = reg.hists().collect();
     if !hists.is_empty() {
         out.push_str(&format!(
-            "histograms (ns):\n  {:<28} {:<20} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
-            "name", "label", "count", "p50", "p90", "p99", "p99.9", "max"
+            "histograms (ns):\n  {:<28} {:<20} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "name", "label", "count", "p50", "p90", "p99", "p99.9", "p99.99", "max"
         ));
         for (name, label, h) in hists {
             out.push_str(&format!("  {name:<28} {label:<20} {:>9}", h.count()));
@@ -122,6 +131,23 @@ pub fn top_summary(reg: &MetricsRegistry) -> String {
                 out.push_str(&format!(" {v:>10}"));
             }
             out.push_str(&format!(" {:>10}\n", h.max().unwrap_or(0)));
+        }
+    }
+    let heats: Vec<_> = reg.heats().collect();
+    if !heats.is_empty() {
+        out.push_str("heat top-k:\n");
+        for (name, label, sketch) in heats {
+            out.push_str(&format!(
+                "  {name:<28} {label:<20} total={} tracked={}\n",
+                sketch.total(),
+                sketch.len()
+            ));
+            for e in sketch.top(HEAT_TOP_SHOWN) {
+                out.push_str(&format!(
+                    "    key={:<20} count={:<12} err={}\n",
+                    e.key, e.count, e.err
+                ));
+            }
         }
     }
     out

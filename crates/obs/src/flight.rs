@@ -12,7 +12,8 @@ use crate::trace::TraceEvent;
 /// Number of trailing trace events captured per dump.
 pub const FLIGHT_TAIL: usize = 64;
 
-/// A captured failure: reason, context, and the trailing event window.
+/// A captured failure: reason, context, the trailing event window, and a
+/// snapshot of the metrics registry at capture time.
 #[derive(Debug, Clone)]
 pub struct FlightDump {
     /// What went wrong (invariant name or decode error).
@@ -21,6 +22,9 @@ pub struct FlightDump {
     pub context: String,
     /// The last events recorded before the failure, oldest first.
     pub events: Vec<TraceEvent>,
+    /// Rendered `slash-top` registry snapshot (all histograms at
+    /// p50..p99.99 plus heat top-k) so a breach dump is self-contained.
+    pub registry: String,
 }
 
 impl FlightDump {
@@ -50,6 +54,14 @@ impl FlightDump {
             }
             out.push('\n');
         }
+        if !self.registry.is_empty() {
+            out.push_str("  registry snapshot:\n");
+            for line in self.registry.lines() {
+                out.push_str("    ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
         out
     }
 }
@@ -76,11 +88,25 @@ mod tests {
             reason: "vclock regressed".to_string(),
             context: "fingerprint=0xabc vclock=[3, 2]".to_string(),
             events: ring.tail(FLIGHT_TAIL),
+            registry: "histograms (ns):\n  record_latency_ns node0 ...".to_string(),
         };
         let text = dump.render();
         assert!(text.contains("flight-recorder dump: vclock regressed"));
         assert!(text.contains("fingerprint=0xabc"));
         assert!(text.contains("epoch-merge"));
         assert!(text.contains("watermark=42"));
+        assert!(text.contains("registry snapshot:"));
+        assert!(text.contains("    histograms (ns):"));
+    }
+
+    #[test]
+    fn empty_registry_snapshot_is_omitted() {
+        let dump = FlightDump {
+            reason: "x".to_string(),
+            context: String::new(),
+            events: Vec::new(),
+            registry: String::new(),
+        };
+        assert!(!dump.render().contains("registry snapshot"));
     }
 }

@@ -4,15 +4,19 @@
 //! the desim virtual clock. The crate provides:
 //!
 //! * [`trace`] — typed spans/instants for operator pipelines, RDMA channel
-//!   verbs, and epoch-coherence phases, in a bounded O(1) ring buffer;
+//!   verbs, epoch-coherence phases, and [`Stage`]-segmented latency
+//!   attribution, in a bounded O(1) ring buffer;
 //! * [`hist`] — an HDR-style log-bucketed [`Histogram`] for tail-latency
-//!   metrics (p50/p90/p99/p99.9) with bounded relative error;
-//! * [`registry`] — a central [`MetricsRegistry`] of counters, gauges and
-//!   histograms labeled by node/operator/channel;
+//!   metrics (p50/p90/p99/p99.9/p99.99) with bounded relative error;
+//! * [`heat`] — a SpaceSaving top-k [`HeatSketch`] for per-key load
+//!   telemetry (the feed for rescaling / key-splitting controllers);
+//! * [`registry`] — a central [`MetricsRegistry`] of counters, gauges,
+//!   histograms, and heat sketches labeled by node/operator/channel;
 //! * [`export`] — Chrome trace-event JSON (Perfetto) and the `slash-top`
 //!   text summary;
 //! * [`flight`] — a flight recorder that snapshots the last N events with
-//!   schedule-fingerprint and vector-clock context on invariant failures.
+//!   schedule-fingerprint, vector-clock context, and a full registry
+//!   snapshot on invariant failures.
 //!
 //! Determinism rules: no wall clock anywhere, timestamps are [`SimTime`]
 //! only, registry iteration is `BTreeMap`-ordered, and exports sort by
@@ -29,23 +33,32 @@
 
 pub mod export;
 pub mod flight;
+pub mod heat;
 pub mod hist;
 pub mod registry;
 pub mod trace;
 
 pub use flight::{FlightDump, FLIGHT_TAIL};
+pub use heat::{HeatEntry, HeatSketch, HEAT_CAPACITY};
 pub use hist::Histogram;
 pub use registry::MetricsRegistry;
-pub use trace::{Cat, TraceEvent, TraceRing};
+pub use trace::{Cat, Stage, TraceEvent, TraceRing};
 
 use slash_desim::SimTime;
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// Registry histogram name holding per-stage latency attribution.
+pub const STAGE_HIST: &str = "stage_latency_ns";
 
 struct ObsInner {
     ring: RefCell<TraceRing>,
     registry: RefCell<MetricsRegistry>,
     dumps: RefCell<Vec<FlightDump>>,
+    /// Stage spans opened but not yet closed, keyed `(stage, pid, tid)`.
+    /// BTreeMap keeps drain order deterministic.
+    opens: RefCell<BTreeMap<(u8, u32, u32), SimTime>>,
 }
 
 /// Shared observability handle threaded through the engine.
@@ -79,6 +92,7 @@ impl Obs {
                 ring: RefCell::new(TraceRing::new(capacity)),
                 registry: RefCell::new(MetricsRegistry::new()),
                 dumps: RefCell::new(Vec::new()),
+                opens: RefCell::new(BTreeMap::new()),
             })),
         }
     }
@@ -124,6 +138,64 @@ impl Obs {
         }
     }
 
+    /// Open a [`Stage`] latency span on lane `(pid, tid)` at virtual time
+    /// `at`. Must be matched by a [`span_close`](Self::span_close) with
+    /// the same stage and lane — the `latency-span-pairs` lint enforces
+    /// the pairing statically in instrumented crates. Re-opening an
+    /// already-open span moves its start (the earlier open is dropped).
+    pub fn span_open(&self, stage: Stage, pid: u32, tid: u32, at: SimTime) {
+        if let Some(inner) = &self.inner {
+            inner.opens.borrow_mut().insert((stage as u8, pid, tid), at);
+        }
+    }
+
+    /// Close the matching open [`Stage`] span at virtual time `at`.
+    ///
+    /// Emits a `Cat::Stage` trace span and records the duration divided
+    /// by `units` (e.g. records in the batch, min 1) into the per-stage
+    /// [`STAGE_HIST`] histogram labeled `stage.name()`. A close without a
+    /// matching open increments the `span_mismatch` counter instead of
+    /// failing: attribution must never take the engine down.
+    pub fn span_close(&self, stage: Stage, pid: u32, tid: u32, at: SimTime, units: u64) {
+        if let Some(inner) = &self.inner {
+            let open = inner.opens.borrow_mut().remove(&(stage as u8, pid, tid));
+            match open {
+                Some(start) => {
+                    let dur = at.as_nanos().saturating_sub(start.as_nanos());
+                    inner.ring.borrow_mut().record(
+                        Cat::Stage,
+                        stage.name(),
+                        pid,
+                        tid,
+                        start,
+                        dur.max(1),
+                        &[("units", units)],
+                    );
+                    inner.registry.borrow_mut().hist_record(
+                        STAGE_HIST,
+                        stage.name(),
+                        dur / units.max(1),
+                    );
+                }
+                None => {
+                    inner
+                        .registry
+                        .borrow_mut()
+                        .counter_add("span_mismatch", stage.name(), 1);
+                }
+            }
+        }
+    }
+
+    /// Number of stage spans currently open (test/diagnostic hook: a
+    /// clean run ends with zero).
+    pub fn open_span_count(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.opens.borrow().len())
+            .unwrap_or(0)
+    }
+
     /// Add to a registry counter.
     pub fn counter_add(&self, name: &str, label: &str, v: u64) {
         if let Some(inner) = &self.inner {
@@ -152,6 +224,28 @@ impl Obs {
         }
     }
 
+    /// Record `weight` observations of key `k` into a registry heat sketch.
+    pub fn heat_observe(&self, name: &str, label: &str, k: u64, weight: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.borrow_mut().heat_observe(name, label, k, weight);
+        }
+    }
+
+    /// Merge a locally-accumulated heat sketch into the registry.
+    pub fn heat_merge(&self, name: &str, label: &str, sketch: &HeatSketch) {
+        if let Some(inner) = &self.inner {
+            inner.registry.borrow_mut().heat_merge(name, label, sketch);
+        }
+    }
+
+    /// The hottest `n` entries of a registry heat sketch.
+    pub fn heat_top(&self, name: &str, label: &str, n: usize) -> Vec<HeatEntry> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.registry.borrow().heat_top(name, label, n))
+            .unwrap_or_default()
+    }
+
     /// Quantile of a registry histogram, if present.
     pub fn quantile(&self, name: &str, label: &str, q: f64) -> Option<u64> {
         self.inner
@@ -176,10 +270,19 @@ impl Obs {
                 .ring
                 .borrow_mut()
                 .record(Cat::Fault, "failure", 0, 0, at, 0, &[]);
+            let registry = {
+                let reg = inner.registry.borrow();
+                if reg.is_empty() {
+                    String::new()
+                } else {
+                    export::top_summary(&reg)
+                }
+            };
             inner.dumps.borrow_mut().push(FlightDump {
                 reason: reason.to_string(),
                 context: context.to_string(),
                 events,
+                registry,
             });
         }
     }
@@ -285,6 +388,46 @@ mod tests {
             .events()
             .iter()
             .any(|e| e.cat == Cat::Fault && e.name == "failure"));
+    }
+
+    #[test]
+    fn stage_span_pairs_record_trace_and_histogram() {
+        let obs = Obs::enabled(64);
+        obs.span_open(Stage::Source, 0, 1, SimTime::from_nanos(100));
+        obs.span_close(Stage::Source, 0, 1, SimTime::from_nanos(1_100), 10);
+        assert_eq!(obs.open_span_count(), 0);
+        // 1000ns over 10 units = 100ns per record.
+        assert_eq!(obs.quantile(STAGE_HIST, "source", 1.0), Some(100));
+        let events = obs.events();
+        let span = events
+            .iter()
+            .find(|e| e.cat == Cat::Stage && e.name == "source")
+            .expect("stage span recorded");
+        assert_eq!(span.ts, SimTime::from_nanos(100));
+        assert_eq!(span.dur, 1_000);
+        assert_eq!(span.args()[0], ("units", 10));
+    }
+
+    #[test]
+    fn mismatched_span_close_counts_not_fails() {
+        let obs = Obs::enabled(16);
+        obs.span_close(Stage::EpochMerge, 3, 0, SimTime::from_nanos(50), 1);
+        assert_eq!(
+            obs.with_registry(|r| r.counter("span_mismatch", "epoch_merge")),
+            Some(1)
+        );
+        assert!(obs.quantile(STAGE_HIST, "epoch_merge", 0.5).is_none());
+        // Lanes are independent: same stage on another (pid, tid) pairs fine.
+        obs.span_open(Stage::SsbApply, 0, 0, SimTime::ZERO);
+        obs.span_open(Stage::SsbApply, 0, 1, SimTime::from_nanos(5));
+        assert_eq!(obs.open_span_count(), 2);
+        obs.span_close(Stage::SsbApply, 0, 0, SimTime::from_nanos(10), 1);
+        obs.span_close(Stage::SsbApply, 0, 1, SimTime::from_nanos(10), 1);
+        assert_eq!(obs.open_span_count(), 0);
+        assert_eq!(
+            obs.with_registry(|r| r.hist(STAGE_HIST, "ssb_apply").map(|h| h.count())),
+            Some(Some(2))
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! Storage is `BTreeMap`-keyed by `(name, label)` so iteration order — and
 //! therefore every export — is deterministic.
 
+use crate::heat::{HeatEntry, HeatSketch, HEAT_CAPACITY};
 use crate::hist::Histogram;
 use std::collections::BTreeMap;
 
@@ -17,6 +18,7 @@ pub struct MetricsRegistry {
     counters: BTreeMap<Key, u64>,
     gauges: BTreeMap<Key, f64>,
     hists: BTreeMap<Key, Histogram>,
+    heats: BTreeMap<Key, HeatSketch>,
 }
 
 fn key(name: &str, label: &str) -> Key {
@@ -69,6 +71,40 @@ impl MetricsRegistry {
         self.hist(name, label).and_then(|h| h.quantile(q))
     }
 
+    /// Record `weight` observations of `key` into the heat sketch
+    /// `(name, label)`, creating it with [`HEAT_CAPACITY`] slots.
+    pub fn heat_observe(&mut self, name: &str, label: &str, k: u64, weight: u64) {
+        self.heats
+            .entry(key(name, label))
+            .or_insert_with(|| HeatSketch::new(HEAT_CAPACITY))
+            .observe(k, weight);
+    }
+
+    /// Merge a whole heat sketch into `(name, label)`.
+    pub fn heat_merge(&mut self, name: &str, label: &str, sketch: &HeatSketch) {
+        self.heats
+            .entry(key(name, label))
+            .or_insert_with(|| HeatSketch::new(HEAT_CAPACITY))
+            .merge(sketch);
+    }
+
+    /// Read a heat sketch.
+    pub fn heat(&self, name: &str, label: &str) -> Option<&HeatSketch> {
+        self.heats.get(&key(name, label))
+    }
+
+    /// The hottest `n` entries of the sketch `(name, label)`, if present.
+    pub fn heat_top(&self, name: &str, label: &str, n: usize) -> Vec<HeatEntry> {
+        self.heat(name, label).map(|s| s.top(n)).unwrap_or_default()
+    }
+
+    /// Iterate heat sketches in deterministic `(name, label)` order.
+    pub fn heats(&self) -> impl Iterator<Item = (&str, &str, &HeatSketch)> {
+        self.heats
+            .iter()
+            .map(|((n, l), s)| (n.as_str(), l.as_str(), s))
+    }
+
     /// Iterate counters in deterministic `(name, label)` order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, &str, u64)> {
         self.counters
@@ -92,7 +128,10 @@ impl MetricsRegistry {
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+            && self.heats.is_empty()
     }
 }
 
@@ -124,6 +163,55 @@ mod tests {
         reg.hist_merge("lat", "chan=0->1", &extra);
         assert_eq!(reg.hist("lat", "chan=0->1").unwrap().count(), 3);
         assert!(reg.quantile("lat", "chan=0->1", 1.0).unwrap() >= 300);
+    }
+
+    /// Merging under the same `(name, label)` accumulates; a different
+    /// label — even one that concatenates to the same bytes as another
+    /// `(name, label)` pair — stays a distinct series (satellite:
+    /// hist_merge label collisions).
+    #[test]
+    fn hist_merge_keeps_labels_distinct() {
+        let mut reg = MetricsRegistry::new();
+        let mut a = Histogram::new();
+        a.record(10);
+        a.record(20);
+        let mut b = Histogram::new();
+        b.record(1_000);
+        // Same name, two labels: no cross-talk.
+        reg.hist_merge("lat", "node0", &a);
+        reg.hist_merge("lat", "node1", &b);
+        assert_eq!(reg.hist("lat", "node0").unwrap().count(), 2);
+        assert_eq!(reg.hist("lat", "node1").unwrap().count(), 1);
+        // Tuple keying, not string concatenation: ("lat.x", "y") and
+        // ("lat", "x.y") must not collide.
+        reg.hist_merge("lat.x", "y", &a);
+        reg.hist_merge("lat", "x.y", &b);
+        assert_eq!(reg.hist("lat.x", "y").unwrap().count(), 2);
+        assert_eq!(reg.hist("lat", "x.y").unwrap().count(), 1);
+        // Repeated merges under one key accumulate.
+        reg.hist_merge("lat", "node0", &b);
+        reg.hist_merge("lat", "node0", &a);
+        assert_eq!(reg.hist("lat", "node0").unwrap().count(), 5);
+        assert_eq!(reg.quantile("lat", "node0", 1.0).unwrap(), 1_000);
+    }
+
+    #[test]
+    fn heat_sketches_are_labeled_and_merge() {
+        let mut reg = MetricsRegistry::new();
+        reg.heat_observe("key_heat", "node0", 7, 5);
+        reg.heat_observe("key_heat", "node0", 7, 5);
+        reg.heat_observe("key_heat", "node1", 9, 1);
+        let mut sketch = crate::heat::HeatSketch::new(4);
+        sketch.observe(7, 3);
+        reg.heat_merge("key_heat", "node0", &sketch);
+        let top = reg.heat_top("key_heat", "node0", 1);
+        assert_eq!(top[0].key, 7);
+        assert_eq!(top[0].count, 13);
+        assert_eq!(reg.heat_top("key_heat", "node1", 1)[0].count, 1);
+        assert!(reg.heat_top("key_heat", "node2", 1).is_empty());
+        assert!(!reg.is_empty());
+        let labels: Vec<&str> = reg.heats().map(|(_, l, _)| l).collect();
+        assert_eq!(labels, vec!["node0", "node1"]);
     }
 
     #[test]

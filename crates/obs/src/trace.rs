@@ -23,6 +23,8 @@ pub enum Cat {
     Verb,
     /// Epoch-coherence phases: propose, merge, install.
     Epoch,
+    /// Stage-segmented latency attribution spans (see [`Stage`]).
+    Stage,
     /// Invariant failures and decode errors (flight-recorder markers).
     Fault,
 }
@@ -34,8 +36,67 @@ impl Cat {
             Cat::Operator => "operator",
             Cat::Verb => "verb",
             Cat::Epoch => "epoch",
+            Cat::Stage => "stage",
             Cat::Fault => "fault",
         }
+    }
+}
+
+/// Named segment of the end-to-end record-latency budget.
+///
+/// Stage spans are emitted as open/close pairs (`Obs::span_open` /
+/// `Obs::span_close`) and aggregated into the per-stage
+/// `stage_latency_ns` registry histogram, so a p99.99 breach points at
+/// the guilty segment instead of just the end-to-end number. The
+/// taxonomy follows a record's life: source ingest, channel transit,
+/// SSB state apply, window close, epoch merge, result emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Source ingest + per-record pipeline work (parse/filter/project).
+    Source,
+    /// Buffer residence between a channel's sender stamp and its consume.
+    ChannelTransit,
+    /// State updates against the SSB (combiner folds, RMW/append, memory stall).
+    SsbApply,
+    /// Epoch-close scan and delta encode at the window boundary.
+    WindowClose,
+    /// Delta shipping and remote-epoch merge on the coherence path.
+    EpochMerge,
+    /// Trigger sweep and sink emission of window results.
+    ResultEmit,
+}
+
+impl Stage {
+    /// Every stage, in record-lifecycle order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Source,
+        Stage::ChannelTransit,
+        Stage::SsbApply,
+        Stage::WindowClose,
+        Stage::EpochMerge,
+        Stage::ResultEmit,
+    ];
+
+    /// Stable snake_case name used as the `stage_latency_ns` label and in
+    /// `BENCH_latency.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Source => "source",
+            Stage::ChannelTransit => "channel_transit",
+            Stage::SsbApply => "ssb_apply",
+            Stage::WindowClose => "window_close",
+            Stage::EpochMerge => "epoch_merge",
+            Stage::ResultEmit => "result_emit",
+        }
+    }
+
+    /// Whether this stage's samples are per-record slices of a worker's
+    /// busy window. Record-path stage *means* sum to at most the
+    /// end-to-end `record_latency_ns` mean (integer truncation only);
+    /// `channel_transit` is per-buffer residence in a different unit and
+    /// is excluded from that identity.
+    pub fn on_record_path(self) -> bool {
+        !matches!(self, Stage::ChannelTransit)
     }
 }
 

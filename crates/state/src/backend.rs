@@ -1,8 +1,8 @@
 //! The per-node SSB facade: routing, epochs, triggering (§7).
 
-use slash_desim::Sim;
+use slash_desim::{Sim, SimTime};
 use slash_net::{create_channel, ChannelConfig};
-use slash_obs::Obs;
+use slash_obs::{HeatSketch, Obs, Stage, HEAT_CAPACITY};
 use slash_rdma::{Fabric, NodeId};
 
 use crate::coherence::{DeltaReceiver, DeltaSender, StateError};
@@ -71,6 +71,16 @@ pub struct SsbNode {
     bytes_since_epoch: u64,
     local_watermark: u64,
     obs: Obs,
+    /// Per-key heat sketch (SpaceSaving top-k over group keys). `None`
+    /// unless the node is instrumented, so the uninstrumented hot path
+    /// pays a single branch and no sketch maintenance.
+    heat: Option<HeatSketch>,
+    /// State updates routed to each partition since construction
+    /// (published as `partition_updates` counters).
+    part_updates: Vec<u64>,
+    /// State updates applied in the open epoch (published as the
+    /// `records_per_epoch` gauge when the epoch closes).
+    epoch_updates: u64,
 }
 
 impl SsbNode {
@@ -104,6 +114,18 @@ impl SsbNode {
         partition_of(key, self.cfg.nodes)
     }
 
+    /// Account one state update for the heat/partition telemetry. Only
+    /// instrumented nodes carry a sketch; the common uninstrumented case
+    /// is one branch.
+    #[inline]
+    fn note_update(&mut self, key: StateKey, p: usize, weight: u64) {
+        if let Some(h) = self.heat.as_mut() {
+            h.observe(unpack_key(key).1, weight);
+            self.part_updates[p] += weight;
+            self.epoch_updates += weight;
+        }
+    }
+
     /// Read-modify-write: the eager per-record update of partial state —
     /// Slash's common-case operation (§7.1.2). Routes to the key's
     /// partition fragment; no re-partitioning, no queueing.
@@ -111,6 +133,7 @@ impl SsbNode {
         let p = self.partition_of(key);
         self.fragments[p].rmw(key, update);
         self.bytes_since_epoch += self.fragments[p].descriptor().fixed_size() as u64 + 32;
+        self.note_update(key, p, 1);
     }
 
     /// Append an element to holistic state.
@@ -118,6 +141,7 @@ impl SsbNode {
         let p = self.partition_of(key);
         self.fragments[p].append(key, elem);
         self.bytes_since_epoch += elem.len() as u64 + 32;
+        self.note_update(key, p, 1);
     }
 
     /// Flush a worker's [`WriteCombiner`] — the batched counterpart of
@@ -155,6 +179,17 @@ impl SsbNode {
         }
         let per_entry = self.fragments[0].descriptor().fixed_size() as u64 + 32;
         self.bytes_since_epoch += per_entry * n as u64;
+        if self.heat.is_some() {
+            // Telemetry pass before the combiner clears: the fold count of
+            // each entry is the true per-key update weight the combiner
+            // absorbed on the worker's behalf.
+            for i in 0..n {
+                let key = comb.entry(i).0;
+                let w = comb.entry_folds(i);
+                let p = self.partition_of(key);
+                self.note_update(key, p, w);
+            }
+        }
         comb.clear();
         n as u64
     }
@@ -192,6 +227,12 @@ impl SsbNode {
             }
         }
         self.bytes_since_epoch += (stride as u64 + 32) * keys.len() as u64;
+        if self.heat.is_some() {
+            for &key in keys {
+                let p = self.partition_of(key);
+                self.note_update(key, p, 1);
+            }
+        }
         distinct
     }
 
@@ -249,6 +290,14 @@ impl SsbNode {
         }
         self.vclock.update(self.node, wm);
         self.bytes_since_epoch = 0;
+        if self.heat.is_some() {
+            self.obs.gauge_set(
+                "records_per_epoch",
+                &format!("node{}", self.node),
+                self.epoch_updates as f64,
+            );
+            self.epoch_updates = 0;
+        }
         Ok(delta_bytes)
     }
 
@@ -381,6 +430,9 @@ impl SsbNode {
             bytes_since_epoch: 0,
             local_watermark: 0,
             obs: Obs::disabled(),
+            heat: None,
+            part_updates: vec![0; cfg.nodes],
+            epoch_updates: 0,
         }
     }
 
@@ -594,6 +646,15 @@ impl SsbNode {
             r.instrument(obs.clone(), node);
         }
         self.obs = obs;
+        self.heat = Some(HeatSketch::new(HEAT_CAPACITY));
+    }
+
+    /// Emit the SSB-apply stage span for a worker batch: the worker owns
+    /// the interval boundaries (its busy-window segmentation), the backend
+    /// owns the emission — the apply stage belongs to the state layer.
+    pub fn record_apply_span(&self, tid: u32, start: SimTime, end: SimTime, records: u64) {
+        self.obs.span_open(Stage::SsbApply, self.node as u32, tid, start);
+        self.obs.span_close(Stage::SsbApply, self.node as u32, tid, end, records);
     }
 
     /// Publish this node's channel statistics into the obs registry
@@ -603,11 +664,31 @@ impl SsbNode {
             if let Some(s) = sender {
                 let label = format!("chan={}->{}", self.node, leader);
                 s.channel_stats().publish(&self.obs, &label);
+                self.obs.gauge_set(
+                    "queue_depth_peak",
+                    &label,
+                    s.peak_backlog() as f64,
+                );
             }
         }
         for r in &self.receivers {
             let label = format!("chan={}->{}", r.helper(), self.node);
             r.channel_stats().publish(&self.obs, &label);
+        }
+        let node_label = format!("node{}", self.node);
+        for (p, &n) in self.part_updates.iter().enumerate() {
+            if n > 0 {
+                self.obs.counter_add(
+                    "partition_updates",
+                    &format!("{node_label} part={p}"),
+                    n,
+                );
+            }
+        }
+        if let Some(h) = self.heat.as_ref() {
+            if !h.is_empty() {
+                self.obs.heat_merge("key_heat", &node_label, h);
+            }
         }
     }
 }
@@ -646,6 +727,9 @@ pub fn build_cluster_obs(
             bytes_since_epoch: 0,
             local_watermark: 0,
             obs: Obs::disabled(),
+            heat: None,
+            part_updates: vec![0; n],
+            epoch_updates: 0,
         })
         .collect();
 
@@ -825,6 +909,54 @@ mod tests {
             );
         }
         assert_eq!(a[0].bytes_since_epoch, b[0].bytes_since_epoch);
+    }
+
+    #[test]
+    fn instrumented_node_tracks_heat_and_partition_updates() {
+        let (mut sim, mut ssb) = cluster(3);
+        let obs = Obs::enabled(256);
+        for node in ssb.iter_mut() {
+            node.instrument(obs.clone());
+        }
+        // Skewed single-record stream on node 0: key 7 is hot.
+        for rec in 0..100u64 {
+            let g = if rec % 4 == 0 { rec % 5 } else { 7 };
+            ssb[0].rmw(pack_key(1, g), |v| CounterCrdt::add(v, 1));
+        }
+        // Batched updates fold into the combiner first; their per-key
+        // weights must survive the flush into the sketch.
+        let mut comb = WriteCombiner::new(CounterCrdt::descriptor(), 64);
+        for _ in 0..50u64 {
+            assert!(comb.fold(pack_key(1, 7), |v| CounterCrdt::add(v, 1)));
+        }
+        ssb[0].rmw_batch(&mut comb);
+        let top = ssb[0].heat.as_ref().unwrap().top(1);
+        assert_eq!(top[0].key, 7);
+        assert_eq!(top[0].count, 75 + 50);
+        assert_eq!(top[0].err, 0, "well under capacity: counts are exact");
+        assert_eq!(
+            ssb[0].part_updates.iter().sum::<u64>(),
+            150,
+            "every update lands in exactly one partition bucket"
+        );
+        // Epoch close publishes and resets the per-epoch gauge.
+        assert_eq!(ssb[0].epoch_updates, 150);
+        ssb[0].note_progress(10);
+        ssb[0].close_epoch(&mut sim).unwrap();
+        assert_eq!(ssb[0].epoch_updates, 0);
+        ssb[0].publish_obs();
+        let hot = obs.heat_top("key_heat", "node0", 1);
+        assert_eq!(hot[0].key, 7);
+        assert_eq!(hot[0].count, 125);
+    }
+
+    #[test]
+    fn uninstrumented_node_keeps_no_telemetry() {
+        let (_sim, mut ssb) = cluster(2);
+        ssb[0].rmw(pack_key(1, 3), |v| CounterCrdt::add(v, 1));
+        assert!(ssb[0].heat.is_none());
+        assert_eq!(ssb[0].part_updates.iter().sum::<u64>(), 0);
+        assert_eq!(ssb[0].epoch_updates, 0);
     }
 
     #[test]

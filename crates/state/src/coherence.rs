@@ -75,6 +75,8 @@ pub struct DeltaSender {
     retained: Vec<RetainedEpoch>,
     /// Chunks shipped (stats).
     pub chunks_sent: u64,
+    /// High-water mark of the outbox depth (queue-depth telemetry).
+    peak_backlog: usize,
     obs: Obs,
     obs_pid: u32,
     obs_tid: u32,
@@ -89,6 +91,7 @@ impl DeltaSender {
             retain: false,
             retained: Vec::new(),
             chunks_sent: 0,
+            peak_backlog: 0,
             obs: Obs::disabled(),
             obs_pid: 0,
             obs_tid: 0,
@@ -139,6 +142,7 @@ impl DeltaSender {
             });
         }
         self.outbox.extend(chunks);
+        self.peak_backlog = self.peak_backlog.max(self.outbox.len());
     }
 
     /// Enable (or disable) epoch retention for replay-based recovery.
@@ -181,6 +185,7 @@ impl DeltaSender {
                 n += 1;
             }
         }
+        self.peak_backlog = self.peak_backlog.max(self.outbox.len());
         n
     }
 
@@ -214,6 +219,11 @@ impl DeltaSender {
     /// Chunks still waiting for credit.
     pub fn backlog(&self) -> usize {
         self.outbox.len()
+    }
+
+    /// Deepest the outbox has ever been (queue-depth telemetry).
+    pub fn peak_backlog(&self) -> usize {
+        self.peak_backlog
     }
 
     /// Channel statistics.

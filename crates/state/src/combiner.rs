@@ -47,6 +47,9 @@ pub struct WriteCombiner {
     /// Slots in insertion order — flush order is first-touch order, the
     /// same order the per-record path would first insert each key.
     order: Vec<u32>,
+    /// Folds absorbed per slot since its last insert — the per-key weight
+    /// the heat sketch observes at flush time.
+    counts: Vec<u32>,
     folds: u64,
     inserts: u64,
 }
@@ -65,6 +68,7 @@ impl WriteCombiner {
             keys: vec![0; cap],
             values: vec![0; cap * size],
             order: Vec::with_capacity(cap),
+            counts: vec![0; cap],
             folds: 0,
             inserts: 0,
         }
@@ -111,12 +115,14 @@ impl WriteCombiner {
                 (self.desc.init)(value);
                 update(value);
                 self.order.push(slot as u32);
+                self.counts[slot] = 1;
                 self.folds += 1;
                 self.inserts += 1;
                 return true;
             }
             if stored == hash && self.keys[slot] == key {
                 update(&mut self.values[slot * self.size..(slot + 1) * self.size]);
+                self.counts[slot] = self.counts[slot].saturating_add(1);
                 self.folds += 1;
                 return true;
             }
@@ -136,6 +142,15 @@ impl WriteCombiner {
             self.hashes[slot],
             &self.values[slot * self.size..(slot + 1) * self.size],
         )
+    }
+
+    /// Folds absorbed into the `i`-th buffered partial since it was
+    /// inserted (at least 1 for a live entry): the weight of that key
+    /// within the current batch.
+    #[inline]
+    pub fn entry_folds(&self, i: usize) -> u64 {
+        let slot = self.order.get(i).copied().unwrap_or_default() as usize;
+        self.counts[slot] as u64
     }
 
     /// Drop all buffered partials (after a flush). Only occupied slots are
@@ -179,6 +194,25 @@ mod tests {
             assert_ne!(h, 0);
             assert_eq!(CounterCrdt::get(v), 10);
         }
+    }
+
+    #[test]
+    fn entry_folds_count_per_key_weights() {
+        let mut c = WriteCombiner::new(CounterCrdt::descriptor(), 64);
+        // Key i % 3 receives 1 + the number of later multiples: key 0
+        // folds 4 times (0,3,6,9), keys 1 and 2 fold 3 times each.
+        for i in 0..10u64 {
+            assert!(c.fold(pack_key(1, i % 3), |v| CounterCrdt::add(v, 1)));
+        }
+        let mut folds: Vec<(u64, u64)> = (0..c.len())
+            .map(|i| (crate::hash::unpack_key(c.entry(i).0).1, c.entry_folds(i)))
+            .collect();
+        folds.sort_unstable();
+        assert_eq!(folds, vec![(0, 4), (1, 3), (2, 3)]);
+        // Clearing resets the weights: re-inserted keys start at one.
+        c.clear();
+        assert!(c.fold(pack_key(1, 0), |v| CounterCrdt::add(v, 1)));
+        assert_eq!(c.entry_folds(0), 1);
     }
 
     #[test]

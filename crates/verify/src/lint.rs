@@ -18,6 +18,7 @@
 //! | `metrics-facade` | library code of `net`, `state`, `core`, `baselines` | direct `=`/`+=`/`-=` writes to counter fields of a `*stats`/`*metrics` value outside the facade files — counters must go through the mutator methods so the observability registry sees them |
 //! | `no-unordered-map` | library code of `core`, `net`, `state`, `desim` | std `HashMap`/`HashSet` — iteration order is nondeterministic across runs and could leak into schedules, digests, or wire bytes; use `BTreeMap`/`BTreeSet` |
 //! | `no-wallclock` | library code of every crate except `bench` | `Instant::now`/`SystemTime` — simulation code must use virtual `SimTime`; host time breaks replay determinism |
+//! | `latency-span-pairs` | library code of `core`, `net`, `state`, `obs` | per file, the multiset of `.span_open(<stage>, ..)` first-argument tokens must equal the `.span_close(<stage>, ..)` multiset — an unbalanced pair silently drops stage-histogram samples |
 //!
 //! ## Allowlist & burn-down
 //!
@@ -66,7 +67,14 @@ const METRIC_FIELDS: &[&str] = &[
     "llc_misses",
     "mem_bytes",
     "net_bytes",
+    "state_updates",
 ];
+
+/// Crates whose library code must balance latency-span pairs: every
+/// `.span_open(<stage>, ..)` call needs a matching `.span_close(<stage>,
+/// ..)` in the same file, or the stage histogram silently loses samples
+/// (an unmatched close only bumps the `span_mismatch` counter).
+const SPAN_PAIR_CRATES: &[&str] = &["core", "net", "state", "obs"];
 
 /// Crates whose library state is simulation-visible: the iteration order
 /// of a std `HashMap`/`HashSet` differs across processes (random hasher
@@ -106,6 +114,8 @@ pub enum Rule {
     NoUnorderedMap,
     /// No host wall-clock reads outside the bench crate.
     NoWallclock,
+    /// `span_open`/`span_close` stage tokens must balance per file.
+    LatencySpanPairs,
 }
 
 impl Rule {
@@ -119,6 +129,7 @@ impl Rule {
             Rule::MetricsFacade => "metrics-facade",
             Rule::NoUnorderedMap => "no-unordered-map",
             Rule::NoWallclock => "no-wallclock",
+            Rule::LatencySpanPairs => "latency-span-pairs",
         }
     }
 
@@ -132,6 +143,7 @@ impl Rule {
             "metrics-facade" => Some(Rule::MetricsFacade),
             "no-unordered-map" => Some(Rule::NoUnorderedMap),
             "no-wallclock" => Some(Rule::NoWallclock),
+            "latency-span-pairs" => Some(Rule::LatencySpanPairs),
             _ => None,
         }
     }
@@ -515,6 +527,7 @@ struct Checks {
     metrics: bool,
     unordered: bool,
     wallclock: bool,
+    span_pairs: bool,
 }
 
 impl Checks {
@@ -525,11 +538,72 @@ impl Checks {
             metrics: METRICS_FACADE_CRATES.contains(&name),
             unordered: NO_UNORDERED_CRATES.contains(&name),
             wallclock: !WALLCLOCK_EXEMPT_CRATES.contains(&name),
+            span_pairs: SPAN_PAIR_CRATES.contains(&name),
         }
     }
 
     fn any(self) -> bool {
-        self.panics || self.prints || self.metrics || self.unordered || self.wallclock
+        self.panics
+            || self.prints
+            || self.metrics
+            || self.unordered
+            || self.wallclock
+            || self.span_pairs
+    }
+}
+
+/// Collect `.{method}(` call sites in the code view, extracting each
+/// call's first-argument token (whitespace/newline tolerant, so multi-line
+/// calls resolve to the same token as single-line ones) and the 1-based
+/// line of the call.
+fn span_call_tokens(view: &str, method: &str) -> Vec<(String, usize)> {
+    let pat = format!(".{method}(");
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = view[from..].find(&pat) {
+        let i = from + rel;
+        from = i + pat.len();
+        let line = view[..i].bytes().filter(|b| *b == b'\n').count() + 1;
+        let tok: String = view[i + pat.len()..]
+            .chars()
+            .take_while(|c| *c != ',' && *c != ')')
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        out.push((tok, line));
+    }
+    out
+}
+
+/// Whole-file check: every `.span_open(<stage>, ..)` must have a matching
+/// `.span_close(<stage>, ..)` in the same file (and vice versa), compared
+/// as a multiset per first-argument token. An unbalanced pair silently
+/// loses stage-histogram samples (open) or only bumps `span_mismatch`
+/// (close), so the imbalance is a bug at the call site, not at runtime.
+fn scan_span_pairs(rel: &str, view: &str, out: &mut Vec<Violation>) {
+    let opens = span_call_tokens(view, "span_open");
+    let closes = span_call_tokens(view, "span_close");
+    let mut tokens: Vec<&str> = opens.iter().chain(&closes).map(|(t, _)| t.as_str()).collect();
+    tokens.sort_unstable();
+    tokens.dedup();
+    for tok in tokens {
+        let n_open = opens.iter().filter(|(t, _)| t == tok).count();
+        let n_close = closes.iter().filter(|(t, _)| t == tok).count();
+        if n_open != n_close {
+            let line = opens
+                .iter()
+                .chain(&closes)
+                .find(|(t, _)| t == tok)
+                .map_or(1, |(_, l)| *l);
+            out.push(Violation {
+                file: rel.to_owned(),
+                line,
+                rule: Rule::LatencySpanPairs,
+                message: format!(
+                    "stage `{tok}` has {n_open} span_open but {n_close} span_close in this \
+                     file — latency spans must balance per file"
+                ),
+            });
+        }
     }
 }
 
@@ -593,6 +667,9 @@ fn scan_file(rel: &str, original: &str, checks: Checks, out: &mut Vec<Violation>
     let view = mask_cfg_test(&code_view(original));
     let is_wire = WIRE_FILES.contains(&rel);
     let check_metrics = checks.metrics && !METRICS_FACADE_EXEMPT.contains(&rel);
+    if checks.span_pairs {
+        scan_span_pairs(rel, &view, out);
+    }
     for (idx, line) in view.lines().enumerate() {
         if checks.panics {
             for tok in [".unwrap()", ".expect(", "panic!", "todo!"] {
@@ -961,6 +1038,52 @@ mod tests {
         assert!(metric_field_writes("self.buffers += 1;").is_empty());
         // Field-name boundary: `.records_total` is not `.records`.
         assert!(metric_field_writes("sh.metrics.records_total = 1;").is_empty());
+    }
+
+    #[test]
+    fn span_pairs_balance_per_stage_token() {
+        // Balanced: same stage token opens and closes, multi-line call.
+        let balanced = "pub fn f(o: &Obs) {\n\
+                        \x20   o.span_open(Stage::Source, 0, 1, t0);\n\
+                        \x20   o.span_close(\n\
+                        \x20       Stage::Source,\n\
+                        \x20       0, 1, t1, n,\n\
+                        \x20   );\n\
+                        }\n";
+        let mut out = Vec::new();
+        let checks = Checks { span_pairs: true, ..Checks::default() };
+        scan_file("crates/core/src/x.rs", balanced, checks, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+
+        // Unbalanced: the close names a different stage.
+        let unbalanced = "pub fn f(o: &Obs) {\n\
+                          \x20   o.span_open(Stage::Source, 0, 1, t0);\n\
+                          \x20   o.span_close(Stage::SsbApply, 0, 1, t1, n);\n\
+                          }\n";
+        let mut out = Vec::new();
+        scan_file("crates/core/src/x.rs", unbalanced, checks, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|v| v.rule == Rule::LatencySpanPairs));
+        assert!(out[0].message.contains("Stage::Source"));
+
+        // Defining the facade (`pub fn span_open(`) is not a call site,
+        // and calls inside #[cfg(test)] are masked.
+        let defs = "pub fn span_open(&self) {}\n\
+                    #[cfg(test)]\nmod tests {\n\
+                    \x20   fn t(o: &Obs) { o.span_open(Stage::Source, 0, 1, t0); }\n\
+                    }\n";
+        let mut out = Vec::new();
+        scan_file("crates/obs/src/x.rs", defs, checks, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn span_pairs_rule_roundtrips_its_name() {
+        assert_eq!(Rule::LatencySpanPairs.name(), "latency-span-pairs");
+        assert_eq!(
+            Rule::from_name("latency-span-pairs"),
+            Some(Rule::LatencySpanPairs)
+        );
     }
 
     #[test]

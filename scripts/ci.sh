@@ -5,27 +5,31 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/12] build (release, all targets)"
+echo "==> [1/13] build (release, all targets)"
 cargo build --release --workspace
 
-echo "==> [2/12] tests (unit + integration + fixtures + mutations)"
+echo "==> [2/13] tests (unit + integration + fixtures + mutations)"
 cargo test --workspace -q
 
-echo "==> [3/12] clippy (all targets, warnings are errors)"
+echo "==> [3/13] clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/12] slash-lint (custom static analysis, burn-down allowlist)"
+echo "==> [4/13] slash-lint (custom static analysis, burn-down allowlist)"
 cargo run --release -p slash-verify --bin slash-lint
 
-echo "==> [5/12] slash-race (schedule exploration smoke: 128 tie-breaks)"
+echo "==> [5/13] slash-race (schedule exploration smoke: 128 tie-breaks)"
 cargo run --release -p slash-verify --bin slash-race -- --seeds 128
 
-echo "==> [6/12] flight recorder (planted bug must be caught and dumped)"
-cargo run --release -p slash-verify --bin slash-race -- --mutation ignore-credit-window >/dev/null
-cargo run --release -p slash-verify --bin slash-race -- --mutation regress-vclock >/dev/null
-echo "flight recorder: both planted bugs caught with dumps"
+echo "==> [6/13] flight recorder (planted bug must be caught and dumped)"
+# Each planted-bug dump must carry the registry snapshot (counters,
+# gauges, histograms at failure time), not just the event ring.
+flight_out="$(cargo run --release -p slash-verify --bin slash-race -- --mutation ignore-credit-window)"
+grep -q "registry snapshot" <<<"$flight_out"
+flight_out="$(cargo run --release -p slash-verify --bin slash-race -- --mutation regress-vclock)"
+grep -q "registry snapshot" <<<"$flight_out"
+echo "flight recorder: both planted bugs caught, dumps include registry snapshots"
 
-echo "==> [7/12] traced example (deterministic trace, validated JSON)"
+echo "==> [7/13] traced example (deterministic trace, validated JSON)"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT
 SLASH_TRACE_OUT="$trace_dir/a.json" cargo run --release --example ysb_pipeline >/dev/null
@@ -34,23 +38,23 @@ cmp "$trace_dir/a.json" "$trace_dir/b.json"
 echo "trace: two same-seed runs byte-identical"
 cargo run --release -p slash-verify --bin slash-trace-check -- "$trace_dir/a.json"
 
-echo "==> [8/12] chaos suite (every fault type recovers to the no-fault state)"
+echo "==> [8/13] chaos suite (every fault type recovers to the no-fault state)"
 cargo run --release --bin chaos-suite
 
-echo "==> [9/12] recovery golden trace (failover example, byte-identical + validated)"
+echo "==> [9/13] recovery golden trace (failover example, byte-identical + validated)"
 SLASH_TRACE_OUT="$trace_dir/f_a.json" cargo run --release --example failover >/dev/null
 SLASH_TRACE_OUT="$trace_dir/f_b.json" cargo run --release --example failover >/dev/null
 cmp "$trace_dir/f_a.json" "$trace_dir/f_b.json"
 echo "recovery trace: two same-seed chaos runs byte-identical"
 cargo run --release -p slash-verify --bin slash-trace-check -- "$trace_dir/f_a.json"
 
-echo "==> [10/12] hot-path perf smoke (wall-clock, combiner on vs off)"
+echo "==> [10/13] hot-path perf smoke (wall-clock, combiner on vs off)"
 # Writes BENCH_hotpath.json and exits non-zero if the combiner-on hot
 # loop is below 1.3x the per-record path on ysb_hot, or if any
 # workload's on/off state digests diverge.
 cargo run --release -p slash-bench --bin hotpath-bench -- --quick --out BENCH_hotpath.json
 
-echo "==> [11/12] cascading-fault matrix (compound faults converge exactly, golden traces)"
+echo "==> [11/13] cascading-fault matrix (compound faults converge exactly, golden traces)"
 # Release-mode run of the compound-fault tests: concurrent crashes,
 # buddy-dead re-selection, crash-during-recovery re-entrancy, wpn=2
 # promotion, and the same-seed byte-identical cascade trace. (Stage 8's
@@ -58,7 +62,7 @@ echo "==> [11/12] cascading-fault matrix (compound faults converge exactly, gold
 # the trace-level golden assertions.)
 cargo test --release --test chaos -q
 
-echo "==> [12/12] exhaustive model checker (bounded DFS over same-instant schedules)"
+echo "==> [12/13] exhaustive model checker (bounded DFS over same-instant schedules)"
 # Enumerates every distinct same-instant schedule of the 2-node
 # FIFO/credit scenario (literal, dedup-free pass must drain the frontier
 # with zero pruning) plus the single-crash recovery scenario (complete
@@ -76,5 +80,28 @@ cargo run --release -p slash-verify --bin slash-race -- \
 cargo run --release -p slash-verify --bin slash-race -- \
     --exhaustive --minimize --mutation reorder-delivered >/dev/null
 echo "exhaustive: both planted mutants caught and minimized"
+
+echo "==> [13/13] tail-latency SLO gate (per-stage p99.99 budgets + regression vs baseline)"
+# Deterministic latency bench: fixed-seed ysb/nb7 under the simulator,
+# per-stage histograms (source, channel_transit, ssb_apply, window_close,
+# epoch_merge, result_emit) plus end-to-end. The gate fails on any
+# SLO.toml budget breach or on a quantile regressing past
+# regression_factor x the checked-in BENCH_latency.json baseline.
+cargo run --release -p slash-bench --bin latency-bench -- \
+    --out "$trace_dir/latency.json" --slo SLO.toml --baseline BENCH_latency.json
+cargo run --release -p slash-verify --bin slash-trace-check -- --latency "$trace_dir/latency.json"
+cmp "$trace_dir/latency.json" BENCH_latency.json
+echo "latency: fresh run byte-identical to checked-in baseline"
+# A planted 10x ssb_apply regression must trip the gate and dump the
+# flight recorder (breaching stage breakdown + registry snapshot).
+if plant_out="$(cargo run --release -p slash-bench --bin latency-bench -- \
+    --out "$trace_dir/latency_plant.json" --slo SLO.toml \
+    --baseline BENCH_latency.json --plant ssb_apply=10 2>&1)"; then
+    echo "SLO gate FAILED to catch a planted 10x ssb_apply regression" >&2
+    exit 1
+fi
+grep -q "flight-recorder dump" <<<"$plant_out"
+grep -q "registry snapshot" <<<"$plant_out"
+echo "latency: planted 10x ssb_apply regression caught with flight dump"
 
 echo "ci: all gates green"

@@ -17,7 +17,7 @@ fn traced_run() -> (String, String, u64, Vec<u64>) {
     let obs = Obs::enabled(16_384);
     let report =
         SlashCluster::run_with_obs(w.plan, w.partitions, RunConfig::new(nodes, workers), obs.clone());
-    let quantiles = [0.5, 0.9, 0.99, 0.999]
+    let quantiles = [0.5, 0.9, 0.99, 0.999, 0.9999]
         .iter()
         .filter_map(|&q| obs.quantile("record_latency_ns", "node0", q))
         .collect();
@@ -42,6 +42,7 @@ fn trace_json_has_events_and_monotone_timestamps() {
     assert!(json.contains("\"cat\":\"operator\""));
     assert!(json.contains("\"cat\":\"verb\""));
     assert!(json.contains("\"cat\":\"epoch\""));
+    assert!(json.contains("\"cat\":\"stage\""), "stage attribution spans present");
     // `ts` values appear in non-decreasing file order (export sorts them).
     let mut last = 0f64;
     for chunk in json.split("\"ts\":").skip(1) {
@@ -53,10 +54,11 @@ fn trace_json_has_events_and_monotone_timestamps() {
         assert!(ts >= last, "ts went backwards: {ts} < {last}");
         last = ts;
     }
-    assert_eq!(quantiles.len(), 4, "record-latency quantiles all present");
+    assert_eq!(quantiles.len(), 5, "record-latency quantiles all present");
     assert!(top.contains("record_latency_ns"));
     assert!(top.contains("epoch_merge_latency_ns"));
-    assert!(top.contains("p99.9"));
+    assert!(top.contains("stage_latency_ns"), "per-stage attribution in summary");
+    assert!(top.contains("p99.99"));
 }
 
 /// The disabled handle must not change engine results — tracing is an
