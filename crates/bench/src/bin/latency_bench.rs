@@ -203,6 +203,11 @@ fn parse_slo(path: &str) -> Slo {
             section = name.trim().to_string();
             continue;
         }
+        // `[rescale]` budgets belong to the `repro rescale` gate, not to
+        // this tool's per-stage quantiles.
+        if section == "rescale" {
+            continue;
+        }
         let Some((key, value)) = line.split_once('=') else {
             eprintln!("error: {path}:{}: expected `key = value`, got {line:?}", ln + 1);
             std::process::exit(2);

@@ -14,7 +14,7 @@
 
 use std::path::PathBuf;
 
-use slash_bench::{ablation, fig6, fig7, fig8, fig9, recovery, Scale};
+use slash_bench::{ablation, fig6, fig7, fig8, fig9, recovery, rescale, Scale};
 use slash_perfmodel::{format_table, write_csv, Table};
 
 fn out_dir() -> PathBuf {
@@ -94,6 +94,31 @@ fn run_recovery(scale: Scale) {
     }
 }
 
+fn run_rescale(scale: Scale) -> bool {
+    let outcome = rescale::run(scale);
+    emit(&rescale::table(&outcome), "rescale.csv");
+    let budget = rescale::stall_budget("SLO.toml");
+    if budget.is_none() {
+        eprintln!("warning: SLO.toml has no [rescale] migration_stall_ns budget; stall not gated");
+    }
+    if let Err(e) = rescale::write_json(&outcome, "BENCH_rescale.json") {
+        eprintln!("warning: could not write BENCH_rescale.json: {e}");
+    } else {
+        println!("  -> BENCH_rescale.json");
+    }
+    let violations = rescale::gate(&outcome, budget);
+    if violations.is_empty() {
+        println!("rescale gate: PASS");
+        true
+    } else {
+        eprintln!("rescale gate: FAIL ({} violations)", violations.len());
+        for v in &violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        false
+    }
+}
+
 fn run_ablation(scale: Scale) {
     for (i, t) in ablation::run_all(scale).into_iter().enumerate() {
         emit(&t, &format!("ablation_{i}.csv"));
@@ -123,6 +148,9 @@ fn main() {
             run_table1(scale);
             run_ablation(scale);
             run_recovery(scale);
+            if !run_rescale(scale) {
+                std::process::exit(1);
+            }
         }
         "fig6" => {
             let query = args
@@ -142,9 +170,14 @@ fn main() {
         "table1" => run_table1(scale),
         "ablation" => run_ablation(scale),
         "recovery" => run_recovery(scale),
+        "rescale" => {
+            if !run_rescale(scale) {
+                std::process::exit(1);
+            }
+        }
         _ => {
             eprintln!(
-                "usage: repro <all|fig6 [--query ysb|cm|nb7|nb8|nb11]|fig7|fig8a|fig8b|fig8c|fig8d|fig9|fig10|table1|ablation|recovery>"
+                "usage: repro <all|fig6 [--query ysb|cm|nb7|nb8|nb11]|fig7|fig8a|fig8b|fig8c|fig8d|fig9|fig10|table1|ablation|recovery|rescale>"
             );
             std::process::exit(2);
         }

@@ -21,6 +21,7 @@ pub mod fig9;
 pub mod harness;
 pub mod micro;
 pub mod recovery;
+pub mod rescale;
 pub mod scale;
 pub mod suts;
 

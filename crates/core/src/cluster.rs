@@ -44,6 +44,12 @@ pub struct RunConfig {
     pub combiner_slots: usize,
     /// Retain full results (tests) or just count them (benchmarks).
     pub collect_results: bool,
+    /// Per-source arrival-rate curve (records/second of virtual time).
+    /// `None` streams the pre-generated dataset at full speed; `Some`
+    /// releases records over virtual time — the load model behind the
+    /// elastic-rescaling scenarios. Applies to every worker's source,
+    /// including respawns after promotion or handoff.
+    pub pacing: Option<crate::source::RateCurve>,
     /// Safety valve: abort if virtual time exceeds this.
     pub max_virtual_time: SimTime,
 }
@@ -62,6 +68,7 @@ impl RunConfig {
             combine: true,
             combiner_slots: 1024,
             collect_results: false,
+            pacing: None,
             max_virtual_time: SimTime::from_secs(3600),
         }
     }
@@ -202,6 +209,9 @@ pub(crate) fn spawn_node_workers(
     for w in 0..cfg.workers_per_node {
         let part = Rc::clone(&partitions[node * cfg.workers_per_node + w]);
         let mut source = MemorySource::new(part, schema, cfg.batch_records);
+        if let Some(curve) = cfg.pacing {
+            source.set_pacing(curve);
+        }
         if let Some(pos) = resume_pos {
             source.seek(pos[w]);
         }

@@ -20,6 +20,7 @@
 pub mod agg;
 pub mod cluster;
 pub mod cost;
+pub mod elastic;
 pub mod hotpath;
 pub mod join;
 pub mod metrics;
@@ -34,6 +35,10 @@ pub mod worker;
 pub use agg::AggSpec;
 pub use cluster::{RunConfig, RunReport, SlashCluster};
 pub use cost::{CacheModel, CostModel, TESTBED_CLOCK_GHZ};
+pub use elastic::{
+    ClusterTelemetry, ElasticConfig, MigrationCmd, MigrationEvent, RescaleReport, ScaleDirector,
+    ScriptedDirector, StaticDirector,
+};
 pub use hotpath::{BatchOutcome, HotPath};
 pub use metrics::{CostCategory, EngineMetrics};
 pub use query::{JoinSide, QueryPlan, StreamDef};

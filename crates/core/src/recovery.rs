@@ -101,7 +101,12 @@ pub(crate) struct Checkpoint {
 }
 
 impl Checkpoint {
-    fn payload_bytes(&self) -> u64 {
+    /// Epoch boundary this checkpoint captures (fragment high-water mark).
+    pub(crate) fn epochs_closed(&self) -> u64 {
+        self.epochs_closed
+    }
+
+    pub(crate) fn payload_bytes(&self) -> u64 {
         let snap: usize = self.snapshot.iter().map(Vec::len).sum();
         let retained: usize = self
             .retained
@@ -146,6 +151,12 @@ pub(crate) struct CkptSlot {
     latest: Option<Rc<Checkpoint>>,
     copies: Vec<DurableCopy>,
     in_flight: Option<InFlight>,
+    /// Set by a planned handoff: the cutover epoch boundary. Once a
+    /// *real* durable copy covering it lands, the eternal epoch-0 seed
+    /// copy is released (see [`Self::maybe_release_seed`]) — the §15.3
+    /// retention fix, so a migrated partition stops pinning every peer's
+    /// retained history at epoch 0 forever.
+    handoff_boundary: Option<u64>,
 }
 
 impl CkptSlot {
@@ -177,6 +188,53 @@ impl CkptSlot {
             .map(|c| c.ckpt.receiver_next.get(l).copied().unwrap_or(0))
             .min()
             .unwrap_or(0)
+    }
+
+    /// The newest captured boundary (not necessarily durable yet).
+    pub(crate) fn latest_ckpt(&self) -> Option<Rc<Checkpoint>> {
+        self.latest.clone()
+    }
+
+    /// Record a planned-handoff cutover at `boundary`: the next real
+    /// durable copy covering it retires the epoch-0 seed copy.
+    pub(crate) fn mark_handoff(&mut self, boundary: u64) {
+        self.handoff_boundary = Some(boundary);
+    }
+
+    /// Release the eternal seed copy once the post-handoff owner has a
+    /// real durable checkpoint covering the cutover boundary. From then
+    /// on the recovery floor is the oldest surviving *real* copy — peers
+    /// may finally prune retained epochs below its commit horizons
+    /// instead of keeping the full history replayable-from-scratch.
+    /// Returns whether a seed copy was released by this call.
+    pub(crate) fn maybe_release_seed(&mut self) -> bool {
+        let Some(boundary) = self.handoff_boundary else {
+            return false;
+        };
+        let covered = self
+            .copies
+            .iter()
+            .any(|c| c.holder_port.is_some() && c.ckpt.epochs_closed >= boundary);
+        if !covered {
+            return false;
+        }
+        self.handoff_boundary = None;
+        let before = self.copies.len();
+        self.copies.retain(|c| c.holder_port.is_some());
+        before != self.copies.len()
+    }
+
+    /// Install the epoch-0 seed copy from the freshly captured seed
+    /// checkpoint: durable by fiat (`holder_port == None`), it models
+    /// re-reading the source from scratch and guarantees recovery always
+    /// has a fallback even before the first real copy lands.
+    pub(crate) fn seed_from_latest(&mut self) {
+        if let Some(seed) = self.latest.clone() {
+            self.copies.push(DurableCopy {
+                holder_port: None,
+                ckpt: seed,
+            });
+        }
     }
 
     /// Install a landed copy, newest-first. A buddy keeps one slot per
@@ -233,7 +291,7 @@ pub(crate) fn select_ship_buddy(
 /// restarts the machine against a re-selected host and copy; cluster
 /// state changes only at the atomic commit that follows `Reconnect`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PromoPhase {
+pub(crate) enum PromoPhase {
     /// Checkpoint chunks stream from the copy holder to the new host.
     Restore,
     /// Replacement channels to every survivor handshake to ready-to-send.
@@ -242,16 +300,16 @@ enum PromoPhase {
 
 /// A promotion in flight: dead logical node `node` is being resurrected
 /// on `host`'s port from the durable copy on `copy_port`.
-struct Promotion {
-    node: usize,
-    detected_at: SimTime,
-    phase: PromoPhase,
-    phase_done_at: SimTime,
-    host: usize,
-    host_port: NodeId,
-    copy_port: Option<NodeId>,
-    ckpt: Rc<Checkpoint>,
-    restarts: u32,
+pub(crate) struct Promotion {
+    pub(crate) node: usize,
+    pub(crate) detected_at: SimTime,
+    pub(crate) phase: PromoPhase,
+    pub(crate) phase_done_at: SimTime,
+    pub(crate) host: usize,
+    pub(crate) host_port: NodeId,
+    pub(crate) copy_port: Option<NodeId>,
+    pub(crate) ckpt: Rc<Checkpoint>,
+    pub(crate) restarts: u32,
 }
 
 /// Fault-tolerance hooks handed to each node's shared state; present
@@ -392,7 +450,7 @@ pub fn results_digest(results: &[SinkResult]) -> u64 {
 /// Trace pid used for driver-side recovery events (fault injection uses
 /// `slash_chaos::inject::FAULT_TID` on the victim's pid; repairs land on
 /// the victim's pid too, under this tid).
-const RECOVERY_TID: u32 = 901;
+pub(crate) const RECOVERY_TID: u32 = 901;
 
 impl SlashCluster {
     /// Run `plan` under a deterministic fault plan with fault tolerance
@@ -475,17 +533,7 @@ impl SlashCluster {
             );
             shareds.borrow_mut().push(shared);
         }
-        {
-            let mut st = store.borrow_mut();
-            for slot in st.iter_mut() {
-                if let Some(seed) = slot.latest.clone() {
-                    slot.copies.push(DurableCopy {
-                        holder_port: None,
-                        ckpt: seed,
-                    });
-                }
-            }
-        }
+        store.borrow_mut().iter_mut().for_each(CkptSlot::seed_from_latest);
 
         // Arm the fault plan against the fabric, and mirror node crashes
         // into the engine: the victim's workers observe the flag at their
@@ -691,7 +739,7 @@ impl SlashCluster {
 /// Record a repair, both in the report and as a Perfetto span covering
 /// the detected→repaired window.
 #[allow(clippy::too_many_arguments)]
-fn push_event(
+pub(crate) fn push_event(
     rec: &mut RecoveryReport,
     chaos: &ChaosConfig,
     node: usize,
@@ -734,7 +782,7 @@ fn push_event(
 /// newest boundary, a fresh buddy is picked (preferring ports without a
 /// current copy) and the checkpoint is re-shipped.
 #[allow(clippy::too_many_arguments)]
-fn ft_tick(
+pub(crate) fn ft_tick(
     now: SimTime,
     n: usize,
     fabric: &Fabric,
@@ -778,6 +826,18 @@ fn ft_tick(
                         ("holder", fl.buddy_port.0 as u64),
                     ],
                 );
+                if st[i].maybe_release_seed() {
+                    // Post-handoff retention fix (§15.3): the new owner's
+                    // checkpoint is durable, the from-scratch floor goes.
+                    obs.instant(
+                        Cat::Fault,
+                        "seed-released",
+                        i as u32,
+                        RECOVERY_TID,
+                        now,
+                        &[("epochs", fl.ckpt.epochs_closed)],
+                    );
+                }
                 let horizon = st[i].durable_horizon();
                 for l in 0..n {
                     if l != i {
@@ -835,7 +895,7 @@ fn ft_tick(
 /// Re-establish every errored channel touching node `i` (both
 /// directions), then replay the epochs the receiving side never
 /// committed. Returns how many directed channels needed a reset.
-fn reset_errored_channels(
+pub(crate) fn reset_errored_channels(
     i: usize,
     n: usize,
     shareds: &Rc<RefCell<Vec<Rc<RefCell<NodeShared>>>>>,
@@ -877,7 +937,7 @@ fn reset_errored_channels(
 /// caller retries until the livelock guard bounds the wait). The seed
 /// copy guarantees a copy always exists, so only host selection can fail.
 #[allow(clippy::too_many_arguments)]
-fn promo_begin(
+pub(crate) fn promo_begin(
     d: usize,
     now: SimTime,
     detected_at: SimTime,
@@ -930,7 +990,7 @@ fn promo_begin(
 /// Returns the nodes committed this tick so the driver can re-arm their
 /// stall timers.
 #[allow(clippy::too_many_arguments)]
-fn promo_tick(
+pub(crate) fn promo_tick(
     now: SimTime,
     promos: &mut BTreeMap<usize, Promotion>,
     sim: &mut Sim,
@@ -1028,7 +1088,7 @@ fn promo_tick(
 /// against the promotion record only; from the cluster's view the
 /// replacement node appears at one virtual instant.
 #[allow(clippy::too_many_arguments)]
-fn commit_promotion(
+pub(crate) fn commit_promotion(
     p: &Promotion,
     sim: &mut Sim,
     fabric: &Fabric,
@@ -1378,6 +1438,82 @@ mod tests {
         assert_eq!(faulted.records, base.records);
         assert_eq!(rec.results_digest, base_rec.results_digest);
         assert_eq!(rec.state_digests, base_rec.state_digests);
+    }
+
+    fn ckpt_at(epochs: u64) -> Rc<Checkpoint> {
+        Rc::new(Checkpoint {
+            epochs_closed: epochs,
+            snapshot: vec![],
+            vclock: vec![],
+            receiver_next: vec![],
+            retained: vec![],
+            worker_pos: vec![],
+            worker_wm: vec![],
+            records: 0,
+            sink: Sink::counting(),
+            digest: 0,
+        })
+    }
+
+    #[test]
+    fn seed_copy_survives_until_handoff_boundary_is_durably_covered() {
+        // §15.3: the epoch-0 seed copy pins every peer's prune floor at 0
+        // forever. After a planned handoff, the first *real* durable copy
+        // covering the cutover boundary retires it.
+        let mut slot = CkptSlot {
+            latest: Some(ckpt_at(0)),
+            ..CkptSlot::default()
+        };
+        slot.seed_from_latest();
+        assert_eq!(slot.copies.len(), 1);
+
+        // No handoff recorded: real copies land, the seed stays (a plain
+        // chaos run keeps scratch recovery available forever).
+        slot.insert_copy(
+            DurableCopy { holder_port: Some(NodeId(7)), ckpt: ckpt_at(3) },
+            2,
+        );
+        assert!(!slot.maybe_release_seed());
+        assert_eq!(slot.copies.len(), 2);
+
+        // Handoff cut over at epoch 5: the epoch-3 copy does not cover
+        // it, so the seed is still required.
+        slot.mark_handoff(5);
+        assert!(!slot.maybe_release_seed());
+        assert!(slot.copies.iter().any(|c| c.holder_port.is_none()));
+
+        // A real copy at the boundary lands: the seed is released and
+        // only real copies remain.
+        slot.insert_copy(
+            DurableCopy { holder_port: Some(NodeId(8)), ckpt: ckpt_at(5) },
+            2,
+        );
+        assert!(slot.maybe_release_seed());
+        assert!(slot.copies.iter().all(|c| c.holder_port.is_some()));
+        // Release is one-shot: the boundary is cleared.
+        assert!(!slot.maybe_release_seed());
+    }
+
+    #[test]
+    fn seed_release_lifts_the_prune_floor() {
+        // While the seed copy exists the prune floor is 0 (replay must
+        // reach back to scratch); after release it rises to the oldest
+        // surviving real copy's commit horizon.
+        let mut slot = CkptSlot::default();
+        let seed = ckpt_at(0);
+        slot.latest = Some(seed);
+        slot.seed_from_latest();
+        let mut real = ckpt_at(6);
+        Rc::get_mut(&mut real).unwrap().receiver_next = vec![4, 9];
+        slot.insert_copy(
+            DurableCopy { holder_port: Some(NodeId(3)), ckpt: real },
+            2,
+        );
+        assert_eq!(slot.prune_floor(0), 0, "seed pins the floor");
+        slot.mark_handoff(6);
+        assert!(slot.maybe_release_seed());
+        assert_eq!(slot.prune_floor(0), 4, "floor rises to the real copy");
+        assert_eq!(slot.prune_floor(1), 9);
     }
 
     #[test]

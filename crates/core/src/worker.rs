@@ -63,8 +63,11 @@ pub struct NodeShared {
     pub sink: Sink,
     /// Software performance counters.
     pub metrics: EngineMetrics,
-    /// Shared memory-bandwidth link.
-    pub mem: Link,
+    /// Shared memory-bandwidth link. Behind an `Rc` so co-located
+    /// partitions (elastic runs packing several logical nodes onto one
+    /// physical host) genuinely contend for one host's bandwidth — and
+    /// migrating a partition to its own host genuinely frees it.
+    pub mem: Rc<RefCell<Link>>,
     /// Per-worker high-water event times (node watermark = min).
     pub worker_wm: Vec<u64>,
     /// Per-worker source read positions (bytes), refreshed after every
@@ -76,6 +79,11 @@ pub struct NodeShared {
     /// Set by the chaos driver when this node's process is killed; every
     /// worker observes it at its next step and terminates.
     pub crashed: bool,
+    /// Set by the elastic driver at a planned-handoff cutover: workers
+    /// stop cleanly at their next step (no batch is half-applied, state
+    /// mutations happen synchronously inside a step), so the checkpoint
+    /// the driver captures right after setting this flag is exact.
+    pub halted: bool,
     /// Fault-tolerance hooks (checkpoint store); `None` outside
     /// [`crate::SlashCluster::run_chaos`] runs so the fault-free fast
     /// path stays untouched.
@@ -101,11 +109,12 @@ impl NodeShared {
                 Sink::counting()
             },
             metrics: EngineMetrics::default(),
-            mem: Link::new(mem_bandwidth),
+            mem: Rc::new(RefCell::new(Link::new(mem_bandwidth))),
             worker_wm: vec![0; workers],
             worker_pos: vec![0; workers],
             finished: false,
             crashed: false,
+            halted: false,
             ft: None,
             last_ingest: SimTime::ZERO,
             records: 0,
@@ -326,7 +335,7 @@ impl Process for SlashWorker {
     fn step(&mut self, sim: &mut Sim, _me: ProcId) -> Step {
         let shared = Rc::clone(&self.shared);
         let mut sh = shared.borrow_mut();
-        if sh.finished || sh.crashed {
+        if sh.finished || sh.crashed || sh.halted {
             return Step::Done;
         }
         let mut cpu = 0.0;
@@ -367,9 +376,13 @@ impl Process for SlashWorker {
                 .charge(CostCategory::Retiring, sent as f64 * self.cost.post_wr_ns);
         }
 
-        // (2) Compute coroutine: one input batch.
+        // (2) Compute coroutine: one input batch. A paced source may
+        // withhold records (the curve has not released them yet); the
+        // worker then idles until the next release instant.
         let mut mem_bytes_extra = 0u64;
-        if let Some(range) = self.source.next_range() {
+        let mut paced_wait: Option<SimTime> = None;
+        let poll = self.source.poll_range(sim.now());
+        if let crate::source::SourcePoll::Batch(range) = poll {
             // Task acquisition (shared-queue contention for engines that
             // configure it; zero for Slash's per-worker queues).
             if self.cost.task_queue_ns > 0.0 {
@@ -417,6 +430,8 @@ impl Process for SlashWorker {
                 crate::recovery::on_epoch_closed(&mut sh);
             }
             mem_bytes += mem_bytes_extra;
+        } else if let crate::source::SourcePoll::NotReady(at) = poll {
+            paced_wait = Some(at);
         } else if !self.source_done {
             self.source_done = true;
             sh.worker_wm[self.widx] = u64::MAX;
@@ -457,6 +472,20 @@ impl Process for SlashWorker {
             sh.metrics.instr(instr::POLL * 16);
             return Step::Yield(SimTime::from_nanos(2_000));
         }
+        if cpu == 0.0 {
+            if let Some(at) = paced_wait {
+                // Rate-limited idle: sleep until the curve releases the
+                // next record. Only poll instructions are charged — the
+                // worker is genuinely idle, not busy-waiting.
+                sh.metrics
+                    .charge(CostCategory::CoreBound, self.cost.poll_empty_ns * 4.0);
+                sh.metrics.instr(instr::POLL * 4);
+                let wait = at
+                    .max(sim.now() + SimTime::from_nanos(500))
+                    - sim.now();
+                return Step::Yield(wait);
+            }
+        }
 
         // Memory-bandwidth pacing: the batch's memory traffic must fit
         // through the node's shared link.
@@ -464,7 +493,7 @@ impl Process for SlashWorker {
         let cpu_time = CostModel::to_time(cpu);
         let busy = if mem_bytes > 0 {
             sh.metrics.add_mem_bytes(mem_bytes);
-            let (_start, end) = sh.mem.reserve(now, mem_bytes);
+            let (_start, end) = sh.mem.borrow_mut().reserve(now, mem_bytes);
             let mem_time = end - now;
             if mem_time > cpu_time {
                 // The extra wait is a memory stall.

@@ -133,6 +133,7 @@ pub fn top_summary(reg: &MetricsRegistry) -> String {
             out.push_str(&format!(" {:>10}\n", h.max().unwrap_or(0)));
         }
     }
+    push_migrations(&mut out, reg);
     let heats: Vec<_> = reg.heats().collect();
     if !heats.is_empty() {
         out.push_str("heat top-k:\n");
@@ -151,6 +152,55 @@ pub fn top_summary(reg: &MetricsRegistry) -> String {
         }
     }
     out
+}
+
+/// Decode the elastic-rescaling telemetry — `partition_owner` /
+/// `migration_phase` gauges per partition, the `migrations` counter and
+/// the `migration_stall_ns` histogram — into a per-partition ownership
+/// table. Silent when no elastic run was recorded.
+fn push_migrations(out: &mut String, reg: &MetricsRegistry) {
+    let part_of = |label: &str| label.strip_prefix("part=")?.parse::<usize>().ok();
+    let mut rows: std::collections::BTreeMap<usize, (Option<u64>, Option<u64>)> =
+        std::collections::BTreeMap::new();
+    for (name, label, v) in reg.gauges() {
+        let Some(p) = part_of(label) else { continue };
+        let row = rows.entry(p).or_default();
+        match name {
+            "partition_owner" => row.0 = Some(v as u64),
+            "migration_phase" => row.1 = Some(v as u64),
+            _ => {}
+        }
+    }
+    if rows.is_empty() {
+        return;
+    }
+    out.push_str("migrations (elastic):\n");
+    out.push_str(&format!("  {:<10} {:<10} {}\n", "part", "owner", "phase"));
+    for (p, (owner, phase)) in &rows {
+        let owner = owner.map(|o| o.to_string()).unwrap_or_else(|| "?".into());
+        let phase = match phase {
+            Some(1) => "warmup",
+            Some(2) => "cutover",
+            Some(3) => "reconnect",
+            _ => "serving",
+        };
+        out.push_str(&format!("  {p:<10} {owner:<10} {phase}\n"));
+    }
+    let committed = reg
+        .counters()
+        .find(|(name, _, _)| *name == "migrations")
+        .map(|(_, _, v)| v)
+        .unwrap_or(0);
+    let stall = reg
+        .hists()
+        .find(|(name, _, _)| *name == "migration_stall_ns")
+        .map(|(_, _, h)| (h.quantile(0.5).unwrap_or(0), h.max().unwrap_or(0)));
+    match stall {
+        Some((p50, max)) => out.push_str(&format!(
+            "  committed={committed} cutover stall ns: p50={p50} max={max}\n"
+        )),
+        None => out.push_str(&format!("  committed={committed}\n")),
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +246,29 @@ mod tests {
     fn escape_handles_quotes_and_control() {
         assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn summary_decodes_migration_telemetry() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_set("partition_owner", "part=0", 0.0);
+        reg.gauge_set("migration_phase", "part=0", 0.0);
+        reg.gauge_set("partition_owner", "part=2", 3.0);
+        reg.gauge_set("migration_phase", "part=2", 2.0);
+        reg.counter_add("migrations", "cluster", 5);
+        reg.hist_record("migration_stall_ns", "cluster", 200_000);
+        let top = top_summary(&reg);
+        assert!(top.contains("migrations (elastic):"), "{top}");
+        let p0 = top.lines().find(|l| l.trim().starts_with("0 ")).unwrap();
+        assert!(p0.contains("serving"), "{p0}");
+        let p2 = top.lines().find(|l| l.trim().starts_with("2 ")).unwrap();
+        assert!(p2.contains('3') && p2.contains("cutover"), "{p2}");
+        assert!(top.contains("committed=5"), "{top}");
+        assert!(top.contains("max=200000"), "{top}");
+        // A registry without elastic gauges stays free of the section.
+        let mut plain = MetricsRegistry::new();
+        plain.counter_add("records", "node=0", 1);
+        assert!(!top_summary(&plain).contains("migrations (elastic)"));
     }
 
     #[test]

@@ -114,6 +114,13 @@ impl SsbNode {
         partition_of(key, self.cfg.nodes)
     }
 
+    /// Cumulative state updates routed to each partition since
+    /// construction — the load signal elastic scale controllers consume.
+    /// All zeros unless the node is instrumented (telemetry is free off).
+    pub fn partition_updates(&self) -> &[u64] {
+        &self.part_updates
+    }
+
     /// Account one state update for the heat/partition telemetry. Only
     /// instrumented nodes carry a sketch; the common uninstrumented case
     /// is one branch.

@@ -1,7 +1,7 @@
 //! `slash-race` — sweep the protocol scenarios across tie-break schedules.
 //!
 //! ```text
-//! slash-race [--seeds N] [--mutation NAME]
+//! slash-race [--seeds N] [--mutation NAME] [--scenario handoff]
 //!            [--exhaustive] [--max-states N] [--max-schedules N]
 //!            [--minimize] [--out PATH]
 //! ```
@@ -10,19 +10,25 @@
 //! coherence, and crash-recovery scenarios — including the compound
 //! `concurrent-crash` (two victims on the same tick) and
 //! `reentrant-recovery` (the same victim crashes again after its first
-//! restore) families — under `N` tie-break policies (FIFO, LIFO, and
-//! seeded permutations; default 128), printing how many distinct schedules
+//! restore) families, plus the elastic-rescaling `planned-handoff`
+//! (cutover promotion without a crash) and `handoff-vs-crash` (a live
+//! migration racing a concurrent crash recovery on the same tick)
+//! families — under `N` tie-break policies (FIFO, LIFO, and seeded
+//! permutations; default 128), printing how many distinct schedules
 //! were explored and any invariant violations. On a violation the flight
 //! recorder's dump — the last trace events with the schedule fingerprint
-//! and vector-clock context — is printed alongside.
+//! and vector-clock context — is printed alongside. `--scenario handoff`
+//! restricts the sweep to the two handoff families (CI's rescale stage
+//! uses this for a focused re-run).
 //!
 //! **Exhaustive mode (`--exhaustive`):** replaces sampling with the
 //! bounded DFS model checker ([`slash_verify::explorer`]). The small
 //! 2-node FIFO/credit scenario is enumerated *literally* (every distinct
 //! same-instant schedule run, dedup off) and must drain its frontier with
 //! `schedules == distinct fingerprints`; the single-crash recovery
-//! scenario is explored with state-digest dedup and must also drain
-//! completely. Coverage floors are hard gates: enumerating fewer
+//! scenario and the 2-node single-handoff `rescale-small` scenario are
+//! explored with state-digest dedup and must also drain completely.
+//! Coverage floors are hard gates: enumerating fewer
 //! schedules than a known-good run is a regression. A scenario that
 //! exceeds its budget must *report* the truncated frontier, and the
 //! random sweep then runs as a fallback over the unexplored space. The
@@ -58,6 +64,11 @@ const CHAN_SMALL_FLOOR: usize = 8;
 /// (35 schedules today; slack for benign drift, still far above the
 /// 1-schedule degenerate case).
 const RECOVERY_SMALL_FLOOR: usize = 24;
+
+/// Coverage floor for the dedup-reduced 2-node single-handoff rescale
+/// scenario (35 schedules today; same slack policy as
+/// [`RECOVERY_SMALL_FLOOR`]).
+const HANDOFF_SMALL_FLOOR: usize = 24;
 
 fn gate(e: &Exploration, seeds: u64) -> bool {
     let needed = if seeds as usize > MIN_DISTINCT + 2 {
@@ -290,6 +301,23 @@ fn run_exhaustive(budget: Budget, minimize: bool, seeds: u64, out: Option<&str>)
         fallback,
     });
 
+    // Single planned handoff (the elastic cutover): structurally the
+    // crash scenario with an empty replay range, so the same dedup
+    // reduction applies and the reconnect-dedup invariant becomes
+    // checked-on-all-schedules.
+    let resc = RecoveryScenario::rescale_small();
+    let rep = resc.exhaustive("rescale-small", budget, minimize);
+    print!("{}", rep.render_human());
+    let gate_ok = rep.clean()
+        && rep.coverage.complete()
+        && rep.coverage.schedules_enumerated >= HANDOFF_SMALL_FLOOR;
+    let fallback = fallback_if_truncated(&rep, seeds, |p| resc.run(p));
+    scenarios.push(ScenarioCoverage {
+        report: rep,
+        gate_ok,
+        fallback,
+    });
+
     // A truncated frontier is only acceptable when reported AND the
     // random fallback sweep over the same scenario stays clean.
     let pass = scenarios.iter().all(|sc| {
@@ -346,6 +374,7 @@ fn fallback_if_truncated(
 fn main() -> ExitCode {
     let mut seeds: u64 = 128;
     let mut mutation: Option<Mutation> = None;
+    let mut handoff_only = false;
     let mut exhaustive = false;
     let mut minimize = false;
     let mut budget = Budget::default();
@@ -368,6 +397,13 @@ fn main() -> ExitCode {
                          ignore-credit-window, reorder-delivered, regress-vclock, \
                          drop-update, skip-replay"
                     );
+                    return ExitCode::from(2);
+                }
+            },
+            "--scenario" => match args.next().as_deref() {
+                Some("handoff") => handoff_only = true,
+                _ => {
+                    eprintln!("slash-race: --scenario requires `handoff`");
                     return ExitCode::from(2);
                 }
             },
@@ -396,8 +432,9 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: slash-race [--seeds N] [--mutation NAME] [--exhaustive] \
-                     [--max-states N] [--max-schedules N] [--minimize] [--out PATH]"
+                    "usage: slash-race [--seeds N] [--mutation NAME] [--scenario handoff] \
+                     [--exhaustive] [--max-states N] [--max-schedules N] [--minimize] \
+                     [--out PATH]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -421,6 +458,24 @@ fn main() -> ExitCode {
         return run_mutation(m, seeds.min(8));
     }
 
+    let handoff = explore("planned-handoff", seeds, |p| {
+        RecoveryScenario::planned_handoff().run(p)
+    });
+    print!("{}", handoff.render_human());
+    let hvc = explore("handoff-vs-crash", seeds, |p| {
+        RecoveryScenario::handoff_vs_crash().run(p)
+    });
+    print!("{}", hvc.render_human());
+    if handoff_only {
+        return if gate(&handoff, seeds) && gate(&hvc, seeds) {
+            println!("slash-race: PASS");
+            ExitCode::SUCCESS
+        } else {
+            println!("slash-race: FAIL");
+            ExitCode::FAILURE
+        };
+    }
+
     let chan = explore("channel-protocol", seeds, |p| ChannelScenario::default().run(p));
     print!("{}", chan.render_human());
     let multi = explore("multiport-fabric", seeds, |p| ChannelScenario::multi_port().run(p));
@@ -438,7 +493,9 @@ fn main() -> ExitCode {
     });
     print!("{}", reent.render_human());
 
-    let ok = gate(&chan, seeds)
+    let ok = gate(&handoff, seeds)
+        && gate(&hvc, seeds)
+        && gate(&chan, seeds)
         && gate(&multi, seeds)
         && gate(&coh, seeds)
         && gate(&rec, seeds)

@@ -340,8 +340,11 @@ fn code_view(src: &str) -> String {
                 } else {
                     while i < b.len() {
                         if b[i] == b'\\' && i + 1 < b.len() {
+                            // An escaped newline (string line-continuation)
+                            // must keep its newline or every later line
+                            // number shifts.
                             out.push(b' ');
-                            out.push(b' ');
+                            out.push(blank(b[i + 1]));
                             i += 2;
                         } else if b[i] == b'"' {
                             out.push(b' ');
@@ -362,8 +365,9 @@ fn code_view(src: &str) -> String {
             i += 1;
             while i < b.len() {
                 if b[i] == b'\\' && i + 1 < b.len() {
+                    // Keep escaped newlines: see the byte-string branch.
                     out.push(b' ');
-                    out.push(b' ');
+                    out.push(blank(b[i + 1]));
                     i += 2;
                 } else if b[i] == b'"' {
                     out.push(b' ');
@@ -987,6 +991,21 @@ mod tests {
         assert!(v.contains("let a = 1;"));
         assert!(v.contains("let b = 2;"));
         assert_eq!(v.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn code_view_keeps_escaped_newlines_in_strings() {
+        // A `\`-line-continuation inside a string spans two source lines;
+        // blanking the escaped newline used to shift every later line
+        // number, misattributing violations and breaking inline waivers.
+        let src = "let s = \"a \\\n   b\";\nx.unwrap();\n";
+        let v = code_view(src);
+        assert_eq!(v.lines().count(), src.lines().count());
+        let at = v
+            .lines()
+            .position(|l| l.contains(".unwrap()"))
+            .expect("unwrap survives outside strings");
+        assert_eq!(at + 1, 3, "violation must stay on its source line");
     }
 
     #[test]

@@ -831,6 +831,18 @@ pub struct RecoveryScenario {
     /// entries for the same node crash it *again* after its first
     /// recovery.
     pub crashes: Vec<(u64, usize)>,
+    /// Planned-handoff schedule: `(tick, node)` pairs. A handoff is a
+    /// *promotion without a crash* — the elastic-rescaling cutover: at
+    /// its tick the node halts, closes an epoch (the cutover point),
+    /// captures the epoch-aligned checkpoint at that very instant, and
+    /// is rebuilt from it with an **empty** replay range — channels
+    /// re-established and requeued from committed horizons exactly like
+    /// a crash restore, but nothing was lost, so epoch-id dedup is the
+    /// only thing standing between the reconnect and double-apply. An
+    /// entry sharing its tick with a `crashes` entry on another node
+    /// interleaves a live migration with a concurrent crash recovery;
+    /// the tie-break policy orders the two rebuilds.
+    pub handoffs: Vec<(u64, usize)>,
     /// Optional injected bug.
     pub mutation: Option<Mutation>,
 }
@@ -840,6 +852,7 @@ impl Default for RecoveryScenario {
         RecoveryScenario {
             nodes: 3,
             crashes: vec![(R_CRASH_TICK, VICTIM)],
+            handoffs: vec![],
             mutation: None,
         }
     }
@@ -884,6 +897,50 @@ impl RecoveryScenario {
         RecoveryScenario {
             nodes: 2,
             crashes: vec![(R_CRASH_TICK, VICTIM)],
+            handoffs: vec![],
+            mutation: None,
+        }
+    }
+
+    /// The planned-handoff family: node [`VICTIM`] of a 3-node cluster
+    /// migrates at [`R_CRASH_TICK`] — cutover close, checkpoint at that
+    /// instant, rebuild with empty replay — while the other two nodes
+    /// keep closing and shipping epochs. Exactly-once across the
+    /// reconnect must hold under every interleaving of the cutover with
+    /// the survivors' in-flight deltas.
+    pub fn planned_handoff() -> Self {
+        RecoveryScenario {
+            crashes: vec![],
+            handoffs: vec![(R_CRASH_TICK, VICTIM)],
+            ..RecoveryScenario::default()
+        }
+    }
+
+    /// The handoff-vs-crash family: in a 4-node cluster, node 1 starts a
+    /// planned handoff on the same tick node 2 crashes. The tie-break
+    /// policy decides whether the migration cutover or the crash restore
+    /// rebuilds first; each rebuild tears down and re-establishes
+    /// channels toward the other's current incarnation, and both
+    /// convergence and exactly-once must hold under every ordering.
+    pub fn handoff_vs_crash() -> Self {
+        RecoveryScenario {
+            nodes: 4,
+            crashes: vec![(R_CRASH_TICK, 2)],
+            handoffs: vec![(R_CRASH_TICK, 1)],
+            ..RecoveryScenario::default()
+        }
+    }
+
+    /// The minimal handoff family for exhaustive exploration: two nodes,
+    /// one planned handoff. The state-digest dedup collapses converged
+    /// tick interleavings the same way `small()` does, so the explorer
+    /// drains the frontier and turns the reconnect-dedup invariant into
+    /// checked-on-all-schedules.
+    pub fn rescale_small() -> Self {
+        RecoveryScenario {
+            nodes: 2,
+            crashes: vec![],
+            handoffs: vec![(R_CRASH_TICK, VICTIM)],
             mutation: None,
         }
     }
@@ -919,6 +976,8 @@ struct RecWorld {
     ckpts: Vec<Option<RecCkpt>>,
     /// Crash events not yet executed.
     pending: Vec<(u64, usize)>,
+    /// Planned handoffs not yet executed.
+    pending_handoffs: Vec<(u64, usize)>,
     /// Nodes that appear anywhere in the crash schedule.
     victims: Vec<usize>,
     /// Crash-and-restore cycles completed.
@@ -1091,11 +1150,39 @@ impl RecWorld {
         self.recovered += 1;
     }
 
+    /// Execute a planned handoff: the elastic cutover. Halt, close the
+    /// cutover epoch at an off-cycle watermark, capture the checkpoint at
+    /// that exact instant, and rebuild through the *same* restore surface
+    /// a crash uses — except the replay range `resume_tick..crash_tick`
+    /// is empty by construction, because nothing ran between the capture
+    /// and the "crash". Promotion without a crash, literally: the crash
+    /// path minus staleness.
+    fn handoff(&mut self, sim: &mut Sim, i: usize, tick: u64) {
+        self.ssb[i].note_progress(tick * 100 + 50);
+        if let Err(e) = self.ssb[i].close_epoch(sim) {
+            self.flag(
+                Invariant::RecoveryConvergence,
+                i,
+                format!("cutover close_epoch failed: {e:?}"),
+            );
+        }
+        self.capture(i, tick);
+        self.crash_restore(sim, i, tick);
+    }
+
     fn node_tick(&mut self, sim: &mut Sim, i: usize, tick: u64) -> bool {
         self.cur_fp = sim.schedule_fingerprint();
         if let Some(pos) = self.pending.iter().position(|&(t, v)| t == tick && v == i) {
             self.pending.remove(pos);
             self.crash_restore(sim, i, tick);
+        }
+        if let Some(pos) = self
+            .pending_handoffs
+            .iter()
+            .position(|&(t, v)| t == tick && v == i)
+        {
+            self.pending_handoffs.remove(pos);
+            self.handoff(sim, i, tick);
         }
         if tick < R_OP_TICKS {
             self.do_ops(i, true);
@@ -1174,7 +1261,8 @@ fn schedule_rec_actor(sim: &mut Sim, world: Rc<RefCell<RecWorld>>, node: usize, 
 
 impl RecWorld {
     /// Order-insensitive digest of cluster state plus recovery progress
-    /// (checkpoints captured, crashes still pending, cycles completed).
+    /// (checkpoints captured, crashes and handoffs still pending, cycles
+    /// completed).
     fn digest(&self) -> u64 {
         let mut h = 0xFA11_BACC_D16E_5721u64;
         for (i, node) in self.ssb.iter().enumerate() {
@@ -1191,6 +1279,7 @@ impl RecWorld {
         h = fold_digest(h, acc);
         h = fold_digest(h, self.ckpts.iter().filter(|c| c.is_some()).count() as u64);
         h = fold_digest(h, self.pending.len() as u64);
+        h = fold_digest(h, self.pending_handoffs.len() as u64);
         h = fold_digest(h, self.recovered as u64);
         fold_digest(h, self.violations.len() as u64)
     }
@@ -1258,9 +1347,10 @@ impl RecoveryScenario {
             mutation: self.mutation,
             ckpts: (0..n).map(|_| None).collect(),
             pending: self.crashes.clone(),
+            pending_handoffs: self.handoffs.clone(),
             victims,
             recovered: 0,
-            crashes_total: self.crashes.len(),
+            crashes_total: self.crashes.len() + self.handoffs.len(),
             skip_used: false,
             final_closed: vec![false; n],
             violations: Vec::new(),
@@ -1374,6 +1464,42 @@ mod tests {
     fn reentrant_recovery_scenario_clean_under_policies() {
         for policy in [TieBreak::Fifo, TieBreak::Lifo, TieBreak::Seeded(7)] {
             let out = RecoveryScenario::reentrant().run(policy);
+            assert!(
+                out.violations.is_empty(),
+                "unexpected violations under {policy:?}: {:?}",
+                out.violations
+            );
+        }
+    }
+
+    #[test]
+    fn planned_handoff_scenario_clean_under_policies() {
+        for policy in [TieBreak::Fifo, TieBreak::Lifo, TieBreak::Seeded(7)] {
+            let out = RecoveryScenario::planned_handoff().run(policy);
+            assert!(
+                out.violations.is_empty(),
+                "unexpected violations under {policy:?}: {:?}",
+                out.violations
+            );
+        }
+    }
+
+    #[test]
+    fn handoff_vs_crash_scenario_clean_under_policies() {
+        for policy in [TieBreak::Fifo, TieBreak::Lifo, TieBreak::Seeded(7)] {
+            let out = RecoveryScenario::handoff_vs_crash().run(policy);
+            assert!(
+                out.violations.is_empty(),
+                "unexpected violations under {policy:?}: {:?}",
+                out.violations
+            );
+        }
+    }
+
+    #[test]
+    fn rescale_small_scenario_clean_under_policies() {
+        for policy in [TieBreak::Fifo, TieBreak::Lifo, TieBreak::Seeded(7)] {
+            let out = RecoveryScenario::rescale_small().run(policy);
             assert!(
                 out.violations.is_empty(),
                 "unexpected violations under {policy:?}: {:?}",

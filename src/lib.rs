@@ -13,5 +13,6 @@ pub use slash_net as net;
 pub use slash_obs as obs;
 pub use slash_perfmodel as perfmodel;
 pub use slash_rdma as rdma;
+pub use slash_scale as scale;
 pub use slash_state as state;
 pub use slash_workloads as workloads;

@@ -292,3 +292,125 @@ fn compound_fault_plan_same_seed_is_byte_identical() {
     assert_eq!(out_a.1.events.len(), out_b.1.events.len());
     assert_eq!(json_a, json_b, "cascading-fault trace must be byte-identical");
 }
+
+// ---------------------------------------------------------------------------
+// Planned-handoff × crash interactions (DESIGN.md §18 interaction matrix).
+// ---------------------------------------------------------------------------
+
+use slash::core::{ElasticConfig, MigrationCmd, RescaleReport, ScriptedDirector};
+
+fn elastic_run(
+    nodes: usize,
+    hosts: usize,
+    script: Vec<(SimTime, MigrationCmd)>,
+    plan: FaultPlan,
+) -> (RunReport, RecoveryReport, RescaleReport) {
+    let w = ysb(&GenConfig::new(nodes, 60_000));
+    let mut director = ScriptedDirector::new(script);
+    SlashCluster::run_elastic(
+        w.plan,
+        w.partitions,
+        run_config_n(nodes, 1),
+        &chaos_config(plan),
+        &ElasticConfig::packed(nodes, hosts),
+        &mut director,
+        Obs::disabled(),
+    )
+}
+
+/// The migration target dies mid-handoff. The plan must abort (or fall
+/// back to a self-reinstall on the source host), the source must keep
+/// leadership — partition and records intact — and the run must still
+/// converge bit-exactly to the no-fault elastic run. No promotion may
+/// fire: nothing actually died that hosted a partition.
+#[test]
+fn target_crash_mid_handoff_aborts_without_loss() {
+    let (base, base_rec, _) = elastic_run(4, 2, vec![], FaultPlan::new());
+    let crash_at = SimTime::from_micros(500);
+    assert!(base.completion_time > crash_at, "fault must land mid-run");
+
+    // Partition 2 lives on host 0 in packed(4, 2); host 2 is parked.
+    let script = vec![(
+        SimTime::from_micros(400),
+        MigrationCmd { partition: 2, to_host: 2 },
+    )];
+    let plan = FaultPlan::new().crash(crash_at, 2);
+    let (report, rec, rescale) = elastic_run(4, 2, script, plan);
+
+    let aborted: Vec<_> = rescale.migrations.iter().filter(|m| m.aborted).collect();
+    assert_eq!(aborted.len(), 1, "handoff must abort: {:?}", rescale.migrations);
+    assert_eq!(aborted[0].partition, 2);
+    assert_eq!(
+        aborted[0].to_host, aborted[0].from_host,
+        "source keeps (or re-installs) leadership on the source host"
+    );
+    assert!(
+        promotions(&rec).is_empty(),
+        "a dead parked target must not trigger promotion: {:?}",
+        rec.events
+    );
+    assert_eq!(report.records, base.records, "no record lost to the abort");
+    assert_eq!(rec.results_digest, base_rec.results_digest);
+    assert_eq!(rec.state_digests, base_rec.state_digests);
+}
+
+/// The migration *source* dies mid-handoff, killing both partitions it
+/// hosts (packed topology). The handoff plan is void; the ordinary §15
+/// crash machinery must take over — buddy promotion from durable copies
+/// for both co-located partitions — and the run must still converge
+/// exactly.
+#[test]
+fn source_crash_mid_handoff_falls_back_to_buddy_promotion() {
+    let (base, base_rec, _) = elastic_run(4, 2, vec![], FaultPlan::new());
+    let crash_at = SimTime::from_micros(500);
+    assert!(base.completion_time > crash_at, "fault must land mid-run");
+
+    // Partition 2's leadership is mid-flight from host 0 to parked host
+    // 2 when host 0 (also hosting partition 0) dies.
+    let script = vec![(
+        SimTime::from_micros(400),
+        MigrationCmd { partition: 2, to_host: 2 },
+    )];
+    let plan = FaultPlan::new().crash(crash_at, 0);
+    let (report, rec, rescale) = elastic_run(4, 2, script, plan);
+
+    assert!(
+        rescale.migrations.iter().any(|m| m.partition == 2 && m.aborted),
+        "the in-flight plan must be recorded as aborted: {:?}",
+        rescale.migrations
+    );
+    let promoted: Vec<usize> = promotions(&rec).iter().map(|&(n, _, _)| n).collect();
+    assert!(
+        promoted.contains(&0) && promoted.contains(&2),
+        "both co-located partitions must be promoted: {:?}",
+        rec.events
+    );
+    assert_eq!(report.records, base.records, "exactly-once across the fallback");
+    assert_eq!(rec.results_digest, base_rec.results_digest);
+    assert_eq!(rec.state_digests, base_rec.state_digests);
+}
+
+/// Elastic golden determinism: the full stack — packed topology, a
+/// scripted migration, a mid-run crash — replayed twice must be
+/// byte-identical in every observable.
+#[test]
+fn elastic_chaos_runs_are_deterministic() {
+    let go = || {
+        let script = vec![(
+            SimTime::from_micros(400),
+            MigrationCmd { partition: 2, to_host: 2 },
+        )];
+        let plan = FaultPlan::new().crash(SimTime::from_micros(700), 1);
+        let (report, rec, rescale) = elastic_run(4, 2, script, plan);
+        (
+            report.records,
+            report.completion_time,
+            rec.results_digest,
+            rec.state_digests.clone(),
+            rescale.migrations.len(),
+            rescale.max_stall(),
+            rescale.peak_hosts,
+        )
+    };
+    assert_eq!(go(), go(), "same script + same faults => identical run");
+}
