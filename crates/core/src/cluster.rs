@@ -191,12 +191,15 @@ impl SlashCluster {
 }
 
 /// Spawn (or respawn) every worker of `node` against its partitions. Used
-/// by the fault-free driver, the chaos driver, and promotion: a promoted
-/// node resurrects *all* of its worker partitions through this one path,
-/// with `resume_pos` seeking each worker's source to its checkpointed
-/// byte position (fresh starts pass `None`).
+/// by the fault-free driver, the chaos driver, promotion, and the
+/// threaded executor (`slash-exec`): a promoted node resurrects *all* of
+/// its worker partitions through this one path, with `resume_pos` seeking
+/// each worker's source to its checkpointed byte position (fresh starts
+/// pass `None`). The threaded backend calls it once per node against that
+/// node's private `Sim`, so the exact same worker code runs under both
+/// schedulers.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn spawn_node_workers(
+pub fn spawn_node_workers(
     sim: &mut Sim,
     node: usize,
     shared: &Rc<RefCell<NodeShared>>,

@@ -19,7 +19,10 @@
 //! Both optimizations are **adaptive**: when a streak of batches shows
 //! (almost) no key reuse — wide uniform key domains, where dedup is pure
 //! overhead — the hot path reverts to the per-record loop for the rest of
-//! the run. The decision depends only on the data, so runs stay
+//! the run. To keep the worst case cheap, the *first* combined batch also
+//! probes reuse in-flight ([`PROBE_SURVIVORS`]) and can bail mid-batch,
+//! so a reuse-free stream never pays combiner overhead beyond a small
+//! prefix. Every decision depends only on the data, so runs stay
 //! deterministic, and both paths produce bit-identical state either way.
 //!
 //! The hot path does *no* metrics or cost accounting — it returns a
@@ -77,6 +80,22 @@ const COLD_NUM: u64 = 1;
 const COLD_DEN: u64 = 2;
 /// Batches smaller than this don't update the cold counter (too noisy).
 const MIN_ADAPT_SURVIVORS: u64 = 64;
+/// In the *first* combined batch, measure key reuse after this many
+/// survivors and bail out mid-batch if the stream looks reuse-free. The
+/// end-of-batch `note_reuse` check alone engages one full batch too late:
+/// with 16 Ki-record batches a uniform-key stream pays combiner overhead
+/// for thousands of folds before the first verdict, which showed up as a
+/// ~7% regression on `ysb`. The probe caps that exposure at
+/// [`PROBE_SURVIVORS`] folds for the whole run (≲2% of even a single
+/// batch's survivors on the benched configurations).
+const PROBE_SURVIVORS: u64 = 1024;
+/// Probe verdict: bail when distinct keys so far ≥ 3/4 of survivors.
+/// Stricter than the end-of-batch 1/2 on purpose — at 1024 survivors the
+/// sample is small, and skewed streams (nb7's Pareto, ysb_hot's 100-key
+/// domain) must not be misjudged from an unlucky prefix; both sit far
+/// below 3/4 while uniform `ysb` saturates at ~100% distinct.
+const PROBE_NUM: u64 = 3;
+const PROBE_DEN: u64 = 4;
 
 /// Reusable per-worker record-processing state.
 pub struct HotPath {
@@ -93,6 +112,9 @@ pub struct HotPath {
     /// Consecutive batches with (almost) no key reuse; at
     /// [`COLD_BATCH_LIMIT`] the batched path turns itself off.
     cold_batches: u32,
+    /// Whether the one-shot in-batch reuse probe has run (first combined
+    /// batch only; see [`PROBE_SURVIVORS`]).
+    probed: bool,
     /// Division-free window assignment (timestamps are monotone per flow).
     memo: WindowMemo,
 }
@@ -122,6 +144,7 @@ impl HotPath {
             join_keys: Vec::new(),
             join_elems: Vec::new(),
             cold_batches: 0,
+            probed: false,
             memo,
         }
     }
@@ -162,7 +185,10 @@ impl HotPath {
                     self.combiner = None;
                 }
                 if let Some(comb) = self.combiner.as_mut() {
-                    for rec in batch.chunks_exact(schema.size) {
+                    // Byte offset to resume from if the in-batch probe
+                    // bails to the per-record loop mid-batch.
+                    let mut bail_at: Option<usize> = None;
+                    for (i, rec) in batch.chunks_exact(schema.size).enumerate() {
                         if !input.keep(rec) {
                             continue;
                         }
@@ -174,9 +200,40 @@ impl HotPath {
                             comb.fold(key, |v| agg.update(&schema, rec, v));
                         }
                         out.survivors += 1;
+                        if !self.probed && out.survivors == PROBE_SURVIVORS {
+                            // One-shot reuse probe: distinct keys seen so
+                            // far are the already-flushed partials plus the
+                            // table's current occupancy.
+                            self.probed = true;
+                            let distinct = out.flushed + comb.len() as u64;
+                            if distinct * PROBE_DEN >= out.survivors * PROBE_NUM {
+                                out.flushed += ssb.rmw_batch(comb);
+                                bail_at = Some((i + 1) * schema.size);
+                                break;
+                            }
+                        }
                     }
-                    out.flushed += ssb.rmw_batch(comb);
-                    self.note_reuse(out.survivors, out.flushed);
+                    if bail_at.is_none() {
+                        out.flushed += ssb.rmw_batch(comb);
+                    }
+                    if let Some(off) = bail_at {
+                        // Reuse-free stream: finish this batch (and the
+                        // rest of the run) on the per-record path. State
+                        // stays bit-identical — the flush above already
+                        // applied every folded partial.
+                        self.combiner = None;
+                        for rec in batch[off..].chunks_exact(schema.size) {
+                            if !input.keep(rec) {
+                                continue;
+                            }
+                            let key =
+                                pack_key(memo.assign(schema.ts(rec)), schema.key(rec));
+                            ssb.rmw(key, |v| agg.update(&schema, rec, v));
+                            out.survivors += 1;
+                        }
+                    } else {
+                        self.note_reuse(out.survivors, out.flushed);
+                    }
                 } else {
                     for rec in batch.chunks_exact(schema.size) {
                         if !input.keep(rec) {
@@ -326,6 +383,41 @@ mod tests {
         let mut ssb_b = detached(&AggSpec::Count);
         off.process(&mut ssb_b, &data);
         assert_eq!(ssb_a.state_digest(), ssb_b.state_digest());
+    }
+
+    #[test]
+    fn in_batch_probe_bails_mid_batch_on_reuse_free_streams() {
+        let plan = agg_plan(AggSpec::Count);
+        // One big batch, all keys distinct: the old end-of-batch check
+        // would fold every record; the probe must stop at 1024 survivors.
+        let data = records(4096, u64::MAX / 7);
+        let mut hp = HotPath::new(Rc::clone(&plan), true, 4096);
+        let mut ssb_a = detached(&AggSpec::Count);
+        let out = hp.process(&mut ssb_a, &data);
+        assert!(!hp.combined(), "probe must disable the combiner mid-batch");
+        assert_eq!(out.records, 4096);
+        assert_eq!(out.survivors, 4096);
+        assert_eq!(
+            out.flushed, 1024,
+            "only the probe prefix goes through the combiner"
+        );
+        // Bit-identical to the never-combined run.
+        let mut off = HotPath::new(plan, false, 4096);
+        let mut ssb_b = detached(&AggSpec::Count);
+        off.process(&mut ssb_b, &data);
+        assert_eq!(ssb_a.state_digest(), ssb_b.state_digest());
+    }
+
+    #[test]
+    fn in_batch_probe_keeps_skewed_streams_combined() {
+        let plan = agg_plan(AggSpec::Count);
+        // 101 distinct keys: at the probe point reuse is overwhelming,
+        // so the combiner must stay on through and past the probe.
+        let data = records(4096, 101);
+        let mut hp = HotPath::new(Rc::clone(&plan), true, 4096);
+        let mut ssb = detached(&AggSpec::Count);
+        hp.process(&mut ssb, &data);
+        assert!(hp.combined(), "skewed streams must keep the combiner");
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod window;
 pub mod worker;
 
 pub use agg::AggSpec;
-pub use cluster::{RunConfig, RunReport, SlashCluster};
+pub use cluster::{spawn_node_workers, RunConfig, RunReport, SlashCluster};
 pub use cost::{CacheModel, CostModel, TESTBED_CLOCK_GHZ};
 pub use elastic::{
     ClusterTelemetry, ElasticConfig, MigrationCmd, MigrationEvent, RescaleReport, ScaleDirector,
@@ -47,3 +47,4 @@ pub use recovery::{results_digest, RecoveryAction, RecoveryEvent, RecoveryReport
 pub use sink::{Sink, SinkResult};
 pub use source::MemorySource;
 pub use window::{WindowAssigner, WindowMemo};
+pub use worker::{NodeShared, SlashWorker};

@@ -1,0 +1,329 @@
+//! The shared-nothing thread-per-core backend.
+//!
+//! One OS thread per node. Each thread owns everything its node touches —
+//! worker loop, SSB instance, delta endpoints, observability handle, and
+//! a *private* [`Sim`] that provides the node's virtual-time bookkeeping
+//! (cost charging, pacing, epoch instants). Nothing is shared between
+//! threads except the bounded SPSC queues carrying epoch deltas, so the
+//! record path takes no locks and no atomics.
+//!
+//! ## Why the result still matches the simulator
+//!
+//! Thread interleaving changes *when* deltas arrive, not *what* they
+//! mean: CRDT merges commute, each channel delivers epochs FIFO with
+//! consecutive ids (the same guarantee the RC fence gives the simulated
+//! wire), and windows trigger on watermarks — event time, not wall or
+//! virtual time. The per-node state digests and the result multiset are
+//! therefore bit-identical across backends; per-node virtual clocks,
+//! span traces, and completion instants are not comparable and are
+//! reported as such.
+//!
+//! ## Wall-clock usage
+//!
+//! This file is the one non-bench place allowed to read the host clock
+//! (see `WALLCLOCK_EXEMPT_FILES` in `slash-verify`): a node waiting on a
+//! peer *thread* cannot bound the wait in virtual time, so the hang
+//! watchdog must measure real elapsed time. Nothing else in the crate
+//! touches the wall clock.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use slash_core::{
+    spawn_node_workers, EngineMetrics, NodeShared, RunReport, SinkResult,
+};
+use slash_desim::{Sim, SimTime};
+use slash_net::spsc::{spsc_channel, SpscReceiver, SpscSender};
+use slash_obs::{MetricsRegistry, Obs};
+use slash_state::backend::{SsbConfig, SsbNode};
+use slash_state::{DeltaReceiver, DeltaSender};
+
+use crate::{JobSpec, Scheduler};
+
+/// Per-thread trace-ring capacity (events). Node threads keep private
+/// rings; only the metric registries are merged back.
+const OBS_RING: usize = 4096;
+
+/// Virtual-time slice a node thread advances per drive iteration before
+/// re-checking completion and yielding the core.
+const HORIZON: SimTime = SimTime::from_millis(10);
+
+/// What one node thread sends back when its node completes. Everything
+/// here is plain data (`Send`); the `Rc`-laden engine structures never
+/// leave their thread.
+struct NodeReport {
+    node: usize,
+    records: u64,
+    last_ingest: SimTime,
+    completion: SimTime,
+    emitted: u64,
+    total_pairs: u64,
+    results: Vec<SinkResult>,
+    metrics: EngineMetrics,
+    state_digest: u64,
+    tx_bytes: u64,
+    registry: Option<MetricsRegistry>,
+}
+
+/// The thread-per-core scheduler. `cfg.nodes` determines the thread
+/// count: one pinned worker loop per node (pinning is delegated to the
+/// OS scheduler — with one runnable thread per core and no blocking,
+/// threads settle on distinct cores; the workspace builds with no
+/// affinity syscall dependency).
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadBackend {
+    /// Hang watchdog: a node thread panics (tearing the run down
+    /// loudly) if its node has made no progress toward completion for
+    /// this long in real time. Generous by default — the protocol owes
+    /// liveness, the watchdog only converts a deadlock into a
+    /// diagnosable failure instead of a silent hang.
+    pub watchdog: Duration,
+}
+
+impl Default for ThreadBackend {
+    fn default() -> Self {
+        ThreadBackend {
+            watchdog: Duration::from_secs(300),
+        }
+    }
+}
+
+impl ThreadBackend {
+    /// A backend with the default watchdog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for ThreadBackend {
+    fn run_with_obs(&self, spec: JobSpec, obs: Obs) -> RunReport {
+        let cfg = spec.cfg;
+        assert_eq!(
+            spec.partitions.len(),
+            cfg.nodes * cfg.workers_per_node,
+            "need one partition per worker"
+        );
+        let n = cfg.nodes;
+        let obs_on = obs.is_enabled();
+        let watchdog = self.watchdog;
+
+        // Wire the full mesh of directed SPSC links up front:
+        // `senders[i][j]` carries node i's deltas toward leader j.
+        let mut senders: Vec<Vec<Option<SpscSender>>> = (0..n)
+            .map(|_| (0..n).map(|_| None).collect())
+            .collect();
+        let mut receivers: Vec<Vec<(usize, SpscReceiver)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for (i, row) in senders.iter_mut().enumerate() {
+            for (j, slot) in row.iter_mut().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let (tx, rx) = spsc_channel(cfg.channel);
+                *slot = Some(tx);
+                receivers[j].push((i, rx));
+            }
+        }
+
+        // Split the node-major partition list into per-node chunks that
+        // move into their threads.
+        let mut parts = spec.partitions;
+        let mut per_node_parts: Vec<Vec<Vec<u8>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let rest = parts.split_off(cfg.workers_per_node.min(parts.len()));
+            per_node_parts.push(parts);
+            parts = rest;
+        }
+
+        let mut handles = Vec::with_capacity(n);
+        for (node, (own_parts, (tx_row, rx_row))) in per_node_parts
+            .into_iter()
+            .zip(senders.into_iter().zip(receivers))
+            .enumerate()
+        {
+            let factory = spec.plan.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("slash-node{node}"))
+                    .spawn(move || {
+                        drive_node(
+                            node, cfg, factory, own_parts, tx_row, rx_row, obs_on, watchdog,
+                        )
+                    })
+                    .unwrap_or_else(|e| panic!("spawning node thread {node}: {e}")),
+            );
+        }
+
+        let mut reports: Vec<NodeReport> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(node, h)| {
+                h.join()
+                    .unwrap_or_else(|_| panic!("node thread {node} panicked"))
+            })
+            .collect();
+        reports.sort_by_key(|r| r.node);
+        assemble(reports, &obs)
+    }
+}
+
+/// Body of one node thread: build the node's private engine stack, drive
+/// its simulator until the completion protocol fires, ship back a
+/// [`NodeReport`].
+#[allow(clippy::too_many_arguments)]
+fn drive_node(
+    node: usize,
+    cfg: slash_core::RunConfig,
+    factory: crate::PlanFactory,
+    own_parts: Vec<Vec<u8>>,
+    tx_row: Vec<Option<SpscSender>>,
+    rx_row: Vec<(usize, SpscReceiver)>,
+    obs_on: bool,
+    watchdog: Duration,
+) -> NodeReport {
+    let plan = Rc::new((factory)());
+    let schema = plan.input().schema;
+    let ssb_cfg = SsbConfig {
+        nodes: cfg.nodes,
+        epoch_bytes: cfg.epoch_bytes,
+        channel: cfg.channel,
+    };
+    let mut ssb = SsbNode::detached(node, plan.descriptor(), ssb_cfg);
+    for (leader, tx) in tx_row.into_iter().enumerate() {
+        if let Some(tx) = tx {
+            ssb.replace_sender(leader, DeltaSender::over_spsc(tx));
+        }
+    }
+    for (helper, rx) in rx_row {
+        ssb.replace_receiver(helper, DeltaReceiver::over_spsc(rx, helper));
+    }
+
+    let obs = if obs_on {
+        Obs::enabled(OBS_RING)
+    } else {
+        Obs::disabled()
+    };
+    let shared = Rc::new(RefCell::new(NodeShared::new(
+        ssb,
+        cfg.workers_per_node,
+        cfg.cost.mem_bandwidth,
+        cfg.collect_results,
+    )));
+    {
+        let mut sh = shared.borrow_mut();
+        sh.metrics.set_clock_ghz(cfg.cost.clock_ghz);
+        if obs.is_enabled() {
+            sh.instrument(obs.clone(), node);
+        }
+    }
+
+    // `spawn_node_workers` indexes partitions node-major across the whole
+    // cluster; pad the prefix so this node's slots land where it looks.
+    let mut padded: Vec<Rc<Vec<u8>>> = (0..node * cfg.workers_per_node)
+        .map(|_| Rc::new(Vec::new()))
+        .collect();
+    padded.extend(own_parts.into_iter().map(Rc::new));
+
+    let mut sim = Sim::new();
+    spawn_node_workers(&mut sim, node, &shared, &padded, schema, &plan, &cfg, None);
+
+    // Drive until the trigger worker observes cluster-wide completion.
+    // No virtual-time budget here: a node waiting on a peer *thread*
+    // races through virtual time at poll speed, so only the wall clock
+    // bounds a genuine hang. Progress resets the watchdog.
+    let mut last_progress = Instant::now();
+    let mut last_records = 0u64;
+    loop {
+        {
+            let sh = shared.borrow();
+            if sh.finished {
+                break;
+            }
+            if sh.records != last_records {
+                last_records = sh.records;
+                last_progress = Instant::now();
+            }
+        }
+        assert!(
+            sim.pending_events() > 0,
+            "node {node} quiesced before completing (worker wiring bug)"
+        );
+        assert!(
+            last_progress.elapsed() < watchdog,
+            "node {node} made no progress for {watchdog:?} — \
+             completion protocol deadlock or a stuck peer thread"
+        );
+        let horizon = sim.now() + HORIZON;
+        sim.run_until(horizon);
+        // One runnable thread per core is the design point, but on
+        // smaller hosts (and while draining at end-of-stream) ceding the
+        // core lets peers flush the epochs this node is waiting for.
+        std::thread::yield_now();
+    }
+    let completion = sim.now();
+
+    let sh = shared.borrow();
+    if obs.is_enabled() {
+        let label = format!("node{node}");
+        obs.counter_add("records", &label, sh.records);
+        obs.counter_add("instructions", &label, sh.metrics.instructions);
+        obs.counter_add("mem_bytes", &label, sh.metrics.mem_bytes);
+        obs.counter_add("combiner_folds", &label, sh.metrics.combiner_folds);
+        obs.counter_add("combiner_flushes", &label, sh.metrics.combiner_flushes);
+        obs.counter_add("state_updates", &label, sh.metrics.state_updates);
+        obs.gauge_set("ipc", &label, sh.metrics.ipc());
+        sh.ssb.publish_obs();
+    }
+    NodeReport {
+        node,
+        records: sh.records,
+        last_ingest: sh.last_ingest,
+        completion,
+        emitted: sh.sink.emitted,
+        total_pairs: sh.sink.total_pairs,
+        results: sh.sink.results.clone(),
+        metrics: sh.metrics.clone(),
+        state_digest: sh.ssb.state_digest(),
+        tx_bytes: sh.ssb.tx_payload_bytes(),
+        registry: obs.registry_snapshot(),
+    }
+}
+
+/// Fold per-node reports into the same [`RunReport`] shape the simulator
+/// produces. Virtual times are per-node maxima (each node has its own
+/// clock); byte counts come from the SPSC links instead of the fabric.
+fn assemble(reports: Vec<NodeReport>, obs: &Obs) -> RunReport {
+    let mut report = RunReport {
+        records: 0,
+        processing_time: SimTime::ZERO,
+        completion_time: SimTime::ZERO,
+        emitted: 0,
+        total_pairs: 0,
+        results: Vec::new(),
+        metrics: EngineMetrics::default(),
+        per_node: Vec::new(),
+        state_digests: Vec::new(),
+        net_tx_bytes: 0,
+    };
+    for r in reports {
+        report.records += r.records;
+        report.processing_time = report.processing_time.max(r.last_ingest);
+        report.completion_time = report.completion_time.max(r.completion);
+        report.emitted += r.emitted;
+        report.total_pairs += r.total_pairs;
+        report.results.extend(r.results);
+        report.metrics.absorb(&r.metrics);
+        report.per_node.push(r.metrics);
+        report.state_digests.push(r.state_digest);
+        report.net_tx_bytes += r.tx_bytes;
+        if let Some(reg) = &r.registry {
+            obs.absorb_registry(reg);
+        }
+    }
+    if obs.is_enabled() {
+        obs.counter_add("net_tx_bytes", "fabric", report.net_tx_bytes);
+    }
+    report.metrics.set_records(report.records);
+    report
+}

@@ -1,0 +1,112 @@
+//! Sim-vs-threaded equivalence smoke: for the same seed and workload,
+//! both backends must converge to bit-identical per-node state digests
+//! and result multisets. This is the contract that lets the threaded
+//! runtime exist at all — the deterministic simulator stays the
+//! reference semantics, threads only change the wall-clock story.
+//!
+//! CI runs this file in release mode (2 seeds × 2 workloads; see
+//! `scripts/ci.sh`).
+
+use std::rc::Rc;
+
+use slash_core::RunConfig;
+use slash_exec::{results_fingerprint, JobSpec, Scheduler, SimBackend, ThreadBackend};
+use slash_workloads::{nb7, ysb_hot, GenConfig, Workload};
+
+/// Unwrap a workload's freshly generated partitions into owned buffers.
+fn owned_partitions(w: Workload) -> Vec<Vec<u8>> {
+    w.partitions
+        .into_iter()
+        .map(|p| Rc::try_unwrap(p).unwrap_or_else(|p| (*p).clone()))
+        .collect()
+}
+
+fn smoke_cfg(nodes: usize, workers: usize) -> RunConfig {
+    let mut cfg = RunConfig::new(nodes, workers);
+    cfg.collect_results = true;
+    // Small epochs so plenty of delta traffic crosses the links.
+    cfg.epoch_bytes = 64 * 1024;
+    cfg
+}
+
+/// Run one (workload, seed) configuration under both backends and assert
+/// state digests and result multisets match bit-for-bit.
+fn assert_backends_agree(
+    name: &str,
+    seed: u64,
+    gen: impl Fn(&GenConfig) -> Workload,
+    plan: impl Fn() -> slash_core::QueryPlan + Send + Sync + Clone + 'static,
+) {
+    let nodes = 2;
+    let workers = 2;
+    let mut gc = GenConfig::new(nodes * workers, 10_000);
+    gc.seed = seed;
+    let cfg = smoke_cfg(nodes, workers);
+
+    let parts = owned_partitions(gen(&gc));
+    let sim = SimBackend.run(JobSpec::new(plan.clone(), parts.clone(), cfg));
+    let thr = ThreadBackend::new().run(JobSpec::new(plan, parts, cfg));
+
+    assert_eq!(sim.records, thr.records, "{name}/{seed:#x}: records");
+    assert_eq!(sim.emitted, thr.emitted, "{name}/{seed:#x}: emitted");
+    assert_eq!(
+        sim.total_pairs, thr.total_pairs,
+        "{name}/{seed:#x}: join pairs"
+    );
+    assert_eq!(
+        sim.state_digests, thr.state_digests,
+        "{name}/{seed:#x}: per-node state digests must be bit-identical"
+    );
+    assert_eq!(
+        results_fingerprint(&sim.results),
+        results_fingerprint(&thr.results),
+        "{name}/{seed:#x}: result multisets must be identical"
+    );
+    assert!(thr.records > 0 && thr.emitted > 0, "{name}: trivial run");
+    assert!(
+        thr.net_tx_bytes > 0,
+        "{name}: threaded deltas must cross the SPSC links"
+    );
+}
+
+#[test]
+fn ysb_hot_digests_match_seed_a() {
+    assert_backends_agree("ysb_hot", 0x5145, ysb_hot, || {
+        ysb_hot(&GenConfig::new(1, 1)).plan
+    });
+}
+
+#[test]
+fn ysb_hot_digests_match_seed_b() {
+    assert_backends_agree("ysb_hot", 0xBEEF, ysb_hot, || {
+        ysb_hot(&GenConfig::new(1, 1)).plan
+    });
+}
+
+#[test]
+fn nb7_digests_match_seed_a() {
+    assert_backends_agree("nb7", 0x5145, nb7, || nb7(&GenConfig::new(1, 1)).plan);
+}
+
+#[test]
+fn nb7_digests_match_seed_b() {
+    assert_backends_agree("nb7", 0xBEEF, nb7, || nb7(&GenConfig::new(1, 1)).plan);
+}
+
+#[test]
+fn threaded_backend_is_self_consistent_across_repeats() {
+    // Two threaded runs of the same job: schedules differ (real thread
+    // interleaving), digests must not.
+    let mut gc = GenConfig::new(4, 5_000);
+    gc.seed = 0x0DDB;
+    let cfg = smoke_cfg(2, 2);
+    let parts = owned_partitions(ysb_hot(&gc));
+    let plan = || ysb_hot(&GenConfig::new(1, 1)).plan;
+    let a = ThreadBackend::new().run(JobSpec::new(plan, parts.clone(), cfg));
+    let b = ThreadBackend::new().run(JobSpec::new(plan, parts, cfg));
+    assert_eq!(a.state_digests, b.state_digests);
+    assert_eq!(
+        results_fingerprint(&a.results),
+        results_fingerprint(&b.results)
+    );
+}

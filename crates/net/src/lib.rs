@@ -42,6 +42,7 @@ pub mod layout;
 pub mod receiver;
 pub mod sender;
 pub mod socket;
+pub mod spsc;
 pub mod stats;
 
 pub use channel::{create_channel, ChannelConfig, RECONNECT_HANDSHAKE_MSGS};
@@ -49,4 +50,5 @@ pub use layout::{Footer, MsgFlags, FOOTER_SIZE};
 pub use receiver::ChannelReceiver;
 pub use sender::ChannelSender;
 pub use socket::{socket_pair, SocketConfig, SocketReceiver, SocketSender};
+pub use spsc::{spsc_channel, SpscReceiver, SpscSender};
 pub use stats::ChannelStats;

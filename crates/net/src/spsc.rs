@@ -1,0 +1,217 @@
+//! In-process SPSC links for the threaded executor (`slash-exec`).
+//!
+//! When every node runs on its own OS thread, cross-host delta channels
+//! cannot go through the simulated fabric (it is single-threaded by
+//! design). This module provides the threaded equivalent: a bounded
+//! single-producer/single-consumer FIFO per directed `(src, dst)` pair,
+//! built on `std::sync::mpsc::sync_channel`.
+//!
+//! Two properties of the simulated RDMA channel are preserved exactly,
+//! because the coherence protocol's correctness argument leans on them:
+//!
+//! * **Per-channel FIFO.** `sync_channel` delivers messages in send
+//!   order — the same guarantee the RC fence in `rdma/qp.rs`
+//!   (`fence_in_order`) enforces for same-QP writes. Epoch chunks and
+//!   their `fin` markers arrive in the order the producer issued them.
+//! * **Credit backpressure.** The queue bound equals the channel's
+//!   credit count, so a producer that has `credits` buffers in flight
+//!   sees `try_send` refuse — precisely when the simulated sender would
+//!   stall on zero credits. Senders keep their outbox and retry, which
+//!   is the same recovery path [`crate::ChannelSender`] takes.
+//!
+//! What is *not* modeled here: wire latency, bandwidth shaping, and
+//! fault injection. Those belong to the deterministic simulator; the
+//! threaded runtime measures real elapsed time instead.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError, TrySendError};
+
+use crate::channel::ChannelConfig;
+use crate::layout::MsgFlags;
+use crate::stats::ChannelStats;
+
+/// One message on an SPSC link: the flags word and the payload bytes
+/// (what the footer + buffer carry on the simulated wire).
+type SpscMsg = (MsgFlags, Vec<u8>);
+
+/// Producer half of an in-process SPSC link.
+#[derive(Debug)]
+pub struct SpscSender {
+    tx: SyncSender<SpscMsg>,
+    cfg: ChannelConfig,
+    stats: ChannelStats,
+    /// Set when the consumer disappeared while traffic was still owed —
+    /// the threaded analog of a QP falling into the error state.
+    error: bool,
+}
+
+/// Consumer half of an in-process SPSC link.
+#[derive(Debug)]
+pub struct SpscReceiver {
+    rx: Receiver<SpscMsg>,
+    stats: ChannelStats,
+}
+
+/// Create a bounded SPSC link with `cfg.credits` slots of
+/// `cfg.payload_capacity()` payload bytes each.
+pub fn spsc_channel(cfg: ChannelConfig) -> (SpscSender, SpscReceiver) {
+    let cfg = cfg.validated();
+    let (tx, rx) = sync_channel(cfg.credits);
+    (
+        SpscSender {
+            tx,
+            cfg,
+            stats: ChannelStats::default(),
+            error: false,
+        },
+        SpscReceiver {
+            rx,
+            stats: ChannelStats::default(),
+        },
+    )
+}
+
+impl SpscSender {
+    /// Payload capacity per message, matching the simulated channel's
+    /// buffer payload so chunking logic is identical under both
+    /// transports.
+    pub fn payload_capacity(&self) -> usize {
+        self.cfg.payload_capacity()
+    }
+
+    /// Try to enqueue one message. Returns `Ok(false)` when the link is
+    /// at its credit bound (caller retries later, exactly like a
+    /// credit-stalled RDMA send).
+    pub fn try_send(&mut self, flags: MsgFlags, payload: &[u8]) -> bool {
+        if self.error {
+            return false;
+        }
+        match self.tx.try_send((flags, payload.to_vec())) {
+            Ok(()) => {
+                self.stats.on_buffer(payload.len());
+                true
+            }
+            Err(TrySendError::Full(_)) => {
+                self.stats.on_credit_stall();
+                false
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                // The peer thread is gone. Under the completion protocol
+                // this cannot happen while data is still owed (a node
+                // only exits once every peer's final epoch has merged),
+                // so treat it as a dead QP and let the caller's
+                // watchdog surface the bug if the protocol was violated.
+                self.error = true;
+                false
+            }
+        }
+    }
+
+    /// Whether the link observed a vanished consumer.
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+
+    /// Transfer counters for this endpoint.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+}
+
+impl SpscReceiver {
+    /// Dequeue one message if one is ready. Never blocks: the consumer
+    /// polls from its worker loop like the simulated receiver does.
+    pub fn try_recv(&mut self) -> Option<SpscMsg> {
+        match self.rx.try_recv() {
+            Ok(msg) => {
+                self.stats.on_buffer(msg.1.len());
+                Some(msg)
+            }
+            Err(TryRecvError::Empty) => {
+                self.stats.on_empty_poll();
+                None
+            }
+            // Producer exited after flushing everything it owed; the
+            // buffered backlog (drained above) is already empty here.
+            Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Transfer counters for this endpoint.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(credits: usize) -> ChannelConfig {
+        ChannelConfig {
+            credits,
+            ..ChannelConfig::default()
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let (mut tx, mut rx) = spsc_channel(cfg(8));
+        for i in 0..5u8 {
+            assert!(tx.try_send(MsgFlags::STATE_DELTA, &[i]));
+        }
+        for i in 0..5u8 {
+            let (_, payload) = rx.try_recv().expect("message ready");
+            assert_eq!(payload, vec![i]);
+        }
+        assert!(rx.try_recv().is_none());
+    }
+
+    #[test]
+    fn credit_bound_backpressures_like_the_simulated_channel() {
+        let (mut tx, mut rx) = spsc_channel(cfg(2));
+        assert!(tx.try_send(MsgFlags::STATE_DELTA, &[1]));
+        assert!(tx.try_send(MsgFlags::STATE_DELTA, &[2]));
+        // Third send exceeds the credit window.
+        assert!(!tx.try_send(MsgFlags::STATE_DELTA, &[3]));
+        assert_eq!(tx.stats().credit_stalls, 1);
+        // Consuming one frees a credit.
+        assert!(rx.try_recv().is_some());
+        assert!(tx.try_send(MsgFlags::STATE_DELTA, &[3]));
+        assert_eq!(tx.stats().buffers, 3);
+    }
+
+    #[test]
+    fn cross_thread_delivery_keeps_order_and_counts() {
+        let (mut tx, mut rx) = spsc_channel(cfg(4));
+        let producer = std::thread::spawn(move || {
+            let mut sent = 0u64;
+            for i in 0..1000u32 {
+                while !tx.try_send(MsgFlags::STATE_DELTA, &i.to_le_bytes()) {
+                    std::thread::yield_now();
+                }
+                sent += 1;
+            }
+            sent
+        });
+        let mut expect = 0u32;
+        while expect < 1000 {
+            if let Some((_, payload)) = rx.try_recv() {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(&payload);
+                assert_eq!(u32::from_le_bytes(b), expect);
+                expect += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        assert_eq!(producer.join().expect("producer exits"), 1000);
+    }
+
+    #[test]
+    fn vanished_consumer_reads_as_link_error() {
+        let (mut tx, rx) = spsc_channel(cfg(2));
+        drop(rx);
+        assert!(!tx.try_send(MsgFlags::STATE_DELTA, &[1]));
+        assert!(tx.is_error());
+    }
+}

@@ -258,6 +258,24 @@ impl Obs {
         self.inner.as_ref().map(|inner| f(&inner.registry.borrow()))
     }
 
+    /// Clone the registry contents. The threaded executor calls this on a
+    /// worker thread's private handle when its node completes, then ships
+    /// the (Send) snapshot to the driver for [`Obs::absorb_registry`].
+    pub fn registry_snapshot(&self) -> Option<MetricsRegistry> {
+        self.with_registry(MetricsRegistry::clone)
+    }
+
+    /// Merge a whole registry into this handle's registry (see
+    /// [`MetricsRegistry::absorb`]). This is the merge-at-epoch-close
+    /// half of the per-thread observability design: record paths touch
+    /// only their thread-local registry, and the driver absorbs the
+    /// snapshots once per completed node — no locks anywhere.
+    pub fn absorb_registry(&self, other: &MetricsRegistry) {
+        if let Some(inner) = &self.inner {
+            inner.registry.borrow_mut().absorb(other);
+        }
+    }
+
     /// Capture a flight-recorder dump: the last [`FLIGHT_TAIL`] events plus
     /// `reason` and `context` (schedule fingerprint, vector clocks). A
     /// `fault` instant is also appended to the trace so the failure is

@@ -126,6 +126,39 @@ impl MetricsRegistry {
             .map(|((n, l), h)| (n.as_str(), l.as_str(), h))
     }
 
+    /// Merge every series of `other` into this registry: counters add,
+    /// gauges take `other`'s value (last write wins, as if the writes had
+    /// been issued here), histograms and heat sketches merge.
+    ///
+    /// This is the single synchronization point of the threaded executor's
+    /// observability design: each worker thread records into its own
+    /// registry with zero locking, and the driver absorbs the per-thread
+    /// registries after the final epoch closes. Absorbing N disjoint
+    /// per-thread registries loses no counts and — because histogram and
+    /// sketch merges are exact over their bucketed representations —
+    /// yields the same quantiles as recording everything into one
+    /// registry, in any absorb order.
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for ((n, l), v) in &other.counters {
+            *self.counters.entry((n.clone(), l.clone())).or_insert(0) += v;
+        }
+        for ((n, l), v) in &other.gauges {
+            self.gauges.insert((n.clone(), l.clone()), *v);
+        }
+        for ((n, l), h) in &other.hists {
+            self.hists
+                .entry((n.clone(), l.clone()))
+                .or_default()
+                .merge(h);
+        }
+        for ((n, l), s) in &other.heats {
+            self.heats
+                .entry((n.clone(), l.clone()))
+                .or_insert_with(|| HeatSketch::new(HEAT_CAPACITY))
+                .merge(s);
+        }
+    }
+
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
@@ -212,6 +245,61 @@ mod tests {
         assert!(!reg.is_empty());
         let labels: Vec<&str> = reg.heats().map(|(_, l, _)| l).collect();
         assert_eq!(labels, vec!["node0", "node1"]);
+    }
+
+    #[test]
+    fn absorb_merges_every_series_kind() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("records", "node=0", 10);
+        a.gauge_set("ipc", "node=0", 0.5);
+        a.hist_record("lat", "node=0", 100);
+        a.heat_observe("heat", "node=0", 7, 2);
+
+        let mut b = MetricsRegistry::new();
+        b.counter_add("records", "node=0", 5);
+        b.counter_add("records", "node=1", 3);
+        b.gauge_set("ipc", "node=0", 0.75);
+        b.hist_record("lat", "node=0", 300);
+        b.hist_record("lat", "node=1", 1);
+        b.heat_observe("heat", "node=0", 7, 4);
+
+        a.absorb(&b);
+        assert_eq!(a.counter("records", "node=0"), 15);
+        assert_eq!(a.counter("records", "node=1"), 3);
+        assert_eq!(a.gauge("ipc", "node=0"), Some(0.75));
+        assert_eq!(a.hist("lat", "node=0").unwrap().count(), 2);
+        assert_eq!(a.hist("lat", "node=1").unwrap().count(), 1);
+        assert!(a.quantile("lat", "node=0", 1.0).unwrap() >= 300);
+        assert_eq!(a.heat_top("heat", "node=0", 1)[0].count, 6);
+    }
+
+    #[test]
+    fn absorbing_disjoint_registries_equals_single_threaded_recording() {
+        // The exactness claim the threaded Obs design rests on: splitting
+        // a recording across per-thread registries and absorbing them
+        // reproduces the single-registry result bit for bit.
+        let mut reference = MetricsRegistry::new();
+        let mut parts: Vec<MetricsRegistry> = (0..4).map(|_| MetricsRegistry::new()).collect();
+        for i in 0..1000u64 {
+            let v = (i * 37) % 900 + 1;
+            reference.hist_record("lat", "x", v);
+            reference.counter_add("n", "x", 1);
+            parts[(i % 4) as usize].hist_record("lat", "x", v);
+            parts[(i % 4) as usize].counter_add("n", "x", 1);
+        }
+        let mut merged = MetricsRegistry::new();
+        for p in &parts {
+            merged.absorb(p);
+        }
+        assert_eq!(merged.counter("n", "x"), reference.counter("n", "x"));
+        let (mh, rh) = (
+            merged.hist("lat", "x").unwrap(),
+            reference.hist("lat", "x").unwrap(),
+        );
+        assert_eq!(mh.count(), rh.count());
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(mh.quantile(q), rh.quantile(q), "quantile {q}");
+        }
     }
 
     #[test]

@@ -664,6 +664,18 @@ impl SsbNode {
         self.obs.span_close(Stage::SsbApply, self.node as u32, tid, end, records);
     }
 
+    /// Total payload bytes this node's delta senders pushed onto their
+    /// links. The threaded executor sums this across nodes as its
+    /// substitute for `Fabric::total_tx_bytes` (SPSC links bypass the
+    /// simulated fabric entirely).
+    pub fn tx_payload_bytes(&self) -> u64 {
+        self.senders
+            .iter()
+            .flatten()
+            .map(|s| s.channel_stats().payload_bytes)
+            .sum()
+    }
+
     /// Publish this node's channel statistics into the obs registry
     /// (buffer counters and residence-latency histograms per channel).
     pub fn publish_obs(&self) {

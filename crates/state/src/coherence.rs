@@ -9,7 +9,7 @@
 //! when an epoch's final chunk lands.
 
 use slash_desim::{Sim, SimTime};
-use slash_net::{ChannelReceiver, ChannelSender, MsgFlags};
+use slash_net::{ChannelReceiver, ChannelSender, MsgFlags, SpscReceiver, SpscSender};
 use slash_obs::{Cat, Obs};
 use slash_rdma::RdmaError;
 
@@ -66,9 +66,47 @@ pub struct RetainedEpoch {
     pub chunks: Vec<Vec<u8>>,
 }
 
+/// The transport a delta endpoint ships over. The deterministic
+/// simulator uses the modeled RDMA channel (costs, faults, credit
+/// messages on the virtual wire); the threaded executor uses an
+/// in-process SPSC link with the same FIFO + credit-bound semantics.
+/// The coherence protocol above this enum is byte-identical either way —
+/// that is what makes sim and threaded runs converge to the same state.
+enum SenderPort {
+    /// Simulated RDMA channel (deterministic backend).
+    Rdma(ChannelSender),
+    /// In-process SPSC link (threaded backend).
+    Spsc(SpscSender),
+}
+
+impl SenderPort {
+    fn payload_capacity(&self) -> usize {
+        match self {
+            SenderPort::Rdma(c) => c.payload_capacity(),
+            SenderPort::Spsc(c) => c.payload_capacity(),
+        }
+    }
+
+    /// Try to push one chunk; `Ok(false)` means "no credit, retry later".
+    fn try_send(&mut self, sim: &mut Sim, chunk: &[u8]) -> Result<bool, RdmaError> {
+        match self {
+            SenderPort::Rdma(c) => c.try_send(sim, MsgFlags::STATE_DELTA, chunk),
+            SenderPort::Spsc(c) => {
+                if c.try_send(MsgFlags::STATE_DELTA, chunk) {
+                    Ok(true)
+                } else if c.is_error() {
+                    Err(RdmaError::QpError)
+                } else {
+                    Ok(false)
+                }
+            }
+        }
+    }
+}
+
 /// Helper-side shipping endpoint for one (helper, leader) pair.
 pub struct DeltaSender {
-    chan: ChannelSender,
+    port: SenderPort,
     outbox: std::collections::VecDeque<Vec<u8>>,
     /// Retain closed epochs for replay (fault-tolerant runs only).
     retain: bool,
@@ -85,8 +123,17 @@ pub struct DeltaSender {
 impl DeltaSender {
     /// Wrap a channel whose consumer is the partition's leader.
     pub fn new(chan: ChannelSender) -> Self {
+        DeltaSender::with_port(SenderPort::Rdma(chan))
+    }
+
+    /// Wrap an in-process SPSC link (threaded executor).
+    pub fn over_spsc(link: SpscSender) -> Self {
+        DeltaSender::with_port(SenderPort::Spsc(link))
+    }
+
+    fn with_port(port: SenderPort) -> Self {
         DeltaSender {
-            chan,
+            port,
             outbox: std::collections::VecDeque::new(),
             retain: false,
             retained: Vec::new(),
@@ -101,7 +148,9 @@ impl DeltaSender {
     /// Attach a trace handle; `pid` is the helper node, `tid` the leader.
     /// Also instruments the underlying channel's verb events.
     pub fn instrument(&mut self, obs: Obs, pid: u32, tid: u32) {
-        self.chan.instrument(obs.clone(), pid, tid);
+        if let SenderPort::Rdma(chan) = &mut self.port {
+            chan.instrument(obs.clone(), pid, tid);
+        }
         self.obs = obs;
         self.obs_pid = pid;
         self.obs_tid = tid;
@@ -118,7 +167,7 @@ impl DeltaSender {
             epoch,
             watermark,
             now.as_nanos() / 1_000,
-            self.chan.payload_capacity(),
+            self.port.payload_capacity(),
         );
         fragment.close_epoch(|h, v| builder.push(h.key, h.kind, v));
         let chunks = builder.finish();
@@ -189,16 +238,23 @@ impl DeltaSender {
         n
     }
 
-    /// Whether the underlying channel's QP is in the error state.
+    /// Whether the underlying channel's QP (or SPSC peer) is in the
+    /// error state.
     pub fn is_error(&self) -> bool {
-        self.chan.is_error()
+        match &self.port {
+            SenderPort::Rdma(c) => c.is_error(),
+            SenderPort::Spsc(c) => c.is_error(),
+        }
     }
 
     /// Reset the underlying channel endpoint after a fault (the peer
     /// receiver must reset too). The outbox is kept: pumping resumes once
-    /// both ends are re-established.
+    /// both ends are re-established. SPSC links have no reset protocol —
+    /// fault injection belongs to the simulated backend.
     pub fn reset_channel(&mut self) {
-        self.chan.reset();
+        if let SenderPort::Rdma(chan) = &mut self.port {
+            chan.reset();
+        }
     }
 
     /// Push queued chunks while channel credits allow. Returns the number
@@ -206,7 +262,7 @@ impl DeltaSender {
     pub fn pump(&mut self, sim: &mut Sim) -> Result<usize, RdmaError> {
         let mut sent = 0;
         while let Some(chunk) = self.outbox.front() {
-            if !self.chan.try_send(sim, MsgFlags::STATE_DELTA, chunk)? {
+            if !self.port.try_send(sim, chunk)? {
                 break;
             }
             self.outbox.pop_front();
@@ -228,7 +284,10 @@ impl DeltaSender {
 
     /// Channel statistics.
     pub fn channel_stats(&self) -> &slash_net::ChannelStats {
-        &self.chan.stats
+        match &self.port {
+            SenderPort::Rdma(c) => &c.stats,
+            SenderPort::Spsc(c) => c.stats(),
+        }
     }
 }
 
@@ -241,6 +300,30 @@ struct PendingEpoch {
     entries: Vec<(u128, EntryKind, Vec<u8>)>,
 }
 
+/// Receiver-side transport, mirroring [`SenderPort`].
+enum ReceiverPort {
+    /// Simulated RDMA channel (deterministic backend).
+    Rdma(ChannelReceiver),
+    /// In-process SPSC link (threaded backend).
+    Spsc(SpscReceiver),
+}
+
+impl ReceiverPort {
+    /// Poll one delivered chunk's payload, if any.
+    fn poll_payload(&mut self, sim: &mut Sim) -> Result<Option<Vec<u8>>, RdmaError> {
+        match self {
+            ReceiverPort::Rdma(c) => c.poll_with(sim, |flags, payload| {
+                debug_assert!(flags.contains(MsgFlags::STATE_DELTA));
+                payload.to_vec()
+            }),
+            ReceiverPort::Spsc(c) => Ok(c.try_recv().map(|(flags, payload)| {
+                debug_assert!(flags.contains(MsgFlags::STATE_DELTA));
+                payload
+            })),
+        }
+    }
+}
+
 /// Leader-side merge endpoint for one inbound helper.
 ///
 /// Merging is *epoch-atomic*: chunks are staged until the epoch's final
@@ -251,7 +334,7 @@ struct PendingEpoch {
 /// is what makes non-idempotent CRDT merges (counters *add*) safe to
 /// replay at epoch granularity.
 pub struct DeltaReceiver {
-    chan: ChannelReceiver,
+    port: ReceiverPort,
     /// Which executor the deltas come from (vector-clock slot).
     helper: usize,
     /// Entries of the in-progress (not yet `fin`) epoch.
@@ -275,8 +358,17 @@ pub struct DeltaReceiver {
 impl DeltaReceiver {
     /// Wrap a channel whose producer is helper executor `helper`.
     pub fn new(chan: ChannelReceiver, helper: usize) -> Self {
+        DeltaReceiver::with_port(ReceiverPort::Rdma(chan), helper)
+    }
+
+    /// Wrap an in-process SPSC link (threaded executor).
+    pub fn over_spsc(link: SpscReceiver, helper: usize) -> Self {
+        DeltaReceiver::with_port(ReceiverPort::Spsc(link), helper)
+    }
+
+    fn with_port(port: ReceiverPort, helper: usize) -> Self {
         DeltaReceiver {
-            chan,
+            port,
             helper,
             staged: Vec::new(),
             pending: std::collections::VecDeque::new(),
@@ -292,7 +384,9 @@ impl DeltaReceiver {
     /// Attach a trace handle; `leader` is the node this receiver merges
     /// into. Also instruments the underlying channel's verb events.
     pub fn instrument(&mut self, obs: Obs, leader: u32) {
-        self.chan.instrument(obs.clone(), leader, self.helper as u32);
+        if let ReceiverPort::Rdma(chan) = &mut self.port {
+            chan.instrument(obs.clone(), leader, self.helper as u32);
+        }
         self.obs = obs;
         self.obs_pid = leader;
         self.obs_label = format!("chan={}->{}", self.helper, leader);
@@ -305,7 +399,10 @@ impl DeltaReceiver {
 
     /// Channel statistics.
     pub fn channel_stats(&self) -> &slash_net::ChannelStats {
-        &self.chan.stats
+        match &self.port {
+            ReceiverPort::Rdma(c) => &c.stats,
+            ReceiverPort::Spsc(c) => c.stats(),
+        }
     }
 
     /// Registry label used by this receiver's instrumentation.
@@ -350,15 +447,22 @@ impl DeltaReceiver {
         self.pending.clear();
     }
 
-    /// Whether the underlying channel's QP is in the error state.
+    /// Whether the underlying channel's QP is in the error state. SPSC
+    /// links never error on the receive side (a vanished producer just
+    /// stops producing).
     pub fn is_error(&self) -> bool {
-        self.chan.is_error()
+        match &self.port {
+            ReceiverPort::Rdma(c) => c.is_error(),
+            ReceiverPort::Spsc(_) => false,
+        }
     }
 
     /// Reset the underlying channel endpoint after a fault and discard
     /// uncommitted epochs (the peer sender must reset and requeue).
     pub fn reset_channel(&mut self) {
-        self.chan.reset();
+        if let ReceiverPort::Rdma(chan) = &mut self.port {
+            chan.reset();
+        }
         self.abort_uncommitted();
     }
 
@@ -377,10 +481,7 @@ impl DeltaReceiver {
         vclock: &mut VectorClock,
     ) -> Result<u64, StateError> {
         loop {
-            let polled = self.chan.poll_with(sim, |flags, payload| {
-                debug_assert!(flags.contains(MsgFlags::STATE_DELTA));
-                payload.to_vec()
-            })?;
+            let polled = self.port.poll_payload(sim)?;
             let Some(payload) = polled else { break };
             let staged = &mut self.staged;
             let parsed = try_parse_chunk(&payload, |key, kind, value| {
@@ -711,6 +812,72 @@ mod tests {
             assert_eq!(primary.get(k).map(CounterCrdt::get), Some(1), "key {k}");
         }
         assert_eq!(vclock.get(1), 10);
+    }
+
+    #[test]
+    fn spsc_port_ships_and_merges_like_the_rdma_channel() {
+        // Same protocol exercise as `ship_and_merge_counters`, but over
+        // the threaded executor's in-process link. The sim here only
+        // provides timestamps — no events are scheduled.
+        let mut sim = Sim::new();
+        let (ltx, lrx) = slash_net::spsc_channel(ChannelConfig::default());
+        let mut tx = DeltaSender::over_spsc(ltx);
+        let mut rx = DeltaReceiver::over_spsc(lrx, 1);
+        let desc = CounterCrdt::descriptor();
+        let mut fragment = Partition::new(0, desc);
+        let mut primary = Partition::new(0, desc);
+        let mut vclock = VectorClock::new(2);
+
+        primary.rmw(7, |v| CounterCrdt::add(v, 100));
+        fragment.rmw(7, |v| CounterCrdt::add(v, 11));
+        fragment.rmw(8, |v| CounterCrdt::add(v, 22));
+
+        tx.enqueue_epoch(&mut fragment, 5_000, sim.now());
+        tx.pump(&mut sim).unwrap();
+        let merged = rx.pump(&mut sim, &mut primary, &mut vclock).unwrap();
+        assert_eq!(merged, 2);
+        assert_eq!(primary.get(7).map(CounterCrdt::get), Some(111));
+        assert_eq!(primary.get(8).map(CounterCrdt::get), Some(22));
+        assert_eq!(vclock.get(1), 5_000);
+        assert_eq!(tx.channel_stats().buffers, rx.channel_stats().buffers);
+    }
+
+    #[test]
+    fn spsc_port_backpressures_and_drains() {
+        // A 2-credit link with tiny buffers forces multi-chunk epochs to
+        // stall mid-flight; repeated pumps must drain everything in FIFO
+        // order, exactly like `backlog_drains_across_credit_stalls`.
+        let cfg = ChannelConfig {
+            credits: 2,
+            buffer_size: 128,
+            credit_batch: 1,
+        };
+        let mut sim = Sim::new();
+        let (ltx, lrx) = slash_net::spsc_channel(cfg);
+        let mut tx = DeltaSender::over_spsc(ltx);
+        let mut rx = DeltaReceiver::over_spsc(lrx, 1);
+        let desc = CounterCrdt::descriptor();
+        let mut fragment = Partition::new(0, desc);
+        let mut primary = Partition::new(0, desc);
+        let mut vclock = VectorClock::new(2);
+
+        for k in 0..50u128 {
+            fragment.rmw(k, |v| CounterCrdt::add(v, 1));
+        }
+        tx.enqueue_epoch(&mut fragment, 42, sim.now());
+        assert!(tx.backlog() > 2, "must not fit in one credit window");
+
+        let mut spins = 0;
+        while tx.backlog() > 0 || vclock.get(1) < 42 {
+            spins += 1;
+            assert!(spins < 10_000, "shipping deadlocked");
+            tx.pump(&mut sim).unwrap();
+            rx.pump(&mut sim, &mut primary, &mut vclock).unwrap();
+        }
+        for k in 0..50u128 {
+            assert_eq!(primary.get(k).map(CounterCrdt::get), Some(1));
+        }
+        assert!(tx.channel_stats().credit_stalls > 0, "bound exercised");
     }
 
     #[test]

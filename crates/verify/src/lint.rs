@@ -17,7 +17,7 @@
 //! | `no-debug-print` | library code of protocol crates + `desim` + `obs` | `dbg!`, `println!` |
 //! | `metrics-facade` | library code of `net`, `state`, `core`, `baselines` | direct `=`/`+=`/`-=` writes to counter fields of a `*stats`/`*metrics` value outside the facade files — counters must go through the mutator methods so the observability registry sees them |
 //! | `no-unordered-map` | library code of `core`, `net`, `state`, `desim` | std `HashMap`/`HashSet` — iteration order is nondeterministic across runs and could leak into schedules, digests, or wire bytes; use `BTreeMap`/`BTreeSet` |
-//! | `no-wallclock` | library code of every crate except `bench` | `Instant::now`/`SystemTime` — simulation code must use virtual `SimTime`; host time breaks replay determinism |
+//! | `no-wallclock` | library code of every crate except `bench` (file-scoped carve-out: `exec/src/threaded.rs`, whose hang watchdog must read host time) | `Instant::now`/`SystemTime` — simulation code must use virtual `SimTime`; host time breaks replay determinism |
 //! | `latency-span-pairs` | library code of `core`, `net`, `state`, `obs` | per file, the multiset of `.span_open(<stage>, ..)` first-argument tokens must equal the `.span_close(<stage>, ..)` multiset — an unbalanced pair silently drops stage-histogram samples |
 //!
 //! ## Allowlist & burn-down
@@ -86,6 +86,14 @@ const NO_UNORDERED_CRATES: &[&str] = &["core", "net", "state", "desim"];
 /// The only crate allowed to read the host wall clock (`Instant::now`,
 /// `SystemTime`); everything else must use virtual `SimTime`.
 const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["bench"];
+
+/// File-scoped wall-clock exemptions inside otherwise-checked crates.
+/// The threaded executor is the one place that legitimately straddles
+/// both clocks: each node thread advances its own virtual `SimTime`, but
+/// hang detection across *real* peer threads can only be wall-clock (a
+/// peer stalling does not advance anyone's virtual time). Nothing
+/// schedule-visible derives from the reading — it only arms a watchdog.
+const WALLCLOCK_EXEMPT_FILES: &[&str] = &["crates/exec/src/threaded.rs"];
 
 /// Wire-format files where a silently truncating `as` cast can corrupt
 /// bytes on the wire.
@@ -671,6 +679,7 @@ fn scan_file(rel: &str, original: &str, checks: Checks, out: &mut Vec<Violation>
     let view = mask_cfg_test(&code_view(original));
     let is_wire = WIRE_FILES.contains(&rel);
     let check_metrics = checks.metrics && !METRICS_FACADE_EXEMPT.contains(&rel);
+    let check_wallclock = checks.wallclock && !WALLCLOCK_EXEMPT_FILES.contains(&rel);
     if checks.span_pairs {
         scan_span_pairs(rel, &view, out);
     }
@@ -730,7 +739,7 @@ fn scan_file(rel: &str, original: &str, checks: Checks, out: &mut Vec<Violation>
                 }
             }
         }
-        if checks.wallclock {
+        if check_wallclock {
             for tok in ["Instant::now", "SystemTime"] {
                 for _ in find_tokens(line, tok) {
                     out.push(Violation {
@@ -1145,6 +1154,25 @@ mod tests {
             ],
             "FxHashMap must not match; std HashMap/HashSet and both clock tokens must"
         );
+    }
+
+    #[test]
+    fn wallclock_exemption_is_scoped_to_the_threaded_executor_file() {
+        // The watchdog in the threaded executor is the one sanctioned
+        // wall-clock reader outside `bench`; a sibling file in the same
+        // crate gets no such pass.
+        let src = "pub fn f() { let _ = std::time::Instant::now(); }\n";
+        let checks = Checks {
+            wallclock: true,
+            ..Checks::default()
+        };
+        let mut out = Vec::new();
+        scan_file("crates/exec/src/threaded.rs", src, checks, &mut out);
+        assert!(out.is_empty(), "exempt file flagged: {out:?}");
+        let mut out = Vec::new();
+        scan_file("crates/exec/src/lib.rs", src, checks, &mut out);
+        assert_eq!(out.len(), 1, "sibling file must still be checked");
+        assert_eq!(out[0].rule, Rule::NoWallclock);
     }
 
     #[test]

@@ -5,22 +5,22 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/14] build (release, all targets)"
+echo "==> [1/15] build (release, all targets)"
 cargo build --release --workspace
 
-echo "==> [2/14] tests (unit + integration + fixtures + mutations)"
+echo "==> [2/15] tests (unit + integration + fixtures + mutations)"
 cargo test --workspace -q
 
-echo "==> [3/14] clippy (all targets, warnings are errors)"
+echo "==> [3/15] clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [4/14] slash-lint (custom static analysis, burn-down allowlist)"
+echo "==> [4/15] slash-lint (custom static analysis, burn-down allowlist)"
 cargo run --release -p slash-verify --bin slash-lint
 
-echo "==> [5/14] slash-race (schedule exploration smoke: 128 tie-breaks)"
+echo "==> [5/15] slash-race (schedule exploration smoke: 128 tie-breaks)"
 cargo run --release -p slash-verify --bin slash-race -- --seeds 128
 
-echo "==> [6/14] flight recorder (planted bug must be caught and dumped)"
+echo "==> [6/15] flight recorder (planted bug must be caught and dumped)"
 # Each planted-bug dump must carry the registry snapshot (counters,
 # gauges, histograms at failure time), not just the event ring.
 flight_out="$(cargo run --release -p slash-verify --bin slash-race -- --mutation ignore-credit-window)"
@@ -29,7 +29,7 @@ flight_out="$(cargo run --release -p slash-verify --bin slash-race -- --mutation
 grep -q "registry snapshot" <<<"$flight_out"
 echo "flight recorder: both planted bugs caught, dumps include registry snapshots"
 
-echo "==> [7/14] traced example (deterministic trace, validated JSON)"
+echo "==> [7/15] traced example (deterministic trace, validated JSON)"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT
 SLASH_TRACE_OUT="$trace_dir/a.json" cargo run --release --example ysb_pipeline >/dev/null
@@ -38,23 +38,23 @@ cmp "$trace_dir/a.json" "$trace_dir/b.json"
 echo "trace: two same-seed runs byte-identical"
 cargo run --release -p slash-verify --bin slash-trace-check -- "$trace_dir/a.json"
 
-echo "==> [8/14] chaos suite (every fault type recovers to the no-fault state)"
+echo "==> [8/15] chaos suite (every fault type recovers to the no-fault state)"
 cargo run --release --bin chaos-suite
 
-echo "==> [9/14] recovery golden trace (failover example, byte-identical + validated)"
+echo "==> [9/15] recovery golden trace (failover example, byte-identical + validated)"
 SLASH_TRACE_OUT="$trace_dir/f_a.json" cargo run --release --example failover >/dev/null
 SLASH_TRACE_OUT="$trace_dir/f_b.json" cargo run --release --example failover >/dev/null
 cmp "$trace_dir/f_a.json" "$trace_dir/f_b.json"
 echo "recovery trace: two same-seed chaos runs byte-identical"
 cargo run --release -p slash-verify --bin slash-trace-check -- "$trace_dir/f_a.json"
 
-echo "==> [10/14] hot-path perf smoke (wall-clock, combiner on vs off)"
+echo "==> [10/15] hot-path perf smoke (wall-clock, combiner on vs off)"
 # Writes BENCH_hotpath.json and exits non-zero if the combiner-on hot
 # loop is below 1.3x the per-record path on ysb_hot, or if any
 # workload's on/off state digests diverge.
 cargo run --release -p slash-bench --bin hotpath-bench -- --quick --out BENCH_hotpath.json
 
-echo "==> [11/14] cascading-fault matrix (compound faults converge exactly, golden traces)"
+echo "==> [11/15] cascading-fault matrix (compound faults converge exactly, golden traces)"
 # Release-mode run of the compound-fault tests: concurrent crashes,
 # buddy-dead re-selection, crash-during-recovery re-entrancy, wpn=2
 # promotion, and the same-seed byte-identical cascade trace. (Stage 8's
@@ -62,7 +62,7 @@ echo "==> [11/14] cascading-fault matrix (compound faults converge exactly, gold
 # the trace-level golden assertions.)
 cargo test --release --test chaos -q
 
-echo "==> [12/14] exhaustive model checker (bounded DFS over same-instant schedules)"
+echo "==> [12/15] exhaustive model checker (bounded DFS over same-instant schedules)"
 # Enumerates every distinct same-instant schedule of the 2-node
 # FIFO/credit scenario (literal, dedup-free pass must drain the frontier
 # with zero pruning) plus the single-crash recovery scenario (complete
@@ -81,7 +81,7 @@ cargo run --release -p slash-verify --bin slash-race -- \
     --exhaustive --minimize --mutation reorder-delivered >/dev/null
 echo "exhaustive: both planted mutants caught and minimized"
 
-echo "==> [13/14] tail-latency SLO gate (per-stage p99.99 budgets + regression vs baseline)"
+echo "==> [13/15] tail-latency SLO gate (per-stage p99.99 budgets + regression vs baseline)"
 # Deterministic latency bench: fixed-seed ysb/nb7 under the simulator,
 # per-stage histograms (source, channel_transit, ssb_apply, window_close,
 # epoch_merge, result_emit) plus end-to-end. The gate fails on any
@@ -104,7 +104,7 @@ grep -q "flight-recorder dump" <<<"$plant_out"
 grep -q "registry snapshot" <<<"$plant_out"
 echo "latency: planted 10x ssb_apply regression caught with flight dump"
 
-echo "==> [14/14] elastic rescale gate (diurnal bench, golden trace, handoff races)"
+echo "==> [14/15] elastic rescale gate (diurnal bench, golden trace, handoff races)"
 # The diurnal 4->8->4 scale-out-and-back bench: zero lost records, results
 # and state digests bit-exact vs a static run of the same curve, zero
 # aborted migrations, full spread at peak, full pack-in at the end, and
@@ -121,5 +121,14 @@ cargo run --release -p slash-verify --bin slash-trace-check -- "$trace_dir/r_a.j
 # Focused re-run of the planned-handoff race families: cutover promotion
 # and handoff-vs-crash interleavings vs all six invariants.
 cargo run --release -p slash-verify --bin slash-race -- --scenario handoff --seeds 128
+
+echo "==> [15/15] thread-per-core backend (sim-vs-threaded digest smoke + clippy)"
+# The threaded runtime makes no schedule-determinism promises, but final
+# state must be bit-identical to the deterministic simulator for the same
+# seed and workload. Release-mode run of the equivalence suite (2 seeds x
+# 2 workloads plus threaded self-consistency and the concurrent-obs merge
+# stress), then clippy over the executor crate on its own.
+cargo test --release -p slash-exec -q
+cargo clippy -p slash-exec --all-targets -- -D warnings
 
 echo "ci: all gates green"
