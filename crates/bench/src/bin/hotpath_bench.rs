@@ -36,10 +36,14 @@
 use std::rc::Rc;
 use std::time::Instant;
 
-use slash_core::{HotPath, QueryPlan, RunConfig};
+use slash_core::{
+    results_digest, HeatPolicy, HotPath, QueryPlan, RunConfig, SlashCluster, SplitRunConfig,
+};
+use slash_desim::SimTime;
 use slash_exec::{results_fingerprint, JobSpec, Scheduler, SimBackend, ThreadBackend};
+use slash_obs::Obs;
 use slash_state::backend::{SsbConfig, SsbNode};
-use slash_workloads::{cm, nb11, nb7, nb8, ysb, ysb_hot, GenConfig, Workload};
+use slash_workloads::{cm, nb11, nb7, nb8, ysb, ysb_hot, ysb_zipf_keyed, GenConfig, Workload};
 
 /// Summary statistics over one mode's iteration samples (records/sec).
 struct Stats {
@@ -137,10 +141,40 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn write_json(path: &str, rows: &[Row], batch_records: usize, quick: bool) {
+fn write_json(path: &str, rows: &[Row], zipf: &[ZipfRow], batch_records: usize, quick: bool) {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!("  \"batch_records\": {batch_records},\n"));
+    if !zipf.is_empty() {
+        out.push_str("  \"zipf_sweep\": {\n");
+        out.push_str(&format!("    \"nodes\": {ZIPF_NODES},\n"));
+        out.push_str(
+            "    \"note\": \"keyed-ingress ysb_zipf_keyed(theta); records_per_sec is the \
+             modeled-cluster (virtual-time) rate. split_on enables online hot-key splitting \
+             with record forwarding; digests_match compares results and per-node final state \
+             against the unsplit run.\",\n",
+        );
+        out.push_str("    \"rows\": [\n");
+        for (i, r) in zipf.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"theta\": {:.2}, \"records\": {}, \"hot_node_share\": {:.4}, \
+                 \"records_per_sec_on\": {:.0}, \"records_per_sec_off\": {:.0}, \
+                 \"speedup\": {:.3}, \"splits\": {}, \"forwarded_records\": {}, \
+                 \"digests_match\": {}}}{}\n",
+                r.theta,
+                r.records,
+                r.hot_node_share,
+                r.on_rps,
+                r.off_rps,
+                r.speedup(),
+                r.splits,
+                r.forwarded_records,
+                r.digests_match,
+                if i + 1 < zipf.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ]\n  },\n");
+    }
     out.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -171,6 +205,130 @@ fn write_json(path: &str, rows: &[Row], batch_records: usize, quick: bool) {
         std::process::exit(1);
     }
     println!("  -> {path}");
+}
+
+// ---------------------------------------------------------------------
+// --zipf mode: keyed-ingress skew sweep with online hot-key splitting.
+// ---------------------------------------------------------------------
+
+/// Cluster size of the skew sweep (the paper's testbed has 16 nodes; 12
+/// keeps the quick sweep inside the CI time budget while leaving the hot
+/// node's share far above 1/n).
+const ZIPF_NODES: usize = 12;
+
+/// One (theta, split-on/off) pair of the skew sweep.
+struct ZipfRow {
+    theta: f64,
+    records: u64,
+    /// Largest single partition's share of the input — the load the hot
+    /// node would carry without splitting (1/nodes = perfectly balanced).
+    hot_node_share: f64,
+    on_rps: f64,
+    off_rps: f64,
+    splits: usize,
+    forwarded_records: u64,
+    digests_match: bool,
+}
+
+impl ZipfRow {
+    fn speedup(&self) -> f64 {
+        if self.off_rps > 0.0 {
+            self.on_rps / self.off_rps
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Run one theta of the sweep: the same keyed-ingress input through the
+/// plain engine and through `run_split` with online detection + record
+/// forwarding, cross-checking results and final state bit-for-bit.
+fn bench_zipf(theta: f64, per_node_records: u64) -> ZipfRow {
+    let w = ysb_zipf_keyed(&GenConfig::new(ZIPF_NODES, per_node_records), theta);
+    let total_bytes: usize = w.partitions.iter().map(|p| p.len()).sum();
+    let hot_node_share = w
+        .partitions
+        .iter()
+        .map(|p| p.len())
+        .max()
+        .unwrap_or(0) as f64
+        / (total_bytes.max(1)) as f64;
+    let mut cfg = RunConfig::new(ZIPF_NODES, 1);
+    cfg.collect_results = true;
+    cfg.epoch_bytes = 64 * 1024;
+    // The sweep isolates *data-plane* imbalance, so the write combiner is
+    // off on both sides. With combining on, a skewed count-key is already
+    // nearly free locally (§8.3.2: the combiner folds the hot key's
+    // records to one RMW, which is also why skew *helps* Slash's state
+    // plane — the combiner rows above measure that effect); what remains
+    // unbalanced, and what splitting + forwarding actually fix, is the
+    // per-record pipeline and state work that keyed ingress piles onto
+    // one node.
+    cfg.combine = false;
+
+    let off = SlashCluster::run(w.plan.clone(), w.partitions.clone(), cfg);
+    let scfg = SplitRunConfig {
+        auto: Some(HeatPolicy {
+            // Provably-hot floor at 4% of observed updates: under the
+            // sweep's 10 k-key domain only genuinely skewed heads
+            // qualify (uniform keys sit at 0.01%).
+            hot_ppm: 40_000,
+            min_total: 2_000,
+            max_splits: 8,
+        }),
+        sample_every: SimTime::from_micros(20),
+        forward: true,
+        ..SplitRunConfig::default()
+    };
+    let (on, srep) =
+        SlashCluster::run_split(w.plan.clone(), w.partitions.clone(), cfg, &scfg, Obs::disabled());
+    let digests_match = on.records == off.records
+        && on.emitted == off.emitted
+        && results_digest(&on.results) == results_digest(&off.results)
+        && on.state_digests == off.state_digests;
+    ZipfRow {
+        theta,
+        records: w.records,
+        hot_node_share,
+        on_rps: on.throughput(),
+        off_rps: off.throughput(),
+        splits: srep.splits.len(),
+        forwarded_records: srep.forwarded_records,
+        digests_match,
+    }
+}
+
+/// The thetas of the sweep: 0 (uniform control) through 1.5 (extreme
+/// skew, hot key ≈ 38% of the stream).
+const ZIPF_THETAS: [f64; 5] = [0.0, 0.5, 0.9, 1.1, 1.5];
+
+fn run_zipf_sweep(quick: bool) -> Vec<ZipfRow> {
+    let per_node_records: u64 = if quick { 60_000 } else { 150_000 };
+    println!(
+        "zipf sweep: {ZIPF_NODES} nodes, {per_node_records} records/node, keyed ingress \
+         (quick={quick})"
+    );
+    println!(
+        "{:<6} {:>9} {:>14} {:>14} {:>8} {:>7} {:>10}  digests",
+        "theta", "hot share", "on recs/s", "off recs/s", "speedup", "splits", "forwarded"
+    );
+    let mut rows = Vec::new();
+    for &theta in &ZIPF_THETAS {
+        let row = bench_zipf(theta, per_node_records);
+        println!(
+            "{:<6.2} {:>8.1}% {:>14.0} {:>14.0} {:>7.2}x {:>7} {:>10}  {}",
+            row.theta,
+            100.0 * row.hot_node_share,
+            row.on_rps,
+            row.off_rps,
+            row.speedup(),
+            row.splits,
+            row.forwarded_records,
+            if row.digests_match { "match" } else { "MISMATCH" }
+        );
+        rows.push(row);
+    }
+    rows
 }
 
 // ---------------------------------------------------------------------
@@ -381,10 +539,12 @@ fn main() {
     let mut batch_records = 16384usize;
     let mut records_override: Option<u64> = None;
     let mut threads_list: Option<Vec<usize>> = None;
+    let mut zipf = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--zipf" => zipf = true,
             "--out" => out_path = args.next(),
             "--batch" => {
                 batch_records = args
@@ -412,8 +572,8 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: hotpath-bench [--quick] [--out FILE] [--batch N] [--records N] \
-                     [--threads 1,2,4,8]"
+                    "usage: hotpath-bench [--quick] [--zipf] [--out FILE] [--batch N] \
+                     [--records N] [--threads 1,2,4,8]"
                 );
                 std::process::exit(2);
             }
@@ -468,7 +628,9 @@ fn main() {
         rows.push(row);
     }
 
-    write_json(&out_path, &rows, batch_records, quick);
+    let zipf_rows = if zipf { run_zipf_sweep(quick) } else { Vec::new() };
+
+    write_json(&out_path, &rows, &zipf_rows, batch_records, quick);
 
     // Hard checks: the two paths must agree bit-for-bit everywhere, and
     // combining must actually pay off on the hot YSB loop.
@@ -476,6 +638,28 @@ fn main() {
     for r in &rows {
         if !r.digests_match {
             eprintln!("FAIL: {} on/off state digests diverge", r.name);
+            failed = true;
+        }
+    }
+    // Skew-sweep gates: splitting must stay bit-exact on every swept
+    // theta and must actually flatten the curve — split-on at theta=1.1
+    // has to clear 1.5x split-off.
+    for r in &zipf_rows {
+        if !r.digests_match {
+            eprintln!(
+                "FAIL: zipf theta={:.2} split-on results/state diverge from unsplit",
+                r.theta
+            );
+            failed = true;
+        }
+    }
+    if let Some(r) = zipf_rows.iter().find(|r| (r.theta - 1.1).abs() < 1e-9) {
+        let floor = 1.5;
+        if r.speedup() < floor {
+            eprintln!(
+                "FAIL: zipf theta=1.1 split-on speedup {:.2}x below the {floor}x floor",
+                r.speedup()
+            );
             failed = true;
         }
     }

@@ -93,6 +93,7 @@ fn chaos() -> ChaosConfig {
             ckpt_max_chunk: 16 * 1024,
             ckpt_copies: 2,
         },
+        pre_split: Vec::new(),
     }
 }
 

@@ -10,7 +10,7 @@
 //! A [`FaultPlan`] is a schedule of fault events on virtual [`SimTime`]:
 //! node crashes, NIC link flaps, link degradation, and delayed
 //! completions. Plans are built explicitly with the builder methods or
-//! generated from a [`DetRng`] seed ([`FaultPlan::seeded`]); either way the
+//! generated from a [`slash_desim::DetRng`] seed ([`FaultPlan::seeded`]); either way the
 //! plan is pure data, so two runs with the same seed and the same plan
 //! execute byte-identically.
 //!
@@ -63,6 +63,11 @@ pub struct ChaosConfig {
     pub plan: FaultPlan,
     /// Recovery tunables.
     pub ft: FtConfig,
+    /// Group keys to hot-split before the first record (state-plane
+    /// splitting only — chaos runs never forward records). The race
+    /// families use this to prove split/fold commutes with crash
+    /// promotion and planned handoff.
+    pub pre_split: Vec<u64>,
 }
 
 impl ChaosConfig {
@@ -71,6 +76,7 @@ impl ChaosConfig {
         ChaosConfig {
             plan,
             ft: FtConfig::default(),
+            pre_split: Vec::new(),
         }
     }
 }

@@ -142,6 +142,12 @@ pub struct CostModel {
     /// Zero for Slash (per-worker queues, §5.3); the LightSaber baseline
     /// sets it to model its single shared queue's contention.
     pub task_queue_ns: f64,
+    /// Handing one split-key record to the forward fabric (key lookup in
+    /// a tiny sorted list + buffer append). Far below the full pipeline +
+    /// RMW the receiver pays — that asymmetry is what makes spreading a
+    /// hot key's records pay off — but not free: the sender still
+    /// touches every forwarded byte.
+    pub forward_record_ns: f64,
     /// Per-node usable memory bandwidth, bytes/second, shared by all
     /// worker threads (Xeon Gold 5115: 6 × DDR4-2400 ≈ 115 GB/s peak;
     /// ~40 GB/s sustainable under random access).
@@ -170,6 +176,7 @@ impl Default for CostModel {
             managed_runtime_factor: 3.5,
             source_per_byte_ns: 0.012,
             task_queue_ns: 0.0,
+            forward_record_ns: 4.0,
             mem_bandwidth: 40_000_000_000,
             clock_ghz: TESTBED_CLOCK_GHZ,
             cache: CacheModel::default(),

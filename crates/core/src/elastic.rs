@@ -376,6 +376,12 @@ impl SlashCluster {
                     node,
                     max_chunk: chaos.ft.ckpt_max_chunk,
                 });
+                if !chaos.pre_split.is_empty() {
+                    sh.ssb.split_enable();
+                    for &gk in &chaos.pre_split {
+                        sh.ssb.split_activate(gk);
+                    }
+                }
                 on_epoch_closed(&mut sh);
             }
             spawn_node_workers(
@@ -909,6 +915,7 @@ mod tests {
                 ckpt_max_chunk: 16 * 1024,
                 ckpt_copies: 2,
             },
+            pre_split: Vec::new(),
         }
     }
 

@@ -10,8 +10,8 @@
 //!   flushes once per batch via [`SsbNode::rmw_batch`], collapsing N
 //!   index probes into one per *distinct* key per batch. Enabled only for
 //!   states whose CRDT merge is exactly associative
-//!   ([`StateDescriptor::combinable`]); float-summing aggregations keep
-//!   the per-record path so results stay bit-identical.
+//!   ([`slash_state::StateDescriptor::combinable`]); float-summing
+//!   aggregations keep the per-record path so results stay bit-identical.
 //! * **Batched appends** — join retention batches a whole input chunk's
 //!   elements into one [`SsbNode::append_batch`] call, memoizing hashes
 //!   and chain heads per distinct key.
@@ -20,7 +20,7 @@
 //! (almost) no key reuse — wide uniform key domains, where dedup is pure
 //! overhead — the hot path reverts to the per-record loop for the rest of
 //! the run. To keep the worst case cheap, the *first* combined batch also
-//! probes reuse in-flight ([`PROBE_SURVIVORS`]) and can bail mid-batch,
+//! probes reuse in-flight (`PROBE_SURVIVORS`) and can bail mid-batch,
 //! so a reuse-free stream never pays combiner overhead beyond a small
 //! prefix. Every decision depends only on the data, so runs stay
 //! deterministic, and both paths produce bit-identical state either way.
@@ -117,6 +117,26 @@ pub struct HotPath {
     probed: bool,
     /// Division-free window assignment (timestamps are monotone per flow).
     memo: WindowMemo,
+    /// Split-ledger version this worker's salt map was built from; `0`
+    /// (the ledger's "never split" value) keeps the refresh to a single
+    /// compare per batch on unsplit runs.
+    split_version: u64,
+    /// `(canonical key, this node's sub-key)` pairs, ascending by
+    /// canonical — binary-searched per record only when non-empty.
+    split_map: Vec<(u64, u64)>,
+}
+
+/// Map a group key through the salt map: split keys divert to this
+/// replica's sub-key, everything else passes through untouched.
+#[inline]
+fn salt(map: &[(u64, u64)], gk: u64) -> u64 {
+    if map.is_empty() {
+        return gk;
+    }
+    match map.binary_search_by_key(&gk, |p| p.0) {
+        Ok(i) => map[i].1,
+        Err(_) => gk,
+    }
 }
 
 impl HotPath {
@@ -146,6 +166,8 @@ impl HotPath {
             cold_batches: 0,
             probed: false,
             memo,
+            split_version: 0,
+            split_map: Vec::new(),
         }
     }
 
@@ -179,6 +201,13 @@ impl HotPath {
                 agg,
             } => {
                 let schema = input.schema;
+                // Hot-key splitting: refresh the salt map when the node's
+                // ledger changed (one compare per batch; unsplit runs stay
+                // at version 0 forever and never allocate).
+                if ssb.split_version() != self.split_version {
+                    self.split_version = ssb.split_version();
+                    self.split_map = ssb.split_pairs();
+                }
                 let memo = &mut self.memo;
                 out.note_batch(&schema, batch);
                 if self.cold_batches >= COLD_BATCH_LIMIT {
@@ -192,7 +221,10 @@ impl HotPath {
                         if !input.keep(rec) {
                             continue;
                         }
-                        let key = pack_key(memo.assign(schema.ts(rec)), schema.key(rec));
+                        let key = pack_key(
+                            memo.assign(schema.ts(rec)),
+                            salt(&self.split_map, schema.key(rec)),
+                        );
                         if !comb.fold(key, |v| agg.update(&schema, rec, v)) {
                             // Table at its fill limit: drain it and retry —
                             // the retry always lands (table now empty).
@@ -226,8 +258,10 @@ impl HotPath {
                             if !input.keep(rec) {
                                 continue;
                             }
-                            let key =
-                                pack_key(memo.assign(schema.ts(rec)), schema.key(rec));
+                            let key = pack_key(
+                                memo.assign(schema.ts(rec)),
+                                salt(&self.split_map, schema.key(rec)),
+                            );
                             ssb.rmw(key, |v| agg.update(&schema, rec, v));
                             out.survivors += 1;
                         }
@@ -239,7 +273,10 @@ impl HotPath {
                         if !input.keep(rec) {
                             continue;
                         }
-                        let key = pack_key(memo.assign(schema.ts(rec)), schema.key(rec));
+                        let key = pack_key(
+                            memo.assign(schema.ts(rec)),
+                            salt(&self.split_map, schema.key(rec)),
+                        );
                         ssb.rmw(key, |v| agg.update(&schema, rec, v));
                         out.survivors += 1;
                     }

@@ -29,6 +29,7 @@ pub mod record;
 pub mod recovery;
 pub mod sink;
 pub mod source;
+pub mod split;
 pub mod window;
 pub mod worker;
 
@@ -46,5 +47,9 @@ pub use record::RecordSchema;
 pub use recovery::{results_digest, RecoveryAction, RecoveryEvent, RecoveryReport};
 pub use sink::{Sink, SinkResult};
 pub use source::MemorySource;
+pub use split::{
+    ForwardFabric, HeatPolicy, HeatSplitDirector, SplitDirector, SplitReport, SplitRunConfig,
+    SplitTelemetry, StaticSplitDirector,
+};
 pub use window::{WindowAssigner, WindowMemo};
 pub use worker::{NodeShared, SlashWorker};

@@ -3,7 +3,7 @@
 //!
 //! The fault-free engine ([`SlashCluster::run`]) assumes a perfect
 //! fabric. [`SlashCluster::run_chaos`] drops that assumption: it arms a
-//! deterministic [`FaultPlan`] against the simulated fabric and layers a
+//! deterministic [`slash_chaos::FaultPlan`] against the simulated fabric and layers a
 //! recovery protocol on top of the epoch coherence machinery:
 //!
 //! * **Checkpoints.** At every epoch close a node captures its primary
@@ -523,6 +523,12 @@ impl SlashCluster {
                     node,
                     max_chunk: chaos.ft.ckpt_max_chunk,
                 });
+                if !chaos.pre_split.is_empty() {
+                    sh.ssb.split_enable();
+                    for &gk in &chaos.pre_split {
+                        sh.ssb.split_activate(gk);
+                    }
+                }
                 // Seed checkpoint: an empty epoch-0 boundary, durable by
                 // fiat, so even a crash before the first real checkpoint
                 // recovers (to a from-scratch reprocess).
@@ -1127,6 +1133,20 @@ pub(crate) fn commit_promotion(
     ssb.restore_primary(&ckpt.snapshot);
     ssb.restore_vclock(&ckpt.vclock);
     ssb.resume_fragments_at(ckpt.epochs_closed);
+    // The split ledger is deterministic replicated control state: every
+    // node holds an identical copy, so the replacement adopts any
+    // survivor's. (Exactness never depends on the copy — the leader-side
+    // fold merges whatever sub-key entries exist — but the replacement
+    // must keep *diverting* hot-key updates like its predecessor did.)
+    if let Some(ledger) = shareds
+        .borrow()
+        .iter()
+        .enumerate()
+        .filter(|&(s, _)| s != d)
+        .find_map(|(_, sh)| sh.borrow().ssb.split_ledger().cloned())
+    {
+        ssb.set_split_ledger(ledger);
+    }
 
     // Re-establish channels with every peer, handshaking commit horizons
     // so replay is exact and nothing is merged twice.
@@ -1290,6 +1310,7 @@ mod tests {
                 ckpt_max_chunk: 16 * 1024,
                 ckpt_copies: 2,
             },
+            pre_split: Vec::new(),
         }
     }
 
@@ -1337,6 +1358,39 @@ mod tests {
         assert_eq!(rec.state_digests, base_rec.state_digests);
         let ttr = rec.max_time_to_recover();
         assert!(ttr.is_some_and(|t| t > SimTime::ZERO), "{ttr:?}");
+    }
+
+    /// Hot-key splitting commutes with crash promotion: the same fault
+    /// plan, run with and without pre-split keys, yields bit-identical
+    /// results and final state digests — sub-key deltas restore from the
+    /// checkpoint, the replacement adopts a survivor's ledger copy, and
+    /// the leader-side fold reconciles everything at window close.
+    #[test]
+    fn pre_split_commutes_with_crash_promotion() {
+        let nodes = 3;
+        let faults = FaultPlan::new().crash(SimTime::from_micros(200), 1);
+        let (base, base_rec) = run(faults.clone(), nodes);
+        let parts: Vec<Rc<Vec<u8>>> = (0..nodes).map(|_| gen(60_000, 1, 32)).collect();
+        let mut c = chaos(faults);
+        c.pre_split = vec![5, 17];
+        let (split, rec) =
+            SlashCluster::run_chaos(count_plan(4_000), parts, cfg(nodes), &c, Obs::disabled());
+        assert!(
+            rec.events
+                .iter()
+                .any(|e| matches!(e.action, RecoveryAction::Promoted { .. })),
+            "{:?}",
+            rec.events
+        );
+        assert_eq!(split.records, base.records);
+        assert_eq!(
+            rec.results_digest, base_rec.results_digest,
+            "split + crash must match unsplit + crash results"
+        );
+        assert_eq!(
+            rec.state_digests, base_rec.state_digests,
+            "no sub-key residue may survive in final state"
+        );
     }
 
     #[test]

@@ -96,6 +96,10 @@ pub struct NodeShared {
     pub obs: Obs,
     /// Metric label for this node (e.g. `node3`).
     pub obs_label: String,
+    /// Record-forwarding plane for hot-key splitting; `None` outside
+    /// [`crate::SlashCluster::run_split`] runs with forwarding enabled,
+    /// so the ordinary ingest path stays untouched.
+    pub fwd: Option<Rc<crate::split::ForwardFabric>>,
 }
 
 impl NodeShared {
@@ -120,6 +124,7 @@ impl NodeShared {
             records: 0,
             obs: Obs::disabled(),
             obs_label: String::new(),
+            fwd: None,
         }
     }
 
@@ -152,6 +157,15 @@ pub struct SlashWorker {
     is_trigger: bool,
     /// Last window bucket for which an ahead-of-time epoch was signalled.
     last_epoch_bucket: u64,
+    /// Split-ledger version the forward key list was built from (the
+    /// sender-side twin of the hot path's salt-map cache).
+    fwd_version: u64,
+    /// Sorted canonical split keys whose records this worker forwards.
+    fwd_keys: Vec<u64>,
+    /// Round-robin destination cursor for forwarded records.
+    fwd_rr: usize,
+    /// Whether this worker told the forward fabric its source is done.
+    fwd_done_noted: bool,
 }
 
 impl SlashWorker {
@@ -184,6 +198,10 @@ impl SlashWorker {
             source_done: false,
             is_trigger: widx == 0,
             last_epoch_bucket: 0,
+            fwd_version: 0,
+            fwd_keys: Vec::new(),
+            fwd_rr: 0,
+            fwd_done_noted: false,
         }
     }
 
@@ -197,7 +215,13 @@ impl SlashWorker {
         range: (usize, usize),
     ) -> (f64, f64, u64, u64, u64) {
         let data = Rc::clone(self.source.data());
-        let batch = &data[range.0..range.1];
+        self.process_bytes(sh, &data[range.0..range.1])
+    }
+
+    /// The batch body of [`Self::process_batch`], factored over raw bytes
+    /// so forwarded record batches (which arrive outside this worker's
+    /// source) run the exact same pipeline, costs, and accounting.
+    fn process_bytes(&mut self, sh: &mut NodeShared, batch: &[u8]) -> (f64, f64, u64, u64, u64) {
         let cost = &self.cost;
         // Working-set–dependent access cost, computed once per batch.
         let ws = sh.ssb.resident_bytes() as u64;
@@ -257,11 +281,132 @@ impl SlashWorker {
         (pipeline_ns, apply_ns, mem, n, last_ts)
     }
 
+    /// Source-batch processing with the forwarding pre-pass: records of
+    /// split keys are round-robined across nodes (self-destined ones stay
+    /// local), everything else is processed in place. The sender charges
+    /// only the cheap handoff ([`CostModel::forward_record_ns`]) per
+    /// forwarded record — the receiver runs the full pipeline — and its
+    /// watermark still advances over the *original* batch's last
+    /// timestamp: custody of the forwarded timestamps is the fabric
+    /// floor's job, not the sender watermark's.
+    fn process_batch_forwarding(
+        &mut self,
+        sh: &mut NodeShared,
+        range: (usize, usize),
+    ) -> (f64, f64, u64, u64, u64) {
+        if sh.ssb.split_version() != self.fwd_version {
+            self.fwd_version = sh.ssb.split_version();
+            self.fwd_keys = sh.ssb.split_keys();
+        }
+        if self.fwd_keys.is_empty() {
+            return self.process_batch(sh, range);
+        }
+        let data = Rc::clone(self.source.data());
+        let batch = &data[range.0..range.1];
+        let schema = self.plan.input().schema;
+        let nodes = sh.fwd.as_ref().map_or(1, |f| f.nodes());
+        let mut kept: Vec<u8> = Vec::with_capacity(batch.len());
+        let mut outs: Vec<Vec<u8>> = vec![Vec::new(); nodes];
+        let mut outs_min = vec![u64::MAX; nodes];
+        let mut outs_n = vec![0u64; nodes];
+        let mut last_ts = 0u64;
+        for rec in batch.chunks_exact(schema.size) {
+            last_ts = schema.ts(rec);
+            if self.fwd_keys.binary_search(&schema.key(rec)).is_ok() {
+                let dest = self.fwd_rr % nodes;
+                self.fwd_rr = (self.fwd_rr + 1) % nodes;
+                if dest != self.node {
+                    outs[dest].extend_from_slice(rec);
+                    outs_min[dest] = outs_min[dest].min(schema.ts(rec));
+                    outs_n[dest] += 1;
+                    continue;
+                }
+            }
+            kept.extend_from_slice(rec);
+        }
+        let mut fwd_n = 0u64;
+        let mut fwd_bytes = 0u64;
+        if let Some(f) = &sh.fwd {
+            for dest in 0..nodes {
+                if outs_n[dest] == 0 {
+                    continue;
+                }
+                fwd_n += outs_n[dest];
+                fwd_bytes += outs[dest].len() as u64;
+                f.enqueue(
+                    dest,
+                    crate::split::FwdBatch {
+                        min_ts: outs_min[dest],
+                        records: outs_n[dest],
+                        data: std::mem::take(&mut outs[dest]),
+                    },
+                );
+            }
+        }
+        let (mut pipeline_ns, apply_ns, mut mem, mut n, _kept_last) = if kept.is_empty() {
+            (0.0, 0.0, 0, 0, 0)
+        } else {
+            self.process_bytes(sh, &kept)
+        };
+        let fwd_cost = self.cost.forward_record_ns * fwd_n as f64;
+        pipeline_ns += fwd_cost;
+        sh.metrics.charge(CostCategory::Retiring, fwd_cost);
+        sh.metrics.instr(instr::QUEUE_OP * (fwd_n > 0) as u64);
+        mem += fwd_bytes;
+        // Forwarded records are counted where they were ingested (here);
+        // the receiver charges their processing but not their count.
+        n += fwd_n;
+        (pipeline_ns, apply_ns, mem, n, last_ts)
+    }
+
+    /// Drain forwarded batches from this node's inbox through the normal
+    /// hot path, returning `(cpu_pipeline, cpu_apply, mem, records)`.
+    /// The window memo's assignment is exact for any timestamp order, so
+    /// out-of-order forwarded batches reuse the same machinery.
+    fn drain_forwarded(&mut self, sh: &mut NodeShared) -> (f64, f64, u64, u64) {
+        const DRAIN_BATCHES: usize = 4;
+        let Some(f) = sh.fwd.clone() else {
+            return (0.0, 0.0, 0, 0);
+        };
+        let mut pipeline_ns = 0.0;
+        let mut apply_ns = 0.0;
+        let mut mem = 0u64;
+        let mut records = 0u64;
+        for _ in 0..DRAIN_BATCHES {
+            let Some(batch) = f.pop(self.node) else {
+                break;
+            };
+            let (p, a, m, n, _last) = self.process_bytes(sh, &batch.data);
+            pipeline_ns += p;
+            apply_ns += a;
+            mem += m;
+            records += n;
+            // Custody handoff: queued → unshipped (applied to fragments).
+            f.note_processed(self.node, batch.min_ts);
+        }
+        (pipeline_ns, apply_ns, mem, records)
+    }
+
+    /// After any successful epoch close on a forwarding run, hand custody
+    /// of this node's unshipped forwarded timestamps to the in-flight
+    /// stage (the epoch's chunks carry them; see [`crate::split`]).
+    fn note_fwd_close(&self, sh: &NodeShared) {
+        if let Some(f) = &sh.fwd {
+            f.note_epoch_closed(self.node, sh.ssb.vclock().get(self.node));
+        }
+    }
+
     /// Trigger-task duty: fire every window the vector clock has released.
     fn run_triggers(&mut self, sh: &mut NodeShared) -> f64 {
         let plan = Rc::clone(&self.plan);
         let window = plan.window();
-        let wm = sh.ssb.vclock().min();
+        // Forwarding runs release windows on min(vclock, floor): the
+        // floor covers forwarded records whose contributions have not yet
+        // merged at their leader (see [`crate::split`]).
+        let wm = match &sh.fwd {
+            Some(f) => sh.ssb.vclock().min().min(f.floor()),
+            None => sh.ssb.vclock().min(),
+        };
         let mut drained: Vec<TriggeredValue> = Vec::new();
         sh.ssb
             .drain_triggered(|wid| window.ready(wid, wm), |tv| drained.push(tv));
@@ -392,7 +537,11 @@ impl Process for SlashWorker {
                     .charge(CostCategory::CoreBound, self.cost.task_queue_ns);
                 sh.metrics.instr(instr::QUEUE_OP);
             }
-            let (pipeline_ns, apply_ns, m, n, last_ts) = self.process_batch(&mut sh, range);
+            let (pipeline_ns, apply_ns, m, n, last_ts) = if sh.fwd.is_some() {
+                self.process_batch_forwarding(&mut sh, range)
+            } else {
+                self.process_batch(&mut sh, range)
+            };
             cpu += pipeline_ns + apply_ns;
             seg_source += pipeline_ns;
             seg_apply += apply_ns;
@@ -428,22 +577,74 @@ impl Process for SlashWorker {
                 sh.metrics.charge(CostCategory::MemoryBound, close_ns);
                 mem_bytes_extra += delta;
                 crate::recovery::on_epoch_closed(&mut sh);
+                self.note_fwd_close(&sh);
             }
             mem_bytes += mem_bytes_extra;
         } else if let crate::source::SourcePoll::NotReady(at) = poll {
             paced_wait = Some(at);
         } else if !self.source_done {
-            self.source_done = true;
-            sh.worker_wm[self.widx] = u64::MAX;
-            let wm = sh.node_watermark();
-            sh.ssb.note_progress(wm);
-            sh.last_ingest = sim.now();
-            if wm == u64::MAX {
-                // Last worker of this node: final epoch releases all
-                // remaining windows.
-                match sh.ssb.close_epoch(sim) {
-                    Ok(_) => crate::recovery::on_epoch_closed(&mut sh),
-                    Err(e) => sh.obs.record_failure("final epoch", &format!("{e:?}")),
+            // On forwarding runs the end-of-stream watermark is deferred:
+            // peers may still forward records here until every source is
+            // done and this inbox has drained, so advertising MAX now
+            // would be a lie the floor could not fully retract.
+            let fwd_quiesced = match &sh.fwd {
+                None => true,
+                Some(f) => {
+                    if !self.fwd_done_noted {
+                        self.fwd_done_noted = true;
+                        f.note_source_done(self.node);
+                    }
+                    f.all_sources_done() && f.inbox_empty(self.node)
+                }
+            };
+            if fwd_quiesced {
+                self.source_done = true;
+                sh.worker_wm[self.widx] = u64::MAX;
+                let wm = sh.node_watermark();
+                sh.ssb.note_progress(wm);
+                sh.last_ingest = sim.now();
+                if wm == u64::MAX {
+                    // Last worker of this node: final epoch releases all
+                    // remaining windows.
+                    match sh.ssb.close_epoch(sim) {
+                        Ok(_) => crate::recovery::on_epoch_closed(&mut sh),
+                        Err(e) => sh.obs.record_failure("final epoch", &format!("{e:?}")),
+                    }
+                    self.note_fwd_close(&sh);
+                }
+            }
+        }
+
+        // (2b) Forwarded-record inbox: drain a few batches through the
+        // same hot path (receivers salt split keys to their own replica
+        // sub-keys, so contributions still route to the canonical
+        // leader). Byte-threshold epochs may come due from the applied
+        // updates.
+        let mut fwd_records = 0u64;
+        if sh.fwd.is_some() {
+            let (p, a, m, n) = self.drain_forwarded(&mut sh);
+            if n > 0 {
+                cpu += p + a;
+                seg_source += p;
+                seg_apply += a;
+                mem_bytes += m;
+                batch_records += n;
+                fwd_records = n;
+                let closed = match sh.ssb.maybe_close_epoch(sim) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        sh.obs.record_failure("epoch close", &format!("{e:?}"));
+                        None
+                    }
+                };
+                if let Some(delta) = closed {
+                    let close_ns = 800.0 + delta as f64 * 0.05;
+                    cpu += close_ns;
+                    seg_close += close_ns;
+                    sh.metrics.charge(CostCategory::MemoryBound, close_ns);
+                    mem_bytes += delta;
+                    crate::recovery::on_epoch_closed(&mut sh);
+                    self.note_fwd_close(&sh);
                 }
             }
         }
@@ -452,15 +653,20 @@ impl Process for SlashWorker {
         if self.is_trigger {
             seg_emit += self.run_triggers(&mut sh);
             // Completion: every executor reached the end-of-stream
-            // watermark and all our deltas are out.
-            if sh.ssb.vclock().min() == u64::MAX && sh.ssb.flushed() && !sh.ssb.dirty() {
+            // watermark, all our deltas are out, and (forwarding runs)
+            // every forwarded contribution is confirmed merged.
+            if sh.ssb.vclock().min() == u64::MAX
+                && sh.ssb.flushed()
+                && !sh.ssb.dirty()
+                && sh.fwd.as_ref().is_none_or(|f| f.floor() == u64::MAX)
+            {
                 seg_emit += self.run_triggers(&mut sh); // final sweep
                 sh.finished = true;
             }
             cpu += seg_emit;
         }
 
-        if self.source_done && cpu == 0.0 {
+        if (self.source_done || self.fwd_done_noted) && cpu == 0.0 {
             if sh.finished {
                 return Step::Done;
             }
@@ -508,7 +714,10 @@ impl Process for SlashWorker {
         } else {
             cpu_time
         };
-        if !self.source_done {
+        if !self.source_done || fwd_records > 0 {
+            // Forwarded batches processed after our own source drained
+            // are still ingest work: completion-time honesty for the
+            // throughput the bench reports.
             sh.last_ingest = now + busy;
         }
         // Trace the batch as an operator-pipeline span and sample the

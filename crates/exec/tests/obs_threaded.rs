@@ -10,6 +10,7 @@ use std::sync::mpsc;
 use slash_core::RunConfig;
 use slash_exec::{JobSpec, Scheduler, ThreadBackend};
 use slash_obs::{MetricsRegistry, Obs};
+use slash_state::SplitLedger;
 use slash_workloads::{ysb_hot, GenConfig};
 
 /// Deterministic per-thread sample stream (splitmix-style), so the
@@ -97,6 +98,104 @@ fn threaded_registry_merge_loses_no_counts_and_matches_reference_quantiles() {
         })
         .flatten()
         .expect("both handles enabled");
+}
+
+/// SpaceSaving `count - err <= true <= count` must survive the
+/// ThreadBackend merge path — per-thread registries recording salted
+/// split-key streams, shipped as snapshots and folded with
+/// `absorb_registry` — with more live keys than sketch capacity, so
+/// evictions charge real error on both sides of the merge.
+#[test]
+fn heat_bounds_hold_across_absorb_registry_merges() {
+    const THREADS: u64 = 6;
+    const PER_THREAD: u64 = 30_000;
+    const HOT: u64 = 5;
+    const BACKGROUND: u64 = 300; // ≫ HEAT_CAPACITY: forces evictions
+    let ledger = {
+        let mut l = SplitLedger::new(THREADS as usize);
+        assert!(l.split(HOT));
+        l
+    };
+
+    // Each worker thread records its node's salted stream into a private
+    // registry — exactly what a ThreadBackend node does before shipping
+    // its snapshot to the driver.
+    let (tx, rx) = mpsc::channel::<MetricsRegistry>();
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let tx = tx.clone();
+        let sub = ledger.sub_for(HOT, t as usize).expect("split active");
+        joins.push(std::thread::spawn(move || {
+            let obs = Obs::enabled(64);
+            for i in 0..PER_THREAD {
+                // Every third record is hot and salts to this replica's
+                // sub-key; the rest spread over a wide background domain.
+                let key = if i % 3 == 0 { sub } else { sample(t, i) % BACKGROUND };
+                obs.heat_observe("key_heat", "all", key, 1);
+            }
+            let snap = obs.registry_snapshot().expect("enabled handle");
+            tx.send(snap).expect("driver alive");
+        }));
+    }
+    drop(tx);
+    let merged = Obs::enabled(64);
+    for snap in rx {
+        merged.absorb_registry(&snap);
+    }
+    for j in joins {
+        j.join().expect("recorder thread");
+    }
+
+    // Brute-force truth over the identical deterministic streams.
+    let mut truth = std::collections::HashMap::new();
+    for t in 0..THREADS {
+        let sub = ledger.sub_for(HOT, t as usize).expect("split active");
+        for i in 0..PER_THREAD {
+            let key = if i % 3 == 0 { sub } else { sample(t, i) % BACKGROUND };
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+    }
+
+    merged
+        .with_registry(|reg| {
+            let sketch = reg.heat("key_heat", "all").expect("merged sketch");
+            assert_eq!(
+                sketch.total(),
+                THREADS * PER_THREAD,
+                "merge must lose no observed weight"
+            );
+            let top = sketch.top(sketch.capacity());
+            let mut saw_error = false;
+            for e in &top {
+                let t = truth.get(&e.key).copied().unwrap_or(0);
+                assert!(e.count >= t, "key {}: count {} < true {t}", e.key, e.count);
+                assert!(
+                    e.count - e.err <= t,
+                    "key {}: lower bound {} > true {t}",
+                    e.key,
+                    e.count - e.err
+                );
+                saw_error |= e.err > 0;
+            }
+            assert!(
+                saw_error,
+                "domain exceeds capacity: some entry must carry eviction error \
+                 or the bound check is vacuous"
+            );
+            // Every sub-key is provably hot in the merged sketch: its
+            // SpaceSaving lower bound clears the uniform background.
+            for r in 0..THREADS as usize {
+                let sub = ledger.sub_for(HOT, r).expect("split active");
+                let e = top.iter().find(|e| e.key == sub).expect("sub-key monitored");
+                assert!(
+                    e.count - e.err >= PER_THREAD / 4,
+                    "replica {r} sub-key lower bound too weak: {} - {}",
+                    e.count,
+                    e.err
+                );
+            }
+        })
+        .expect("enabled handle");
 }
 
 #[test]

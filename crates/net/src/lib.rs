@@ -34,8 +34,8 @@
 //! preceding it has fully landed (WRITEs land low-to-high). The poll byte
 //! is a per-wrap *generation* so slot reuse needs no cleanup writes.
 //!
-//! The crate also provides [`socket::SocketChannel`], a socket-style (IPoIB)
-//! channel with kernel-copy and syscall costs, used by the Flink baseline.
+//! The crate also provides [`socket::SocketSender`]/[`socket::SocketReceiver`],
+//! a socket-style (IPoIB) channel with kernel-copy and syscall costs, used by the Flink baseline.
 
 pub mod channel;
 pub mod layout;

@@ -138,7 +138,7 @@ impl ChannelSender {
     /// connection incarnation so stale in-flight writes are fenced), reset
     /// the footer sequence to zero, and zero the credit counter so the full
     /// credit window is available again. The peer receiver must call
-    /// [`ChannelReceiver::reset`] for traffic to resume — and the engine
+    /// [`crate::receiver::ChannelReceiver::reset`] for traffic to resume — and the engine
     /// must re-enqueue whatever epochs the receiver had not committed.
     pub fn reset(&mut self) {
         self.qp.reset();

@@ -3,7 +3,7 @@
 //! # slash-scale — the load-reactive scale controller
 //!
 //! Policy layer for elastic rescaling: [`ScaleController`] implements
-//! [`ScaleDirector`](slash_core::ScaleDirector) by watching the cluster
+//! [`slash_core::ScaleDirector`] by watching the cluster
 //! telemetry stream ([`slash_core::ClusterTelemetry`]) and emitting
 //! migration plans that grow the cluster onto parked hosts under load and
 //! pack it back when the load recedes. The *mechanism* — planned

@@ -1,5 +1,7 @@
 //! The per-node SSB facade: routing, epochs, triggering (§7).
 
+use std::collections::BTreeMap;
+
 use slash_desim::{Sim, SimTime};
 use slash_net::{create_channel, ChannelConfig};
 use slash_obs::{HeatSketch, Obs, Stage, HEAT_CAPACITY};
@@ -8,8 +10,9 @@ use slash_rdma::{Fabric, NodeId};
 use crate::coherence::{DeltaReceiver, DeltaSender, StateError};
 use crate::combiner::WriteCombiner;
 use crate::descriptor::StateDescriptor;
-use crate::hash::{partition_of, unpack_key, StateKey};
+use crate::hash::{pack_key, partition_of, unpack_key, StateKey};
 use crate::partition::Partition;
+use crate::split::{SplitLedger, SUB_KEY_TAG};
 use crate::vclock::VectorClock;
 
 /// SSB-wide configuration.
@@ -81,6 +84,11 @@ pub struct SsbNode {
     /// State updates applied in the open epoch (published as the
     /// `records_per_epoch` gauge when the epoch closes).
     epoch_updates: u64,
+    /// Hot-key split ledger (see [`crate::split`]); `None` unless the
+    /// driver enables splitting, so the default drain path is untouched.
+    /// Every node carries an identical copy, kept in sync by the split
+    /// driver activating keys on all nodes in one simulation step.
+    split: Option<SplitLedger>,
 }
 
 impl SsbNode {
@@ -354,10 +362,82 @@ impl SsbNode {
             .any(|(p, f)| p != self.node && f.is_dirty())
     }
 
+    // ------------------------------------------------------------------
+    // Hot-key splitting (see [`crate::split`]).
+    // ------------------------------------------------------------------
+
+    /// Install an (empty) split ledger, making this node split-capable,
+    /// and enable the heat sketch so the split director has a signal even
+    /// on otherwise uninstrumented runs. Idempotent.
+    pub fn split_enable(&mut self) {
+        if self.split.is_none() {
+            self.split = Some(SplitLedger::new(self.cfg.nodes));
+        }
+        if self.heat.is_none() {
+            self.heat = Some(HeatSketch::new(HEAT_CAPACITY));
+        }
+    }
+
+    /// Activate splitting for group key `gk` on this node's ledger copy.
+    /// Rejected (returning `false`) without a ledger, for holistic or
+    /// non-combinable state (regrouping must be exact — the combiner's
+    /// gate), and for keys the ledger itself refuses.
+    pub fn split_activate(&mut self, gk: u64) -> bool {
+        let desc = self.fragments[self.node].descriptor();
+        if desc.is_appended() || !desc.combinable {
+            return false;
+        }
+        self.split.as_mut().is_some_and(|l| l.split(gk))
+    }
+
+    /// The split ledger's change counter; `0` when splitting is disabled
+    /// or no key is split — the hot path's one-compare fast path.
+    pub fn split_version(&self) -> u64 {
+        self.split.as_ref().map_or(0, |l| l.version())
+    }
+
+    /// Active split canonical keys (ascending); empty when disabled.
+    pub fn split_keys(&self) -> Vec<u64> {
+        self.split.as_ref().map_or_else(Vec::new, |l| l.split_keys())
+    }
+
+    /// `(canonical, sub)` salt pairs for *this* node's replica — the map
+    /// the hot path consults to salt updates of split keys.
+    pub fn split_pairs(&self) -> Vec<(u64, u64)> {
+        self.split
+            .as_ref()
+            .map_or_else(Vec::new, |l| l.pairs_for(self.node))
+    }
+
+    /// This node's ledger copy (promotion clones it into a replacement).
+    pub fn split_ledger(&self) -> Option<&SplitLedger> {
+        self.split.as_ref()
+    }
+
+    /// Install a ledger copy wholesale — promotion/handoff: a replacement
+    /// node must fold and label split keys exactly like its predecessor.
+    pub fn set_split_ledger(&mut self, ledger: SplitLedger) {
+        self.split = Some(ledger);
+    }
+
+    /// The live heat sketch, if telemetry is on (instrumented node or
+    /// split-enabled node). The split driver merges these per tick.
+    pub fn heat_snapshot(&self) -> Option<&HeatSketch> {
+        self.heat.as_ref()
+    }
+
     /// Drain every `(window, key)` of this node's primary partition whose
     /// window satisfies `ready` — the leader-side window trigger. Values
     /// are removed from the state (windows fire once), and their log
     /// entries are garbage collected.
+    ///
+    /// When a split ledger is active, the constituents of a split
+    /// `(window, key)` — its per-replica sub-keys plus any canonical
+    /// entry — are folded into one value with the descriptor's CRDT merge
+    /// and emitted once under the canonical key: the reconciliation half
+    /// of hot-key splitting. Sub-keys share the canonical key's window id
+    /// and leader, so a ready window always drains all its constituents
+    /// together.
     pub fn drain_triggered(
         &mut self,
         ready: impl Fn(u64) -> bool,
@@ -371,6 +451,9 @@ impl SsbNode {
                 keys.push(key);
             }
         });
+        if self.split.as_ref().is_some_and(|l| !l.is_empty()) {
+            return self.drain_split(keys, emit);
+        }
         for &key in &keys {
             let (window_id, k) = unpack_key(key);
             let data = if primary.descriptor().is_appended() {
@@ -392,6 +475,83 @@ impl SsbNode {
                 window_id,
                 key: k,
                 data,
+            });
+        }
+        keys.len()
+    }
+
+    /// The split-aware drain: plain `(window, key)` entries emit exactly
+    /// as in the unsplit path; the constituents of each split key — its
+    /// per-replica sub-keys and any canonical entry — fold into one value
+    /// via the descriptor's CRDT `merge`, emitted once under the
+    /// canonical key.
+    fn drain_split(
+        &mut self,
+        keys: Vec<StateKey>,
+        mut emit: impl FnMut(TriggeredValue),
+    ) -> usize {
+        let appended = self.fragments[self.node].descriptor().is_appended();
+        let mut plain: Vec<StateKey> = Vec::new();
+        let mut groups: BTreeMap<StateKey, Vec<StateKey>> = BTreeMap::new();
+        if let Some(ledger) = self.split.as_ref().filter(|_| !appended) {
+            for &key in &keys {
+                let (wid, gk) = unpack_key(key);
+                if gk & SUB_KEY_TAG != 0 {
+                    match ledger.canonical_of(gk) {
+                        Some((canon, _)) => {
+                            groups.entry(pack_key(wid, canon)).or_default().push(key);
+                        }
+                        // An orphan sub-key (ledger replaced mid-flight)
+                        // still drains — as its own result, never lost.
+                        None => plain.push(key),
+                    }
+                } else if ledger.is_split(gk) {
+                    groups.entry(key).or_default().push(key);
+                } else {
+                    plain.push(key);
+                }
+            }
+        } else {
+            // Appended (holistic) state never splits — `split_activate`
+            // gates on the descriptor — so drain everything plainly.
+            plain = keys.clone();
+        }
+        let primary = &mut self.fragments[self.node];
+        for &key in &plain {
+            let (window_id, k) = unpack_key(key);
+            let data = if appended {
+                let mut elems = Vec::new();
+                primary.for_each_element(key, |e| elems.push(e.to_vec()));
+                TriggeredData::Elements(elems)
+            } else {
+                let Some(value) = primary.get(key) else {
+                    debug_assert!(false, "key listed by for_each_key has a value");
+                    continue;
+                };
+                TriggeredData::Fixed(value.to_vec())
+            };
+            primary.remove(key);
+            emit(TriggeredValue {
+                window_id,
+                key: k,
+                data,
+            });
+        }
+        let desc = *primary.descriptor();
+        for (canon_key, members) in &groups {
+            let (window_id, canon_gk) = unpack_key(*canon_key);
+            let mut acc = vec![0u8; desc.fixed_size()];
+            (desc.init)(&mut acc);
+            for &member in members {
+                if let Some(value) = primary.get(member) {
+                    (desc.merge)(&mut acc, value);
+                }
+                primary.remove(member);
+            }
+            emit(TriggeredValue {
+                window_id,
+                key: canon_gk,
+                data: TriggeredData::Fixed(acc),
             });
         }
         keys.len()
@@ -440,6 +600,7 @@ impl SsbNode {
             heat: None,
             part_updates: vec![0; cfg.nodes],
             epoch_updates: 0,
+            split: None,
         }
     }
 
@@ -749,6 +910,7 @@ pub fn build_cluster_obs(
             heat: None,
             part_updates: vec![0; n],
             epoch_updates: 0,
+            split: None,
         })
         .collect();
 
@@ -1032,6 +1194,233 @@ mod tests {
             ssb[leader2].fragments[leader2].get(key2).map(CounterCrdt::get),
             Some(18)
         );
+    }
+
+    /// Split/unsplit runs of the same update stream must trigger
+    /// identical results: the fold over salted sub-keys is the CRDT merge
+    /// the epoch path would have performed anyway.
+    #[test]
+    fn split_fold_matches_unsplit_drain() {
+        let hot = 7u64;
+        let run = |split: bool| {
+            let (mut sim, mut ssb) = cluster(3);
+            if split {
+                for node in ssb.iter_mut() {
+                    node.split_enable();
+                    assert!(node.split_activate(hot));
+                }
+            }
+            for (i, node) in ssb.iter_mut().enumerate() {
+                for rec in 0..50u64 {
+                    let gk = if rec % 3 == 0 { rec % 5 } else { hot };
+                    // The hot path salts split keys per replica; model it.
+                    let salted = match gk == hot && split {
+                        true => ssb_sub(node, hot, i),
+                        false => gk,
+                    };
+                    node.rmw(pack_key(1, salted), |v| CounterCrdt::add(v, 1 + rec));
+                }
+                node.note_progress(1000);
+            }
+            for node in ssb.iter_mut() {
+                node.close_epoch(&mut sim).unwrap();
+            }
+            settle(&mut sim, &mut ssb);
+            let mut fired = Vec::new();
+            for node in ssb.iter_mut() {
+                node.drain_triggered(
+                    |wid| wid == 1,
+                    |tv| {
+                        let TriggeredData::Fixed(v) = &tv.data else {
+                            panic!("counter state is fixed");
+                        };
+                        fired.push((tv.window_id, tv.key, CounterCrdt::get(v)));
+                    },
+                );
+            }
+            fired.sort_unstable();
+            fired
+        };
+        fn ssb_sub(node: &SsbNode, gk: u64, replica: usize) -> u64 {
+            node.split_ledger()
+                .and_then(|l| l.sub_for(gk, replica))
+                .unwrap()
+        }
+        let split_run = run(true);
+        let plain_run = run(false);
+        assert_eq!(split_run, plain_run, "fold must be exact");
+        assert!(
+            plain_run.iter().any(|&(_, k, _)| k == hot),
+            "hot key present under its canonical label"
+        );
+        assert!(
+            split_run.iter().all(|&(_, k, _)| k & SUB_KEY_TAG == 0),
+            "no sub-key ever escapes to a result"
+        );
+    }
+
+    #[test]
+    fn split_activate_gates_on_descriptor_and_ledger() {
+        use crate::descriptor::appended_descriptor;
+        let (_sim, mut ssb) = cluster(2);
+        assert!(!ssb[0].split_activate(3), "no ledger installed yet");
+        ssb[0].split_enable();
+        assert_eq!(ssb[0].split_version(), 0);
+        assert!(ssb[0].split_activate(3));
+        assert_eq!(ssb[0].split_version(), 1);
+        assert_eq!(ssb[0].split_keys(), vec![3]);
+        assert_eq!(ssb[0].split_pairs().len(), 1);
+        assert!(ssb[0].heat_snapshot().is_some(), "enable turns heat on");
+
+        // Holistic state refuses to split even with a ledger present.
+        let mut holo = SsbNode::detached(
+            0,
+            appended_descriptor(),
+            SsbConfig {
+                nodes: 2,
+                epoch_bytes: u64::MAX,
+                channel: ChannelConfig {
+                    credits: 8,
+                    buffer_size: 4096,
+                    credit_batch: 1,
+                },
+            },
+        );
+        holo.split_enable();
+        assert!(!holo.split_activate(3), "appended state is not splittable");
+    }
+
+    /// A replacement node that inherits the ledger folds exactly like the
+    /// node it replaced — the promotion-path contract.
+    #[test]
+    fn ledger_copy_preserves_fold_on_replacement() {
+        let (_sim, mut ssb) = cluster(2);
+        ssb[0].split_enable();
+        assert!(ssb[0].split_activate(9));
+        let ledger = ssb[0].split_ledger().unwrap().clone();
+
+        // Build the replacement as the hot key's leader so the fold runs.
+        let leader = partition_of(pack_key(1, 9), 2);
+        let mut replacement = SsbNode::detached(
+            leader,
+            CounterCrdt::descriptor(),
+            SsbConfig {
+                nodes: 2,
+                epoch_bytes: u64::MAX,
+                channel: ChannelConfig {
+                    credits: 8,
+                    buffer_size: 4096,
+                    credit_batch: 1,
+                },
+            },
+        );
+        replacement.set_split_ledger(ledger.clone());
+        // Seed sub-key entries directly (as a delta replay would) plus a
+        // canonical entry, and check the fold lands under the canonical.
+        for r in 0..2usize {
+            let sub = ledger.sub_for(9, r).unwrap();
+            replacement.rmw(pack_key(1, sub), |v| CounterCrdt::add(v, 10));
+        }
+        replacement.rmw(pack_key(1, 9), |v| CounterCrdt::add(v, 5));
+        let mut fired = Vec::new();
+        replacement.drain_triggered(
+            |_| true,
+            |tv| {
+                let TriggeredData::Fixed(v) = &tv.data else {
+                    panic!("fixed");
+                };
+                fired.push((tv.key, CounterCrdt::get(v)));
+            },
+        );
+        assert_eq!(fired, vec![(9, 25)]);
+    }
+
+    /// A key reported hot then split stops dominating the cluster-merged
+    /// heat sketch: after activation every replica's updates land under
+    /// its own salted sub-key, so the canonical key's count freezes while
+    /// total weight keeps growing, and each sub-key carries only a 1/n
+    /// share of the hot mass. Counts stay exact (err = 0) throughout
+    /// because the live key set fits the sketch capacity.
+    #[test]
+    fn split_key_stops_dominating_merged_heat_sketch() {
+        const NODES: usize = 4;
+        const HOT: u64 = 77;
+        const BACKGROUND: u64 = 40;
+        const PER_NODE: u64 = 2_000;
+        let (_sim, mut ssb) = cluster(NODES);
+        for node in ssb.iter_mut() {
+            node.split_enable();
+        }
+        // Phase 1 (unsplit): every other record hits the hot key.
+        let drive = |node: &mut SsbNode, i: usize, salt: Option<u64>| {
+            for rec in 0..PER_NODE {
+                let g = if rec % 2 == 0 {
+                    salt.unwrap_or(HOT)
+                } else {
+                    (rec / 2 + (i as u64) * 13) % BACKGROUND
+                };
+                node.rmw(pack_key(1, g), |v| CounterCrdt::add(v, 1));
+            }
+        };
+        for (i, node) in ssb.iter_mut().enumerate() {
+            drive(node, i, None);
+        }
+        let merged = |ssb: &[SsbNode]| {
+            let mut m = HeatSketch::new(HEAT_CAPACITY);
+            for node in ssb {
+                m.merge(node.heat_snapshot().expect("split_enable turns heat on"));
+            }
+            m
+        };
+        let pre = merged(&ssb);
+        let hot_pre = pre.top(1)[0];
+        assert_eq!(hot_pre.key, HOT, "the hot key dominates before the split");
+        assert_eq!(hot_pre.err, 0);
+        assert!(
+            hot_pre.count * 2 >= pre.total(),
+            "hot share before split: {}/{}",
+            hot_pre.count,
+            pre.total()
+        );
+
+        // Phase 2 (split): same stream, each replica salting the hot key
+        // with its own sub-key — the hot path's routing.
+        for node in ssb.iter_mut() {
+            assert!(node.split_activate(HOT));
+        }
+        for (i, node) in ssb.iter_mut().enumerate() {
+            let sub = node.split_ledger().unwrap().sub_for(HOT, i).unwrap();
+            drive(node, i, Some(sub));
+        }
+        let post = merged(&ssb);
+        assert_eq!(post.total(), 2 * pre.total());
+        let canon = post
+            .top(HEAT_CAPACITY)
+            .into_iter()
+            .find(|e| e.key == HOT)
+            .expect("canonical entry survives");
+        assert_eq!(
+            canon.count, hot_pre.count,
+            "the canonical key's count freezes once updates salt away"
+        );
+        assert!(
+            canon.count * 3 <= post.total(),
+            "the canonical key no longer dominates: {}/{}",
+            canon.count,
+            post.total()
+        );
+        // Each sub-key carries exactly its replica's hot share, exactly.
+        let ledger = ssb[0].split_ledger().unwrap().clone();
+        for r in 0..NODES {
+            let sub = ledger.sub_for(HOT, r).unwrap();
+            let e = post
+                .top(HEAT_CAPACITY)
+                .into_iter()
+                .find(|e| e.key == sub)
+                .expect("every sub-key is monitored");
+            assert_eq!(e.count, PER_NODE / 2, "replica {r} hot share");
+            assert_eq!(e.err, 0, "under capacity: sub-key counts are exact");
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod index;
 pub mod log;
 pub mod partition;
 pub mod snapshot;
+pub mod split;
 pub mod vclock;
 
 pub use backend::{SsbConfig, SsbNode, TriggeredValue};
@@ -52,4 +53,5 @@ pub use descriptor::{StateDescriptor, ValueKind};
 pub use hash::{pack_key, unpack_key, StateKey};
 pub use partition::Partition;
 pub use snapshot::{chunks_digest, restore, snapshot_chunks};
+pub use split::{SplitLedger, SUB_KEY_TAG};
 pub use vclock::VectorClock;

@@ -13,7 +13,11 @@
 //! restore) families, plus the elastic-rescaling `planned-handoff`
 //! (cutover promotion without a crash) and `handoff-vs-crash` (a live
 //! migration racing a concurrent crash recovery on the same tick)
-//! families — under `N` tie-break policies (FIFO, LIFO, and seeded
+//! families, plus the hot-key-splitting `hot-split-recovery` and
+//! `hot-split-handoff` families (keys split into per-replica salted
+//! sub-keys while a crash or cutover interleaves; convergence checks the
+//! canonical-plus-sub-keys fold) — under `N` tie-break policies (FIFO,
+//! LIFO, and seeded
 //! permutations; default 128), printing how many distinct schedules
 //! were explored and any invariant violations. On a violation the flight
 //! recorder's dump — the last trace events with the schedule fingerprint
@@ -26,7 +30,8 @@
 //! 2-node FIFO/credit scenario is enumerated *literally* (every distinct
 //! same-instant schedule run, dedup off) and must drain its frontier with
 //! `schedules == distinct fingerprints`; the single-crash recovery
-//! scenario and the 2-node single-handoff `rescale-small` scenario are
+//! scenario, the 2-node single-handoff `rescale-small` scenario, and the
+//! 2-node single-crash-with-one-split-key `hot-split-small` scenario are
 //! explored with state-digest dedup and must also drain completely.
 //! Coverage floors are hard gates: enumerating fewer
 //! schedules than a known-good run is a regression. A scenario that
@@ -69,6 +74,12 @@ const RECOVERY_SMALL_FLOOR: usize = 24;
 /// scenario (35 schedules today; same slack policy as
 /// [`RECOVERY_SMALL_FLOOR`]).
 const HANDOFF_SMALL_FLOOR: usize = 24;
+
+/// Coverage floor for the dedup-reduced 2-node single-crash scenario
+/// with one hot-split key (same slack policy as
+/// [`RECOVERY_SMALL_FLOOR`]: well below today's count, far above the
+/// 1-schedule degenerate case).
+const HOT_SPLIT_SMALL_FLOOR: usize = 24;
 
 fn gate(e: &Exploration, seeds: u64) -> bool {
     let needed = if seeds as usize > MIN_DISTINCT + 2 {
@@ -318,6 +329,24 @@ fn run_exhaustive(budget: Budget, minimize: bool, seeds: u64, out: Option<&str>)
         fallback,
     });
 
+    // Single crash with one hot-split key: the crash promotion must
+    // commute with split/fold on every schedule the checker drains —
+    // salted sub-key entries checkpoint, replay, and merge like any
+    // other state, and the restored node adopts split custody from the
+    // survivor.
+    let hot = RecoveryScenario::hot_split_small();
+    let rep = hot.exhaustive("hot-split-small", budget, minimize);
+    print!("{}", rep.render_human());
+    let gate_ok = rep.clean()
+        && rep.coverage.complete()
+        && rep.coverage.schedules_enumerated >= HOT_SPLIT_SMALL_FLOOR;
+    let fallback = fallback_if_truncated(&rep, seeds, |p| hot.run(p));
+    scenarios.push(ScenarioCoverage {
+        report: rep,
+        gate_ok,
+        fallback,
+    });
+
     // A truncated frontier is only acceptable when reported AND the
     // random fallback sweep over the same scenario stays clean.
     let pass = scenarios.iter().all(|sc| {
@@ -492,6 +521,14 @@ fn main() -> ExitCode {
         RecoveryScenario::reentrant().run(p)
     });
     print!("{}", reent.render_human());
+    let hot = explore("hot-split-recovery", seeds, |p| {
+        RecoveryScenario::hot_split().run(p)
+    });
+    print!("{}", hot.render_human());
+    let hoth = explore("hot-split-handoff", seeds, |p| {
+        RecoveryScenario::hot_split_handoff().run(p)
+    });
+    print!("{}", hoth.render_human());
 
     let ok = gate(&handoff, seeds)
         && gate(&hvc, seeds)
@@ -500,7 +537,9 @@ fn main() -> ExitCode {
         && gate(&coh, seeds)
         && gate(&rec, seeds)
         && gate(&conc, seeds)
-        && gate(&reent, seeds);
+        && gate(&reent, seeds)
+        && gate(&hot, seeds)
+        && gate(&hoth, seeds);
     if ok {
         println!("slash-race: PASS");
         ExitCode::SUCCESS

@@ -815,7 +815,7 @@ const VICTIM: usize = 1;
 /// epoch applied twice.
 ///
 /// The schedule makes this a *family*: the default is the single crash of
-/// node [`VICTIM`] at [`R_CRASH_TICK`]; [`RecoveryScenario::concurrent_crash`]
+/// node `VICTIM` at `R_CRASH_TICK`; [`RecoveryScenario::concurrent_crash`]
 /// crashes two nodes on the same tick (the tie-break policy orders the
 /// overlapping restores); [`RecoveryScenario::reentrant`] crashes the same
 /// node twice, so the second restore starts from a checkpoint captured by
@@ -843,6 +843,15 @@ pub struct RecoveryScenario {
     /// interleaves a live migration with a concurrent crash recovery;
     /// the tie-break policy orders the two rebuilds.
     pub handoffs: Vec<(u64, usize)>,
+    /// Canonical group keys hot-split before any traffic: every node's
+    /// ledger copy activates these at build, so each replica's updates
+    /// for a split key land under its own salted sub-key (the oracle
+    /// keeps counting the canonical key). Convergence then checks the
+    /// *fold* — canonical plus every sub-key entry at the leader — and a
+    /// crash or handoff of any node must commute with the split: the
+    /// restored incarnation adopts a survivor's ledger copy exactly like
+    /// production promotion does.
+    pub pre_split: Vec<u64>,
     /// Optional injected bug.
     pub mutation: Option<Mutation>,
 }
@@ -853,6 +862,7 @@ impl Default for RecoveryScenario {
             nodes: 3,
             crashes: vec![(R_CRASH_TICK, VICTIM)],
             handoffs: vec![],
+            pre_split: vec![],
             mutation: None,
         }
     }
@@ -874,8 +884,8 @@ impl RecoveryScenario {
         }
     }
 
-    /// The re-entrant recovery family: node [`VICTIM`] crashes at
-    /// [`R_CRASH_TICK`] and again four ticks later — after its restored
+    /// The re-entrant recovery family: node `VICTIM` crashes at
+    /// `R_CRASH_TICK` and again four ticks later — after its restored
     /// incarnation has replayed its op stream, shipped fresh epochs, and
     /// captured a new checkpoint of its own. The second restore composes
     /// with the first: two generations of requeued deltas land at the
@@ -898,12 +908,13 @@ impl RecoveryScenario {
             nodes: 2,
             crashes: vec![(R_CRASH_TICK, VICTIM)],
             handoffs: vec![],
+            pre_split: vec![],
             mutation: None,
         }
     }
 
-    /// The planned-handoff family: node [`VICTIM`] of a 3-node cluster
-    /// migrates at [`R_CRASH_TICK`] — cutover close, checkpoint at that
+    /// The planned-handoff family: node `VICTIM` of a 3-node cluster
+    /// migrates at `R_CRASH_TICK` — cutover close, checkpoint at that
     /// instant, rebuild with empty replay — while the other two nodes
     /// keep closing and shipping epochs. Exactly-once across the
     /// reconnect must hold under every interleaving of the cutover with
@@ -941,6 +952,48 @@ impl RecoveryScenario {
             nodes: 2,
             crashes: vec![],
             handoffs: vec![(R_CRASH_TICK, VICTIM)],
+            pre_split: vec![],
+            mutation: None,
+        }
+    }
+
+    /// The hot-split crash family: the default single-crash schedule with
+    /// two keys split across every replica. Salted sub-key deltas ride
+    /// the same epochs the crash interrupts, the victim's checkpoint and
+    /// replay cover sub-key entries like any other state, and the
+    /// restored incarnation must adopt split custody from a survivor —
+    /// convergence checks the canonical-plus-sub-keys fold against the
+    /// unsalted oracle under every interleaving.
+    pub fn hot_split() -> Self {
+        RecoveryScenario {
+            pre_split: vec![1, 3],
+            ..RecoveryScenario::default()
+        }
+    }
+
+    /// The hot-split handoff family: a planned cutover (promotion without
+    /// a crash) while two keys are split. The cutover checkpoint captures
+    /// sub-key entries mid-window; exactly-once across the reconnect must
+    /// keep the fold exact with zero replayed ops.
+    pub fn hot_split_handoff() -> Self {
+        RecoveryScenario {
+            crashes: vec![],
+            handoffs: vec![(R_CRASH_TICK, VICTIM)],
+            pre_split: vec![1, 3],
+            ..RecoveryScenario::default()
+        }
+    }
+
+    /// The minimal hot-split family for exhaustive exploration: two
+    /// nodes, one crash, one split key — [`RecoveryScenario::small`] with
+    /// split/fold in the schedule space, so the model checker proves the
+    /// fold commutes with crash promotion on *every* schedule it drains.
+    pub fn hot_split_small() -> Self {
+        RecoveryScenario {
+            nodes: 2,
+            crashes: vec![(R_CRASH_TICK, VICTIM)],
+            handoffs: vec![],
+            pre_split: vec![1],
             mutation: None,
         }
     }
@@ -1029,7 +1082,14 @@ impl RecWorld {
             if count_oracle {
                 *self.oracle.entry(k).or_insert(0) += v;
             }
-            self.ssb[i].rmw(pack_key(1, k), |buf| CounterCrdt::add(buf, v));
+            // A split key's update lands under this replica's salted
+            // sub-key (the hot-path routing); the oracle keeps counting
+            // the canonical key, so convergence checks the fold.
+            let gk = self.ssb[i]
+                .split_ledger()
+                .and_then(|l| l.sub_for(k, i))
+                .unwrap_or(k);
+            self.ssb[i].rmw(pack_key(1, gk), |buf| CounterCrdt::add(buf, v));
         }
     }
 
@@ -1103,6 +1163,15 @@ impl RecWorld {
         // shipped with different content; replayed closes regenerate the
         // same ids with the same content, which the survivors dedup.
         repl.resume_fragments_at(ckpt.epochs_closed);
+        // Split custody survives the replacement the same way it does in
+        // production promotion: adopt a survivor's ledger copy
+        // (deterministic replicated control state, identical everywhere).
+        if let Some(ledger) = (0..n)
+            .filter(|&s| s != victim)
+            .find_map(|s| self.ssb[s].split_ledger().cloned())
+        {
+            repl.set_split_ledger(ledger);
+        }
         for s in 0..n {
             if s == victim {
                 continue;
@@ -1208,6 +1277,33 @@ impl RecWorld {
         tick >= R_OP_TICKS + SETTLE_TICKS
     }
 
+    /// Leader-side read of a group key's total: the canonical entry
+    /// merged with every sub-key entry when the key is split — the same
+    /// fold the engine's trigger path applies at window close. `None`
+    /// only when no constituent entry exists at all.
+    fn folded_get(&self, leader: usize, k: u64) -> Option<u64> {
+        let node = &self.ssb[leader];
+        let mut parts: Vec<u64> = node
+            .local_get(pack_key(1, k))
+            .map(CounterCrdt::get)
+            .into_iter()
+            .collect();
+        if let Some(ledger) = node.split_ledger().filter(|l| l.is_split(k)) {
+            for r in 0..ledger.nodes() {
+                if let Some(sub) = ledger.sub_for(k, r) {
+                    if let Some(v) = node.local_get(pack_key(1, sub)).map(CounterCrdt::get) {
+                        parts.push(v);
+                    }
+                }
+            }
+        }
+        if parts.is_empty() {
+            None
+        } else {
+            Some(parts.iter().sum())
+        }
+    }
+
     fn convergence(&mut self) {
         if self.recovered != self.crashes_total {
             let (got, want) = (self.recovered, self.crashes_total);
@@ -1222,7 +1318,7 @@ impl RecWorld {
         for (k, total) in oracle {
             let key = pack_key(1, k);
             let leader = partition_of(key, n);
-            let got = self.ssb[leader].local_get(key).map(CounterCrdt::get);
+            let got = self.folded_get(leader, k);
             if got != Some(total) {
                 self.flag(
                     Invariant::RecoveryConvergence,
@@ -1332,6 +1428,17 @@ impl RecoveryScenario {
         // recovery can replay them.
         for node in &mut ssb {
             node.set_retention(true);
+        }
+        // Hot-split families: activate the scheduled keys on every
+        // node's ledger copy before any traffic, so each replica salts
+        // its updates from the first op.
+        if !self.pre_split.is_empty() {
+            for node in &mut ssb {
+                node.split_enable();
+                for &gk in &self.pre_split {
+                    node.split_activate(gk);
+                }
+            }
         }
         let mut victims: Vec<usize> = self.crashes.iter().map(|&(_, v)| v).collect();
         victims.sort_unstable();

@@ -31,4 +31,4 @@ pub mod workloads;
 
 pub use dist::{Pareto, Uniform, Zipf};
 pub use spec::{GenConfig, Workload};
-pub use workloads::{cm, nb11, nb7, nb8, ro, ro_zipf, ysb, ysb_hot, ysb_zipf};
+pub use workloads::{cm, nb11, nb7, nb8, ro, ro_zipf, ysb, ysb_hot, ysb_zipf, ysb_zipf_keyed};

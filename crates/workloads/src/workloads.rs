@@ -4,6 +4,8 @@ use std::rc::Rc;
 
 use slash_core::{AggSpec, QueryPlan, RecordSchema, StreamDef, WindowAssigner};
 use slash_desim::DetRng;
+use slash_state::hash::partition_of;
+use slash_state::pack_key;
 
 use crate::dist::{Pareto, Uniform, Zipf};
 use crate::spec::{GenConfig, Workload};
@@ -97,6 +99,63 @@ pub fn ysb(cfg: &GenConfig) -> Workload {
 /// YSB with Zipf(z) campaign keys — the skew sweep of Fig. 8d.
 pub fn ysb_zipf(cfg: &GenConfig, z: f64) -> Workload {
     ysb_with(cfg, move || KeyDist::Zipf(Zipf::new(YSB_KEYS, z)))
+}
+
+/// Campaign domain of the keyed-ingress skew sweep: small enough that a
+/// capacity-64 SpaceSaving sketch provably identifies the head of the
+/// distribution, large enough that the tail still spreads over every
+/// node.
+pub const YSB_ZIPF_KEYS: u64 = 10_000;
+
+/// YSB with Zipf(θ) campaign keys and **keyed ingress**: one global
+/// monotone stream whose records are routed to partitions by
+/// `partition_of(key)` — the deployment shape where upstream sharding is
+/// key-hashed, so a hot key concentrates both pipeline *and* state work
+/// on one node. θ = 0 degenerates to uniform. This is the workload the
+/// hot-key splitting sweep (`hotpath-bench --zipf`) runs on; the plain
+/// [`ysb_zipf`] keeps the paper's balanced-ingress shape.
+///
+/// `cfg.partitions` must equal the node count (keyed ingress has one
+/// stream per node). Partition sizes are intentionally *uneven* under
+/// skew — that imbalance is what splitting exists to fix.
+pub fn ysb_zipf_keyed(cfg: &GenConfig, theta: f64) -> Workload {
+    let parts = cfg.partitions;
+    assert!(parts > 0);
+    let total = cfg.total_records();
+    let span = 3 * YSB_WINDOW_MS;
+    let ts_step = (span / total.max(1)).max(1);
+    let dist = if theta > 0.0 {
+        KeyDist::Zipf(Zipf::new(YSB_ZIPF_KEYS, theta))
+    } else {
+        KeyDist::Uniform(Uniform::new(YSB_ZIPF_KEYS))
+    };
+    let mut root = DetRng::new(cfg.seed);
+    let mut rng = root.fork(0);
+    let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); parts];
+    let mut rec = [0u8; 78];
+    for i in 0..total {
+        let ts = 1 + i * ts_step;
+        let key = dist.sample(&mut rng);
+        let ev = rng.next_below(3);
+        rec[0..8].copy_from_slice(&ts.to_le_bytes());
+        rec[8..16].copy_from_slice(&key.to_le_bytes());
+        rec[16..24].copy_from_slice(&ev.to_le_bytes());
+        // Route by the same hash the SSB partitions state with: the
+        // node that receives a key's records is also that key's leader.
+        let dest = partition_of(pack_key(0, key), parts);
+        bufs[dest].extend_from_slice(&rec);
+    }
+    Workload {
+        name: "ysb_zipf_keyed",
+        plan: QueryPlan::Aggregate {
+            input: StreamDef::new(YSB_SCHEMA)
+                .with_filter(|s, r| s.field_u64(r, 16) == 0),
+            window: WindowAssigner::Tumbling { size: YSB_WINDOW_MS },
+            agg: AggSpec::Count,
+        },
+        partitions: bufs.into_iter().map(Rc::new).collect(),
+        records: total,
+    }
 }
 
 /// Campaign domain of the classic YSB setup: ~100 active campaigns.
@@ -427,6 +486,49 @@ mod tests {
         cfg.seed = 99;
         let c = ysb(&cfg);
         assert_ne!(a.partitions[0], c.partitions[0]);
+    }
+
+    #[test]
+    fn zipf_keyed_routes_by_state_hash_and_stays_monotone() {
+        let cfg = GenConfig::new(4, 2000);
+        let w = ysb_zipf_keyed(&cfg, 0.9);
+        assert_eq!(w.partitions.len(), 4);
+        assert_eq!(w.records, 8000);
+        let total: usize = w.partitions.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 8000 * 78, "keyed routing must not drop records");
+        for (p, part) in w.partitions.iter().enumerate() {
+            let mut last = 0;
+            YSB_SCHEMA.for_each(part, |r| {
+                let ts = YSB_SCHEMA.ts(r);
+                assert!(ts > last, "subsequence of a monotone stream");
+                last = ts;
+                let key = YSB_SCHEMA.key(r);
+                assert!(key < YSB_ZIPF_KEYS);
+                assert_eq!(
+                    partition_of(pack_key(0, key), 4),
+                    p,
+                    "record for key {key} landed off its leader"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn zipf_keyed_skew_concentrates_load_on_one_node() {
+        let cfg = GenConfig::new(4, 5000);
+        let imbalance = |theta: f64| {
+            let w = ysb_zipf_keyed(&cfg, theta);
+            let sizes: Vec<usize> = w.partitions.iter().map(|p| p.len() / 78).collect();
+            let max = *sizes.iter().max().unwrap_or(&0) as f64;
+            max / (w.records as f64 / sizes.len() as f64)
+        };
+        let flat = imbalance(0.0);
+        let hot = imbalance(1.5);
+        assert!(flat < 1.2, "uniform keyed ingress is balanced: {flat}");
+        assert!(
+            hot > 1.5,
+            "zipf 1.5 must overload the hot key's node: {hot}"
+        );
     }
 
     #[test]

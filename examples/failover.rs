@@ -43,6 +43,7 @@ fn run(plan: &FaultPlan, obs: Obs) -> (RunReport, RecoveryReport) {
             ckpt_max_chunk: 16 * 1024,
             ckpt_copies: 2,
         },
+        pre_split: Vec::new(),
     };
     SlashCluster::run_chaos(w.plan, w.partitions, cfg, &chaos, obs)
 }

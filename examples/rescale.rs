@@ -55,6 +55,7 @@ fn run(
             ckpt_max_chunk: 16 * 1024,
             ckpt_copies: 2,
         },
+        pre_split: Vec::new(),
     };
     SlashCluster::run_elastic(
         w.plan,
